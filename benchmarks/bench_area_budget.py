@@ -1,0 +1,21 @@
+"""Extension: the area-feasibility table (Section I / III-B).
+
+Paper anchors: minimal MAC+buffer hardware ~20% area penalty, inside the
+25% ceiling; full-core PIM (prior work) far outside it; column-major
+needs 16x the latches of the adder tree.
+"""
+
+from repro.experiments import area_budget
+
+
+def test_area_budget(once):
+    result = once(area_budget.run)
+    print()
+    print(result.render())
+    newton = result.row("Newton (adder tree, 1 latch)").report
+    assert 0.15 <= newton.overhead_fraction <= 0.25
+    assert newton.within_budget
+    assert not result.row("full core per bank (prior PIM)").report.within_budget
+    tree = newton
+    cm = result.row("column-major MACs (Section III-B)").report
+    assert cm.latch_area == 16 * tree.latch_area

@@ -1,0 +1,19 @@
+"""Extension: the chunk-width tradeoff (Section III-C).
+
+Paper anchor: the DRAM-row-wide chunk minimizes output traffic while the
+channel-shared global buffer keeps even the widest chunk's area
+negligible — the asymmetry that justifies the unusually wide choice.
+"""
+
+from repro.experiments import chunk_width_study
+
+
+def test_chunk_width(once):
+    result = once(chunk_width_study.run)
+    print()
+    print(result.render())
+    assert result.output_traffic_hyperbolic()
+    assert result.buffer_always_negligible()
+    widest = result.rows[-1]
+    assert widest.chunk_elems == 512  # Newton's choice: one DRAM row
+    assert widest.output_reads == min(r.output_reads for r in result.rows)

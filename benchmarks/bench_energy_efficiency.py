@@ -1,0 +1,17 @@
+"""Extension: energy per inference (Section V-E's efficiency claim).
+
+Paper anchor: ~10x speedup at only ~2.8x power implies a ~3.6x energy
+advantage even when the non-PIM side's compute and transfer energy are
+charged at zero.
+"""
+
+from repro.experiments import energy_efficiency
+
+
+def test_energy_efficiency(once):
+    result = once(energy_efficiency.run)
+    print()
+    print(result.render())
+    assert 2.0 <= result.gmean_gain <= 4.5
+    for row in result.rows:
+        assert row.efficiency_gain > 1.0  # Newton wins on every layer

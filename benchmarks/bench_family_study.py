@@ -1,0 +1,19 @@
+"""Extension: Newton across DRAM families (the paper's conclusion).
+
+GDDR6-AiM is the configuration SK hynix actually shipped; every family
+must beat its own bandwidth bound, with the Section III-F model tracking
+each family's operating point.
+"""
+
+from repro.experiments import family_study
+
+
+def test_family_study(once):
+    result = once(family_study.run)
+    print()
+    print(result.render())
+    assert result.every_family_benefits()
+    for row in result.rows:
+        # The per-family analytical model should track the measurement.
+        assert row.speedup_vs_ideal < row.model_prediction * 1.1
+        assert row.speedup_vs_ideal > row.model_prediction * 0.6

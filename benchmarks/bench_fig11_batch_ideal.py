@@ -1,0 +1,25 @@
+"""Figure 11: batch-size sensitivity vs Ideal Non-PIM.
+
+Paper anchors: Newton's per-input performance is flat; Ideal Non-PIM
+nearly catches up at batch 8 and is ~1.6x faster at batch 16.
+"""
+
+import pytest
+
+from repro.experiments import fig11_batch_ideal
+
+
+def test_fig11_batch_ideal(once):
+    result = once(fig11_batch_ideal.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        vals = list(row.newton.values())
+        assert max(vals) == pytest.approx(min(vals))  # Newton flat
+        assert row.newton[1] > row.ideal[1]  # Newton wins at batch 1
+    # The crossover falls at k ~= 8-16 for the steady-state layers.
+    for name in ("GNMTs1", "BERTs3", "AlexNetL6"):
+        assert result.crossover_batch(name) in (8, 16)
+        row = next(r for r in result.rows if r.layer == name)
+        ratio_at_16 = row.ideal[16] / row.newton[16]
+        assert 1.2 <= ratio_at_16 <= 2.2  # paper: ~1.6x at k=16

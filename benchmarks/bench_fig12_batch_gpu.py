@@ -1,0 +1,19 @@
+"""Figure 12: batch-size sensitivity vs the realistic GPU.
+
+Paper anchor: a large batch (~64) is needed for the GPU to outperform
+Newton; Newton dominates at edge-sized batches (<= 8).
+"""
+
+from repro.experiments import fig12_batch_gpu
+
+
+def test_fig12_batch_gpu(once):
+    result = once(fig12_batch_gpu.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert result.newton_wins_small_batches(row.layer, up_to=8)
+    crossovers = {r.layer: result.crossover_batch(r.layer) for r in result.rows}
+    # Steady-state layers cross between 32 and 128, around the paper's 64.
+    for name in ("GNMTs1", "GNMTs2", "BERTs3", "AlexNetL6"):
+        assert crossovers[name] and 32 <= crossovers[name] <= 128, name

@@ -1,0 +1,18 @@
+"""Figure 13: Newton's average power normalized to conventional DRAM.
+
+Paper anchors: ~2.8x mean; all-bank COMP phases burn ~4x peak-read power;
+Newton's 10x speedup at <3x power is the energy-efficiency argument.
+"""
+
+from repro.experiments import fig13_power
+
+
+def test_fig13_power(once):
+    result = once(fig13_power.run)
+    print()
+    print(result.render())
+    assert 2.2 <= result.mean_power <= 3.2
+    for row in result.rows:
+        assert 1.5 < row.normalized_power < 4.0
+        # Compute dominates the energy: the matrix never crosses the PHY.
+        assert row.report.compute_energy > row.report.transfer_energy

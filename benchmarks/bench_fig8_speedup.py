@@ -1,0 +1,20 @@
+"""Figure 8: Newton / Non-opt-Newton / Ideal Non-PIM speedups over the GPU.
+
+Paper anchors: 54x / 1.48x / 5.4x gmean (layers); Newton 10x over Ideal;
+end-to-end key-target mean 49x; AlexNet 1.2x.
+"""
+
+from repro.experiments import fig8_speedup
+
+
+def test_fig8_speedup(once):
+    result = once(fig8_speedup.run)
+    print()
+    print(result.render())
+    assert 40 <= result.gmean_newton <= 65
+    assert 1.2 <= result.gmean_non_opt <= 2.2
+    assert 4.5 <= result.gmean_ideal <= 7.0
+    assert 6.5 <= result.newton_over_ideal <= 11
+    assert 35 <= result.key_target_mean <= 60
+    alexnet = next(r for r in result.model_rows if r.name == "AlexNet")
+    assert 1.05 <= alexnet.newton <= 1.5

@@ -1,0 +1,19 @@
+"""Figure 9: isolating Newton's optimizations (the full ablation ladder).
+
+Paper anchors: 1.48x without optimizations; ganging is the largest jump;
+the complete design reaches 54x.
+"""
+
+from repro.experiments import fig9_ablation
+
+
+def test_fig9_ablation(once):
+    result = once(fig9_ablation.run)
+    print()
+    print(result.render())
+    assert result.monotonically_improves()
+    speeds = [r.gmean_speedup for r in result.rows]
+    jumps = [b / a for a, b in zip(speeds, speeds[1:])]
+    assert jumps[0] == max(jumps)  # gang yields the largest improvement
+    assert 1.2 <= speeds[0] <= 2.2
+    assert speeds[-1] >= 40

@@ -1,0 +1,17 @@
+"""Section III-C ablation: the rejected four-result-latch option.
+
+Paper anchor: the full-reuse design "performs virtually similarly" to the
+four-latch partial-reuse option, so the extra latches buy nothing; the
+plain no-reuse layout is clearly worse.
+"""
+
+from repro.experiments import latch_variant
+
+
+def test_latch_variant(once):
+    result = once(latch_variant.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.four_latch_ratio < 1.35
+        assert row.no_reuse > row.full_reuse

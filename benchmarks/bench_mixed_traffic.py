@@ -1,0 +1,17 @@
+"""Extension: AiM under interleaved ordinary DRAM traffic (Section III-D).
+
+Newton memory is still normal memory; this quantifies the compute
+slowdown as the host mixes in ordinary reads at tile boundaries.
+"""
+
+from repro.experiments import mixed_traffic_study
+
+
+def test_mixed_traffic(once):
+    result = once(mixed_traffic_study.run)
+    print()
+    print(result.render())
+    assert result.slowdown_monotone()
+    assert result.rows[0].slowdown == 1.0
+    # Even heavy mixing (4 reads/tile) must not dominate the AiM work.
+    assert result.rows[-1].slowdown < 2.0

@@ -1,0 +1,16 @@
+"""Section V-A: the III-F analytical model vs the simulator.
+
+Paper anchor: the model's prediction is within ~2% of simulation (the
+residual being refresh, which the model ignores).
+"""
+
+from repro.experiments import model_validation
+
+
+def test_model_validation(once):
+    result = once(model_validation.run)
+    print()
+    print(result.render())
+    for row in result.rows:
+        assert row.error < 0.08, row.layer
+    assert 9.0 <= result.predicted_gmean <= 11.0

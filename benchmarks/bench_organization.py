@@ -1,0 +1,19 @@
+"""Extension: adder-tree vs column-major utilization (Section III-B).
+
+Paper anchor: typical matrix heights (512+) exceed total banks (256-384)
+but not total lanes, so the tree's unfavourable case is the rarer one.
+"""
+
+from repro.experiments import organization_study
+
+
+def test_organization_study(once):
+    result = once(organization_study.run)
+    print()
+    print(result.render())
+    assert result.tree_always_at_least_as_good()
+    # The paper's design point: at 512 rows the tree is mostly utilized,
+    # column-major mostly idle.
+    row512 = next(r for r in result.rows if r.m == 512)
+    assert row512.tree > 0.5
+    assert row512.column_major < 0.15

@@ -1,0 +1,15 @@
+"""Extension: ECC scrub-by-reload overhead (Section III-E).
+
+Paper anchor: reloading the matrix once per ~1000 inputs is "a small
+bandwidth overhead" — it must stay under 1% for every Table II layer.
+"""
+
+from repro.experiments import scrub_overhead
+
+
+def test_scrub_overhead(once):
+    result = once(scrub_overhead.run)
+    print()
+    print(result.render())
+    assert result.worst_overhead < 0.01
+    assert len(result.rows) == 8

@@ -1,0 +1,25 @@
+"""Extension: timing-parameter sensitivity (DESIGN.md ablations).
+
+The command-gap sweep demonstrates the interface optimizations' purpose:
+Non-opt-Newton's runtime scales with the inter-command delay (command-
+bandwidth bound) while full Newton barely moves; the tFAW sweep is the
+continuous form of the aggressive-tFAW step; refresh costs ~tRFC/tREFI.
+"""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(once):
+    result = once(sensitivity.run)
+    print()
+    print(result.render())
+    assert result.full_design_insensitive_to_command_gap()
+    # Non-opt is command-bound: cycles ~ linear in the command gap.
+    gaps = result.series("t_cmd")
+    assert gaps[-1].non_opt_cycles > 3 * gaps[0].non_opt_cycles
+    # tFAW only binds the AiM activation stagger: monotone for Newton.
+    faws = result.series("t_faw_aim")
+    full = [r.full_cycles for r in faws]
+    assert all(b >= a for a, b in zip(full, full[1:]))
+    # Refresh costs about tRFC/tREFI of the run.
+    assert 0.05 < result.refresh_cost_fraction < 0.15

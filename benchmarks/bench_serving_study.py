@@ -1,0 +1,22 @@
+"""Extension: tail latency under load (the edge-serving argument).
+
+The ~60x service-time gap on DLRM becomes a ~60x sustainable-throughput
+gap at bounded p99 — the quantitative form of the paper's small-batch
+edge motivation.
+"""
+
+from repro.experiments import serving_study
+
+
+def test_serving_study(once):
+    result = once(serving_study.run)
+    print()
+    print(result.render())
+    assert result.service_ratio > 30
+    assert result.gpu_saturation_load() < 0.05
+    # Newton's p99 stays within ~12x its service time through 80% load.
+    heavy = result.rows[-1]
+    assert heavy.newton_load == 0.8
+    assert heavy.newton.p99 < 12 * result.newton_service
+    # The GPU saturates within the sweep.
+    assert any(row.gpu is None for row in result.rows)

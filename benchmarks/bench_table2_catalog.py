@@ -1,0 +1,37 @@
+"""Table II: the benchmark layers, with per-layer Newton cycle counts.
+
+Regenerates the catalog with the simulated single-input latency of each
+layer on the full Newton design — the raw numbers behind every figure.
+"""
+
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+
+def _run():
+    rows = []
+    for layer in TABLE_II_LAYERS:
+        cycles = common.newton_layer_cycles(layer, FULL)
+        rows.append(
+            (layer.name, f"{layer.m} x {layer.n}", f"{layer.n} x 1", cycles)
+        )
+    return rows
+
+
+def test_table2_catalog(once):
+    rows = once(_run)
+    print()
+    print(
+        render_table(
+            ["Workload", "Matrix", "Vector", "Newton cycles (24ch)"],
+            rows,
+            title="Table II benchmarks + simulated Newton latency",
+        )
+    )
+    assert len(rows) == 8
+    cycles = {name: c for name, _, _, c in rows}
+    # Bigger matrices take longer; DLRM is the smallest and fastest.
+    assert cycles["AlexNetL6"] == max(cycles.values())
+    assert cycles["DLRMs1"] == min(cycles.values())

@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at the full
+24-channel evaluation scale and prints the same rows/series the paper
+reports (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables). Each harness runs once per benchmark round — the interesting
+output is the experiment's result, the benchmark time is the simulator's
+cost to regenerate it.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

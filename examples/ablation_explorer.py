@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Ablation explorer: toggle any of Newton's optimizations (Figure 9+).
+
+Beyond the paper's fixed ladder, this explores the full 2^5 optimization
+space for one layer, showing how the interface optimizations compose —
+e.g. that complex commands barely matter until ganging has removed the
+16x command-bandwidth pressure, and that the interleaved layout's value
+depends on matrix shape.
+
+Run:  python examples/ablation_explorer.py [--layer BERTs1]
+"""
+
+import argparse
+import itertools
+
+from repro import NewtonDevice, OptimizationConfig, hbm2e_like_config, hbm2e_like_timing, titan_v_like
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS, layer_by_name
+
+FLAGS = (
+    "ganged_compute",
+    "complex_commands",
+    "interleaved_reuse",
+    "four_bank_activation",
+    "aggressive_tfaw",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--layer",
+        default="BERTs1",
+        choices=[l.name for l in TABLE_II_LAYERS],
+        help="Table II layer to ablate",
+    )
+    args = parser.parse_args()
+    layer = layer_by_name(args.layer)
+
+    config = hbm2e_like_config(num_channels=24)
+    timing = hbm2e_like_timing()
+    gpu_cycles = titan_v_like(config, timing).gemv_cycles(layer.m, layer.n)
+
+    rows = []
+    for bits in itertools.product((False, True), repeat=len(FLAGS)):
+        opt = OptimizationConfig(**dict(zip(FLAGS, bits)))
+        device = NewtonDevice(config, timing, opt, functional=False)
+        handle = device.load_matrix(m=layer.m, n=layer.n)
+        cycles = device.gemv(handle).cycles
+        tag = "".join("X" if b else "." for b in bits)
+        rows.append((tag, cycles, gpu_cycles / cycles))
+    rows.sort(key=lambda r: r[1], reverse=True)
+
+    print(
+        render_table(
+            ["gang/complex/reuse/4bank/tfaw", "cycles", "speedup vs GPU"],
+            rows,
+            title=f"All 32 optimization combinations on {layer.name}",
+        )
+    )
+    print()
+    best, worst = rows[-1], rows[0]
+    print(f"worst ({worst[0]}): {worst[2]:.2f}x;  best ({best[0]}): {best[2]:.2f}x")
+
+    # How much does `complex` matter with and without `gang`?
+    def cycles_for(**kwargs):
+        opt = OptimizationConfig(
+            **{f: kwargs.get(f, False) for f in FLAGS}
+        )
+        device = NewtonDevice(config, timing, opt, functional=False)
+        return device.gemv(device.load_matrix(m=layer.m, n=layer.n)).cycles
+
+    no_gang = cycles_for() / cycles_for(complex_commands=True)
+    with_gang = cycles_for(ganged_compute=True) / cycles_for(
+        ganged_compute=True, complex_commands=True
+    )
+    print(f"complex commands alone buy {no_gang:.2f}x without ganging, "
+          f"but {with_gang:.2f}x once ganging has freed the command bus")
+
+
+if __name__ == "__main__":
+    main()

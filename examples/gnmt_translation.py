@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""GNMT sequence decoding on Newton: real LSTM recurrence.
+
+Decodes a token sequence through the 8-layer GNMT LSTM stack: each
+layer's fused 4-gate matrix is one Newton GEMV and the host applies the
+actual LSTM cell update, with recurrent state carried across tokens —
+so hidden states evolve, saturate within [-1, 1], and depend on the
+whole prefix. Timing runs continuously across the sequence, so refresh
+interference accumulates exactly as on hardware.
+
+Run:  python examples/gnmt_translation.py [--tokens N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import NewtonDevice, hbm2e_like_config, hbm2e_like_timing, titan_v_like
+from repro.host.runtime import NewtonRuntime
+from repro.workloads.models import gnmt_model
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tokens", type=int, default=4, help="tokens to decode")
+    parser.add_argument(
+        "--functional",
+        action="store_true",
+        help="simulate data too (slower; uses a 2-channel device)",
+    )
+    args = parser.parse_args()
+
+    channels = 2 if args.functional else 24
+    config = hbm2e_like_config(num_channels=channels)
+    timing = hbm2e_like_timing()
+    device = NewtonDevice(config, timing, functional=args.functional)
+    runtime = NewtonRuntime(device, titan_v_like(config, timing))
+    spec = gnmt_model()
+    loaded = runtime.load_model(spec)
+
+    runs = runtime.run_sequence(loaded, steps=args.tokens)
+    per_token = [run.total_cycles for run in runs]
+    print(f"GNMT: {len(spec.layers)} LSTM layers x {args.tokens} tokens "
+          f"on {channels} channels")
+    for i, cycles in enumerate(per_token):
+        line = f"  token {i}: {cycles:>9,.0f} cycles"
+        if args.functional and runs[i].output is not None:
+            h = runs[i].output
+            line += (f"   |h|_inf = {np.max(np.abs(h)):.2e} "
+                     f"(bounded by the cell's tanh; random-init gating "
+                     f"contracts across the 8 layers)")
+        print(line)
+    total = sum(per_token)
+    print(f"  total: {total:,.0f} cycles ({total / 1e3:.1f} us at 1 GHz)")
+    if args.functional:
+        h_first, h_last = runs[0].output, runs[-1].output
+        drift = float(np.linalg.norm(h_last - h_first))
+        print(f"  hidden-state drift over the sequence: {drift:.2e} "
+              "(nonzero: the recurrence is live, not shape glue)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Newton: a DRAM-maker's Accelerator-in-Memory (AiM) for ML — reproduction.
+
+A full-system reproduction of the MICRO 2020 paper: a command-level
+cycle-accurate DRAM substrate, the Newton AiM datapath and command
+interface with every published optimization individually ablatable,
+bit-faithful bfloat16 numerics, the paper's baselines (Ideal Non-PIM, a
+Titan-V-like GPU, the Section III-F analytical model), the Table II
+workloads and end-to-end model graphs, and one experiment harness per
+evaluation figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import NewtonDevice, hbm2e_like_config
+
+    device = NewtonDevice(hbm2e_like_config(num_channels=2))
+    matrix = np.random.randn(256, 1024).astype(np.float32)
+    handle = device.load_matrix(matrix)
+    result = device.gemv(handle, np.random.randn(1024).astype(np.float32))
+    print(result.cycles, result.output[:4])
+"""
+
+from repro.core.device import MatrixHandle, NewtonDevice
+from repro.core.optimizations import FULL, NON_OPT, OptimizationConfig, figure9_ladder
+from repro.core.result import ChannelRunResult, GemvRunResult
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.baselines import AnalyticalModel, GpuModel, IdealNonPim, titan_v_like
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    LayoutError,
+    ProtocolError,
+    ReproError,
+    TimingViolationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NewtonDevice",
+    "MatrixHandle",
+    "OptimizationConfig",
+    "FULL",
+    "NON_OPT",
+    "figure9_ladder",
+    "GemvRunResult",
+    "ChannelRunResult",
+    "DRAMConfig",
+    "hbm2e_like_config",
+    "TimingParams",
+    "hbm2e_like_timing",
+    "AnalyticalModel",
+    "GpuModel",
+    "IdealNonPim",
+    "titan_v_like",
+    "ReproError",
+    "ConfigurationError",
+    "TimingViolationError",
+    "LayoutError",
+    "CapacityError",
+    "ProtocolError",
+    "__version__",
+]

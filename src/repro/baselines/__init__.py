@@ -1,0 +1,16 @@
+"""Comparison baselines: Ideal Non-PIM (analytic and simulated), a
+Titan-V-like GPU model, and the paper's Section III-F analytical model."""
+
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.baselines.streaming_sim import StreamingRunResult, StreamingSimulator
+
+__all__ = [
+    "AnalyticalModel",
+    "GpuModel",
+    "titan_v_like",
+    "IdealNonPim",
+    "StreamingSimulator",
+    "StreamingRunResult",
+]

@@ -1,0 +1,103 @@
+"""The paper's simple performance model (Section III-F).
+
+For one DRAM row processed across all ``n`` banks:
+
+* Ideal Non-PIM:  ``t = col * tCCD``  (retrieving the row hides all
+  activation and tFAW delays in other banks), and
+* Newton:  ``t = max(tRRD, tFAW) * (n/4 - 1) + tACT + col * tCCD``
+  (four-bank ganged activations staggered by the tFAW window, the last
+  activation exposed, then rate-matched column accesses).
+
+Newton's speedup over Ideal Non-PIM is then ``n / (o + 1)`` with
+``o = (max(tRRD, tFAW) * (n/4 - 1) + tACT) / (col * tCCD)`` — the ratio
+of activation overhead to data-retrieval time.
+
+``tACT`` is the per-tile row-turnaround cost. The paper's simulator has
+no row double-buffering, so between consecutive tiles a bank must both
+precharge and re-activate; we therefore take ``tACT = tRCD + tRP``,
+which is what the measured steady state exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AnalyticalModel:
+    """Closed-form Newton / Ideal Non-PIM timing (Section III-F)."""
+
+    config: DRAMConfig
+    timing: TimingParams
+    aggressive_tfaw: bool = True
+
+    @property
+    def t_act(self) -> int:
+        """Exposed per-tile activation turnaround (tRCD + tRP)."""
+        return self.timing.t_rcd + self.timing.t_rp
+
+    def activation_overhead(self, banks: int = 0) -> int:
+        """``max(tRRD, tFAW) * (n/4 - 1) + tACT`` for ``n`` banks."""
+        n = banks or self.config.banks_per_channel
+        if n <= 0 or n % self.config.bank_group_size != 0:
+            raise ConfigurationError(
+                f"bank count {n} must be a positive multiple of the group size"
+            )
+        t = self.timing
+        faw = t.faw_window(self.aggressive_tfaw)
+        groups = n // self.config.bank_group_size
+        return max(t.t_rrd, faw) * (groups - 1) + self.t_act
+
+    def t_ideal_non_pim_row(self) -> int:
+        """Ideal Non-PIM's effective time for one DRAM row: col * tCCD."""
+        return self.config.cols_per_row * self.timing.t_ccd
+
+    def t_newton_row(self, banks: int = 0) -> int:
+        """Newton's time to process one DRAM row in all banks."""
+        return self.activation_overhead(banks) + self.t_ideal_non_pim_row()
+
+    def overhead_ratio(self, banks: int = 0) -> float:
+        """``o``: activation overhead over data-retrieval time."""
+        return self.activation_overhead(banks) / self.t_ideal_non_pim_row()
+
+    def predicted_speedup(self, banks: int = 0) -> float:
+        """Newton over Ideal Non-PIM: ``n / (o + 1)``."""
+        n = banks or self.config.banks_per_channel
+        return n / (self.overhead_ratio(banks) + 1.0)
+
+    # ------------------------------------------------------------------
+    # whole-layer extension
+
+    def predicted_layer_cycles(self, m: int, n: int, channels: int = 1) -> float:
+        """Whole-layer extension of the per-row model.
+
+        The Section III-F formula describes one steady-state DRAM row;
+        a full layer additionally pays the global-buffer loading (one
+        GWRITE command slot per sub-chunk, once per chunk — amortized
+        over the chunk's tiles) and per-channel row partitioning with
+        zero-padded tiles. The simulator also models READRES (hidden
+        under the next tile's activations in steady state) and refresh
+        (excluded here, as in the paper's model).
+        """
+        if m <= 0 or n <= 0:
+            raise ConfigurationError("dimensions must be positive")
+        if channels <= 0:
+            raise ConfigurationError("channels must be positive")
+        cfg = self.config
+        t = self.timing
+        m_channel = -(-m // channels)  # the critical (largest) slice
+        tiles = -(-m_channel // cfg.banks_per_channel)
+        total = 0.0
+        remaining = n
+        while remaining > 0:
+            chunk_elems = min(remaining, cfg.elems_per_row)
+            cols = -(-chunk_elems // cfg.elems_per_col)
+            gwrite = cols * t.t_cmd
+            tile_time = self.activation_overhead() + cols * t.t_ccd
+            total += gwrite + tiles * tile_time
+            remaining -= chunk_elems
+        return total

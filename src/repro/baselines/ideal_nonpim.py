@@ -1,0 +1,71 @@
+"""Ideal Non-PIM: the upper bound on any non-PIM architecture.
+
+Section IV: "Ideal Non-PIM assumes infinite compute bandwidth and is
+limited only by the DRAM's external bandwidth. Thus its execution time is
+modeled as the time to transfer DRAM data to the host." Input and output
+vectors are assumed held on the compute chip. With k-way batching the
+matrix is transferred once per batch (perfect caching), so per-input time
+falls as 1/k — the Figure 11 crossover.
+
+Refresh still steals external bandwidth; because Ideal Non-PIM runs
+longer than Newton per unit of data, it sees proportionally more
+refresh interruptions (the effect the paper notes makes its model's
+prediction slightly conservative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IdealNonPim:
+    """Bandwidth-bound execution-time model."""
+
+    config: DRAMConfig
+    timing: TimingParams
+    refresh_enabled: bool = True
+
+    def bytes_per_cycle(self) -> float:
+        """Aggregate external bandwidth: every channel streams one column
+        I/O per tCCD."""
+        return (
+            self.config.num_channels
+            * self.config.col_io_bytes
+            / self.timing.t_ccd
+        )
+
+    def refresh_derate(self) -> float:
+        """Time inflation from refresh stealing the channel."""
+        if not self.refresh_enabled:
+            return 1.0
+        t = self.timing
+        return t.t_refi / (t.t_refi - t.t_rfc)
+
+    def gemv_cycles(self, m: int, n: int, batch: int = 1) -> float:
+        """Cycles for a k-way batched matrix-vector product.
+
+        The matrix crosses the external interface once per batch; the
+        (small) input/output vectors are free, per the paper's
+        conservative assumptions.
+        """
+        if m <= 0 or n <= 0:
+            raise ConfigurationError("dimensions must be positive")
+        if batch <= 0:
+            raise ConfigurationError("batch must be positive")
+        matrix_bytes = 2 * m * n
+        return matrix_bytes / self.bytes_per_cycle() * self.refresh_derate()
+
+    def gemv_cycles_per_input(self, m: int, n: int, batch: int = 1) -> float:
+        """Per-input cycles at a given batch size."""
+        return self.gemv_cycles(m, n, batch) / batch
+
+    def model_cycles(self, fc_bytes: int) -> float:
+        """Cycles to stream a model's total FC footprint once."""
+        if fc_bytes <= 0:
+            raise ConfigurationError("fc_bytes must be positive")
+        return fc_bytes / self.bytes_per_cycle() * self.refresh_derate()

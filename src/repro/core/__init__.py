@@ -1,0 +1,52 @@
+"""Newton's core: the paper's primary contribution.
+
+Layers the AiM datapath (global input-vector buffer, per-bank MAC arrays
+with adder trees and result latches), the interleaved matrix layout, the
+Table I command generator, and the execution engine on top of the
+:mod:`repro.dram` substrate.
+"""
+
+from repro.core.optimizations import (
+    OptimizationConfig,
+    FULL,
+    NON_OPT,
+    figure9_ladder,
+)
+from repro.core.layout import (
+    InterleavedLayout,
+    NoReuseLayout,
+    make_layout,
+    partition_rows,
+)
+from repro.core.global_buffer import GlobalBuffer
+from repro.core.mac_unit import BankMacUnit, tile_compute
+from repro.core.command_gen import CommandStreamGenerator, Step
+from repro.core.engine import NewtonChannelEngine
+from repro.core.device import NewtonDevice
+from repro.core.result import ChannelRunResult, GemvRunResult
+from repro.core.organization import MacOrganization, OrganizationModel
+from repro.core.scrub import MatrixScrubber, ScrubPolicy
+
+__all__ = [
+    "OptimizationConfig",
+    "FULL",
+    "NON_OPT",
+    "figure9_ladder",
+    "InterleavedLayout",
+    "NoReuseLayout",
+    "make_layout",
+    "partition_rows",
+    "GlobalBuffer",
+    "BankMacUnit",
+    "tile_compute",
+    "CommandStreamGenerator",
+    "Step",
+    "NewtonChannelEngine",
+    "NewtonDevice",
+    "ChannelRunResult",
+    "GemvRunResult",
+    "MacOrganization",
+    "OrganizationModel",
+    "MatrixScrubber",
+    "ScrubPolicy",
+]

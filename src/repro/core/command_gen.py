@@ -1,0 +1,295 @@
+"""Lowering Algorithm 1's tiled matrix-vector product to command streams.
+
+For the full Newton design the stream per chunk is (Figure 7):
+
+* 32 ``GWRITE`` commands load the input chunk into the global buffer;
+* per tile: a refresh barrier, four ``G_ACT`` commands (one per four-bank
+  cluster), 32 ganged ``COMP`` commands (sub-chunk = column index, the
+  last with auto-precharge), and one ``READRES``.
+
+Each disabled optimization swaps in its de-optimized encoding:
+
+* no ``four_bank_activation`` → one ``ACT`` per bank (staggered, under
+  the standard four-activation window);
+* no ``ganged_compute`` → per-bank compute and per-bank result reads;
+* no ``complex_commands`` → every compute becomes the three-step
+  ``BUF_READ`` + ``COL_READ`` + ``MAC`` micro-command sequence;
+* no ``interleaved_reuse`` → the row-major (Newton-no-reuse) traversal:
+  the result latch accumulates an entire matrix row across chunks (low
+  output traffic) but the input chunk is re-fetched for every pass of
+  matrix rows (the traffic explosion Section III-C describes), and the
+  activation function is applied by the in-DRAM lookup table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.dram import commands as cmds
+from repro.dram.commands import Command
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.core.layout import InterleavedLayout, Layout, NoReuseLayout
+from repro.core.optimizations import OptimizationConfig
+from repro.errors import ConfigurationError
+
+ACTIVATION_WINDOW_SIZE = 4
+"""The JEDEC four-activation window width (used by duration estimates)."""
+
+
+@dataclass(frozen=True)
+class TileComputeOp:
+    """Fire the vectorized tile evaluation after this command issues."""
+
+    chunk: int
+    dram_row: int
+    latch: int = 0
+
+
+@dataclass(frozen=True)
+class EmitOp:
+    """Read result latches out to the host after this command issues.
+
+    ``chunk`` is the chunk the partials belong to for the interleaved
+    traversal, or ``None`` when the latch already accumulated the whole
+    matrix row (the no-reuse traversal, where the in-DRAM LUT applies
+    the activation before readout).
+    """
+
+    latch: int
+    chunk: Optional[int]
+    matrix_rows: np.ndarray = field(hash=False)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One element of a lowered command stream."""
+
+    command: Optional[Command] = None
+    barrier_cycles: int = 0
+    """If positive: a refresh barrier covering a row operation this long."""
+    new_chunk: Optional[int] = None
+    """If set: the global buffer is being repurposed for this chunk."""
+    load: Optional[Tuple[int, int]] = None
+    """(chunk, subchunk) loaded by an accompanying GWRITE."""
+    compute: Optional[TileComputeOp] = None
+    emit: Optional[EmitOp] = None
+    latch: int = 0
+    """Result latch the tile's compute commands accumulate into (only
+    meaningful on compute steps; the row-major multi-latch variant uses
+    indices above zero)."""
+
+
+class CommandStreamGenerator:
+    """Generates the command stream for one channel's GEMV slice."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        timing: TimingParams,
+        opt: OptimizationConfig,
+        layout: Layout,
+    ):
+        if opt.interleaved_reuse and not isinstance(layout, InterleavedLayout):
+            raise ConfigurationError("interleaved_reuse requires an InterleavedLayout")
+        if not opt.interleaved_reuse and not isinstance(layout, NoReuseLayout):
+            raise ConfigurationError("the no-reuse traversal requires a NoReuseLayout")
+        self.config = config
+        self.timing = timing
+        self.opt = opt
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    # duration estimates (for the refresh barrier)
+
+    def activation_phase_estimate(self) -> int:
+        """Worst-case cycles from first activation command to row-open."""
+        t = self.timing
+        banks = self.config.banks_per_channel
+        group = self.config.bank_group_size
+        faw = t.faw_window(self.opt.aggressive_tfaw)
+        if self.opt.four_bank_activation:
+            groups = banks // group
+            stagger = (groups - 1) * max(faw, t.t_rrd, t.t_cmd)
+        else:
+            windows = (
+                banks // ACTIVATION_WINDOW_SIZE - 1
+                if banks >= ACTIVATION_WINDOW_SIZE
+                else 0
+            )
+            stagger = max((banks - 1) * max(t.t_rrd, t.t_cmd), windows * faw)
+        return stagger + t.t_rcd
+
+    def compute_commands_per_tile(self) -> int:
+        """Command-bus slots one tile's compute phase occupies."""
+        cols = self.config.cols_per_row
+        per_compute = 1 if self.opt.complex_commands else 3
+        per_col = 1 if self.opt.ganged_compute else self.config.banks_per_channel
+        return cols * per_compute * per_col
+
+    def tile_duration_estimate(self) -> int:
+        """Conservative bound on one tile's row-open duration.
+
+        Used as the refresh barrier's window: an *under*estimate would
+        let a refresh mature inside the row operation (the hazard
+        Section III-E's rule exists to prevent), so the bound covers
+        both the data-bound and command-bound regimes — in the
+        de-optimized designs the activation and result-read commands
+        also occupy command-bus slots serially — plus a small margin.
+        """
+        t = self.timing
+        banks = self.config.banks_per_channel
+        act_cmds = (
+            self.config.bank_groups if self.opt.four_bank_activation else banks
+        )
+        readres_cmds = 1 if self.opt.ganged_compute else banks
+        total_cmds = act_cmds + self.compute_commands_per_tile() + readres_cmds
+        busy = max(self.config.cols_per_row * t.t_ccd, total_cmds * t.t_cmd)
+        readout = t.t_aa + t.t_tree_drain + t.t_ccd
+        margin = 4 * banks
+        return (
+            self.activation_phase_estimate() + busy + t.t_rp + readout + margin
+        )
+
+    # ------------------------------------------------------------------
+    # stream pieces
+
+    def _activation_steps(self, dram_row: int) -> Iterator[Step]:
+        if self.opt.four_bank_activation:
+            for group in range(self.config.bank_groups):
+                yield Step(command=cmds.g_act(group, dram_row))
+        else:
+            for bank in range(self.config.banks_per_channel):
+                yield Step(command=cmds.act(bank, dram_row))
+
+    def _compute_steps(
+        self, chunk: int, dram_row: int, latch: int, cols: int
+    ) -> Iterator[Step]:
+        """The compute phase of one tile; the tile evaluation fires on the
+        final command so the buffer/rows are guaranteed loaded."""
+        banks = self.config.banks_per_channel
+        tile_op = TileComputeOp(chunk=chunk, dram_row=dram_row, latch=latch)
+        gang = self.opt.ganged_compute
+        fused = self.opt.complex_commands
+        if gang and fused:
+            for col in range(cols):
+                last = col == cols - 1
+                yield Step(
+                    command=cmds.comp(col, col, auto_precharge=last),
+                    compute=tile_op if last else None,
+                    latch=latch,
+                )
+        elif gang and not fused:
+            for col in range(cols):
+                last = col == cols - 1
+                yield Step(command=cmds.buf_read(col), latch=latch)
+                yield Step(
+                    command=cmds.col_read_all(col, auto_precharge=last), latch=latch
+                )
+                yield Step(
+                    command=cmds.mac_all(),
+                    compute=tile_op if last else None,
+                    latch=latch,
+                )
+        elif not gang and fused:
+            for bank in range(banks):
+                last_bank = bank == banks - 1
+                for col in range(cols):
+                    last = last_bank and col == cols - 1
+                    yield Step(
+                        command=cmds.comp_bank(
+                            bank, col, col, auto_precharge=col == cols - 1
+                        ),
+                        compute=tile_op if last else None,
+                        latch=latch,
+                    )
+        else:
+            for bank in range(banks):
+                last_bank = bank == banks - 1
+                for col in range(cols):
+                    last = last_bank and col == cols - 1
+                    yield Step(command=cmds.buf_read(col), latch=latch)
+                    yield Step(
+                        command=Command(
+                            cmds.CommandKind.COL_READ,
+                            bank=bank,
+                            col=col,
+                            auto_precharge=col == cols - 1,
+                        ),
+                        latch=latch,
+                    )
+                    yield Step(
+                        command=cmds.mac(bank),
+                        compute=tile_op if last else None,
+                        latch=latch,
+                    )
+
+    def _readres_steps(self, emit: EmitOp) -> Iterator[Step]:
+        if self.opt.ganged_compute:
+            yield Step(command=cmds.readres(), emit=emit)
+        else:
+            banks = self.config.banks_per_channel
+            for bank in range(banks):
+                yield Step(
+                    command=cmds.readres_bank(bank),
+                    emit=emit if bank == banks - 1 else None,
+                )
+
+    def _gwrite_steps(self, chunk: int) -> Iterator[Step]:
+        yield Step(new_chunk=chunk)
+        for sub in range(self.layout.cols_in_chunk(chunk)):
+            yield Step(command=cmds.gwrite(sub), load=(chunk, sub))
+
+    # ------------------------------------------------------------------
+    # full streams
+
+    def gemv_steps(self) -> Iterator[Step]:
+        """The full command stream for one matrix-vector product."""
+        if self.opt.interleaved_reuse:
+            yield from self._interleaved_stream()
+        else:
+            yield from self._no_reuse_stream()
+
+    def _interleaved_stream(self) -> Iterator[Step]:
+        layout = self.layout
+        assert isinstance(layout, InterleavedLayout)
+        tile_est = self.tile_duration_estimate()
+        for chunk in range(layout.num_chunks):
+            yield from self._gwrite_steps(chunk)
+            for tile in range(layout.tiles):
+                dram_row = layout.dram_row(chunk, tile)
+                yield Step(barrier_cycles=tile_est)
+                yield from self._activation_steps(dram_row)
+                yield from self._compute_steps(
+                    chunk, dram_row, latch=0, cols=layout.cols_in_chunk(chunk)
+                )
+                emit = EmitOp(
+                    latch=0, chunk=chunk, matrix_rows=layout.tile_matrix_rows(tile)
+                )
+                yield from self._readres_steps(emit)
+
+    def _no_reuse_stream(self) -> Iterator[Step]:
+        layout = self.layout
+        assert isinstance(layout, NoReuseLayout)
+        tile_est = self.tile_duration_estimate()
+        for pass_index in range(layout.passes):
+            slots = list(layout.pass_slots(pass_index))
+            for chunk in range(layout.num_chunks):
+                # The input chunk must be re-fetched every pass: this is
+                # the traffic the interleaved layout eliminates.
+                yield from self._gwrite_steps(chunk)
+                for latch, slot in enumerate(slots):
+                    dram_row = layout.dram_row(slot, chunk)
+                    yield Step(barrier_cycles=tile_est)
+                    yield from self._activation_steps(dram_row)
+                    yield from self._compute_steps(
+                        chunk, dram_row, latch=latch, cols=layout.cols_in_chunk(chunk)
+                    )
+            for latch, slot in enumerate(slots):
+                emit = EmitOp(
+                    latch=latch, chunk=None, matrix_rows=layout.slot_matrix_rows(slot)
+                )
+                yield from self._readres_steps(emit)

@@ -1,0 +1,213 @@
+"""The multi-channel Newton accelerator: the library's main entry point.
+
+With multiple (pseudo) channels, "Newton's per-channel operation and
+timing are simply repeated in parallel across the channels" (Section
+III-D): the matrix's rows are spread across channels, every channel
+receives the full input vector into its own global buffer, and the
+device's wall clock is the slowest channel.
+
+Two modes:
+
+* **functional** (default): every channel is simulated, data and timing;
+  ``gemv`` returns the bit-faithful bfloat16/fp32 output.
+* **timing-only** (``functional=False``): only channel 0 is simulated.
+  ``partition_rows`` always hands the largest (cumulative) slice to
+  channel 0 and refresh is identical across channels, so channel 0 is
+  the critical path and its cycle count is the device's wall clock.
+  This keeps 24-channel benchmark sweeps fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import NewtonChannelEngine
+from repro.core.layout import Layout, partition_rows
+from repro.core.optimizations import FULL, OptimizationConfig
+from repro.core.result import ChannelRunResult, GemvRunResult
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.power import PowerParams, PowerReport
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import LayoutError, ProtocolError
+from repro.numerics.lut import ActivationLUT
+
+
+@dataclass
+class MatrixHandle:
+    """A matrix resident in the device (one layout per channel)."""
+
+    m: int
+    n: int
+    placements: List[Tuple[int, Tuple[int, int], Layout]] = field(default_factory=list)
+    """(channel index, (row_lo, row_hi), layout) per participating channel."""
+
+
+class NewtonDevice:
+    """A Newton accelerator-in-memory device."""
+
+    def __init__(
+        self,
+        config: Optional[DRAMConfig] = None,
+        timing: Optional[TimingParams] = None,
+        opt: OptimizationConfig = FULL,
+        *,
+        functional: bool = True,
+        refresh_enabled: bool = True,
+        power_params: PowerParams = PowerParams(),
+        lut_activation: Optional[str] = None,
+    ):
+        self.config = config if config is not None else hbm2e_like_config()
+        self.timing = timing if timing is not None else hbm2e_like_timing()
+        self.opt = opt
+        self.functional = functional
+        lut = (
+            ActivationLUT(lut_activation)
+            if (lut_activation is not None and not opt.interleaved_reuse)
+            else None
+        )
+        active_channels = self.config.num_channels if functional else 1
+        self.engines: List[NewtonChannelEngine] = [
+            NewtonChannelEngine(
+                self.config,
+                self.timing,
+                opt,
+                channel_index=ch,
+                functional=functional,
+                refresh_enabled=refresh_enabled,
+                power_params=power_params,
+                lut=lut,
+            )
+            for ch in range(active_channels)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def load_matrix(
+        self,
+        matrix: Optional[np.ndarray] = None,
+        *,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+    ) -> MatrixHandle:
+        """Make a matrix resident, spread row-wise across the channels.
+
+        Pass the array itself in functional mode, or just ``m``/``n`` in
+        timing-only mode. Loading is not timed (the matrix lives in the
+        AiM for the model's lifetime).
+        """
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.float32)
+            if matrix.ndim != 2:
+                raise LayoutError(f"matrix must be 2-D, got shape {matrix.shape}")
+            m, n = matrix.shape
+        if m is None or n is None:
+            raise LayoutError("provide a matrix, or both m and n")
+        if matrix is None and self.functional:
+            raise ProtocolError(
+                "functional mode needs the matrix data; pass functional=False "
+                "for timing-only shape runs"
+            )
+        slices = partition_rows(m, self.config.num_channels)
+        handle = MatrixHandle(m=m, n=n)
+        for channel, (lo, hi) in enumerate(slices):
+            if hi == lo:
+                continue
+            if channel >= len(self.engines):
+                break  # timing-only: channel 0 is the critical path
+            layout = self.engines[channel].add_matrix(
+                hi - lo, n, matrix[lo:hi] if matrix is not None else None
+            )
+            handle.placements.append((channel, (lo, hi), layout))
+        return handle
+
+    def gemv(self, handle: MatrixHandle, vector: Optional[np.ndarray] = None) -> GemvRunResult:
+        """One matrix-vector product; channels execute in parallel."""
+        if not handle.placements:
+            raise ProtocolError("the matrix handle has no placements")
+        channel_results: List[ChannelRunResult] = []
+        output = np.zeros(handle.m, dtype=np.float32) if self.functional else None
+        for channel, (lo, hi), layout in handle.placements:
+            result = self.engines[channel].run_gemv(layout, vector)
+            result.row_slice = (lo, hi)
+            channel_results.append(result)
+            if output is not None and result.output is not None:
+                output[lo:hi] = result.output
+        start = min(r.start_cycle for r in channel_results)
+        end = max(r.end_cycle for r in channel_results)
+        return GemvRunResult(
+            cycles=end - start, channel_results=channel_results, output=output
+        )
+
+    def gemm(
+        self, handle: MatrixHandle, matrix_b: np.ndarray
+    ) -> "tuple[np.ndarray, int]":
+        """Matrix-matrix product ``A @ B`` via sequential GEMVs.
+
+        Newton has no batch reuse: each of B's columns is an independent
+        matrix-vector product, so ``cycles`` is the sum (the Section V-D
+        flat-batch behaviour). Returns the (m, k) fp32 product and the
+        total cycles.
+        """
+        if not self.functional:
+            raise ProtocolError("gemm needs a functional device")
+        matrix_b = np.asarray(matrix_b, dtype=np.float32)
+        if matrix_b.ndim != 2 or matrix_b.shape[0] != handle.n:
+            raise LayoutError(
+                f"B of shape {matrix_b.shape}; expected ({handle.n}, k)"
+            )
+        columns = []
+        cycles = 0
+        for j in range(matrix_b.shape[1]):
+            run = self.gemv(handle, matrix_b[:, j])
+            columns.append(run.output)
+            cycles += run.cycles
+        return np.stack(columns, axis=1), cycles
+
+    def gemv_batch(
+        self,
+        handle: MatrixHandle,
+        vectors: Optional[np.ndarray] = None,
+        *,
+        batch: Optional[int] = None,
+    ) -> List[GemvRunResult]:
+        """A batch of matrix-vector products, run back to back.
+
+        Newton cannot exploit batch reuse (Section V-D): the command
+        stream for k inputs is the concatenation of k single-input
+        streams, so per-input latency is constant by construction.
+        """
+        if vectors is not None:
+            vectors = np.asarray(vectors, dtype=np.float32)
+            if vectors.ndim == 1:
+                vectors = vectors[None, :]
+            runs = [self.gemv(handle, vectors[i]) for i in range(vectors.shape[0])]
+        elif batch is not None:
+            if batch <= 0:
+                raise ProtocolError("batch must be positive")
+            runs = [self.gemv(handle) for _ in range(batch)]
+        else:
+            raise ProtocolError("provide vectors or a batch size")
+        return runs
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The device clock (slowest channel's controller time)."""
+        return max(e.channel.controller.now for e in self.engines)
+
+    def power_report(self) -> PowerReport:
+        """Per-channel normalized power over everything run so far.
+
+        Channels are statistically identical (slices differ by at most
+        one row group), so channel 0's report is the device's
+        per-channel average power — the quantity Figure 13 plots.
+        """
+        return self.engines[0].power_report()
+
+    def conventional_dram_power(self) -> float:
+        """The Figure 13 normalization denominator."""
+        return self.engines[0].channel.power_model.conventional_streaming_power()

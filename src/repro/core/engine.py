@@ -1,0 +1,215 @@
+"""The per-channel execution engine: timing + functional, together.
+
+The engine walks a :class:`~repro.core.command_gen.Step` stream, issuing
+every command to the cycle-accurate controller and — in functional mode —
+mirroring the datapath's state: GWRITE loads the global buffer, the final
+compute command of a tile fires the vectorized tile evaluation (bit-exact
+with the per-command MAC path), and READRES drains result latches into
+fp32 host-side partial accumulation.
+
+A single engine persists across runs: successive layers (or batch inputs)
+execute back-to-back on the same controller clock, so refresh interference
+accumulates across an end-to-end model exactly as it would on hardware —
+the effect behind DLRM's end-to-end vs single-layer gap in Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.command_gen import CommandStreamGenerator, Step
+from repro.core.global_buffer import GlobalBuffer
+from repro.core.layout import Layout, make_layout
+from repro.core.mac_unit import tile_compute
+from repro.core.optimizations import OptimizationConfig
+from repro.core.result import ChannelRunResult, stats_delta, stats_snapshot
+from repro.dram.channel import Channel
+from repro.dram.config import DRAMConfig
+from repro.dram.power import PowerParams, PowerReport
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+from repro.numerics.bfloat16 import bf16_bits_to_float
+from repro.numerics.lut import ActivationLUT
+
+
+class NewtonChannelEngine:
+    """Executes GEMV command streams on one Newton channel."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        timing: TimingParams,
+        opt: OptimizationConfig,
+        *,
+        channel_index: int = 0,
+        functional: bool = True,
+        refresh_enabled: bool = True,
+        power_params: PowerParams = PowerParams(),
+        lut: Optional[ActivationLUT] = None,
+    ):
+        self.config = config
+        self.timing = timing
+        self.opt = opt
+        self.channel_index = channel_index
+        self.functional = functional
+        self.lut = lut
+        self.channel = Channel(
+            config,
+            timing,
+            aggressive_tfaw=opt.aggressive_tfaw,
+            refresh_enabled=refresh_enabled,
+            power_params=power_params,
+        )
+        self.buffer = GlobalBuffer(config)
+        self._latches = np.zeros(
+            (config.banks_per_channel, opt.result_latches), dtype=np.float32
+        )
+        self._next_free_row = 0
+        self._row_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # matrix residency
+
+    def add_matrix(self, m: int, n: int, matrix: Optional[np.ndarray] = None) -> Layout:
+        """Allocate DRAM rows for an ``m x n`` matrix and (optionally) load it.
+
+        The load itself is not timed: the filter matrix is resident in
+        the AiM for the model's lifetime (the paper re-loads it only for
+        ECC scrubbing, about once per thousand inputs).
+        """
+        layout = make_layout(
+            self.config,
+            m,
+            n,
+            interleaved=self.opt.interleaved_reuse,
+            base_row=self._next_free_row,
+            latches_per_bank=self.opt.result_latches,
+        )
+        self._next_free_row += layout.rows_per_bank_used
+        if self.functional and matrix is not None:
+            for bank, row, bits in layout.place(matrix):
+                self.channel.storage[bank].write_row(row, bits)
+        return layout
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def _tile_matrix(self, dram_row: int) -> np.ndarray:
+        """All banks' open-row data as float32 on the bfloat16 grid."""
+        if self._row_cache is not None and self._row_cache[0] == dram_row:
+            return self._row_cache[1]
+        rows = np.stack(
+            [
+                bf16_bits_to_float(storage.row_array(dram_row))
+                for storage in self.channel.storage
+            ]
+        )
+        self._row_cache = (dram_row, rows)
+        return rows
+
+    def _handle_functional(
+        self, step: Step, padded_vector: np.ndarray, layout: Layout
+    ) -> Optional[tuple]:
+        if step.new_chunk is not None:
+            self.buffer.invalidate()
+        if step.load is not None:
+            chunk, sub = step.load
+            k = self.config.elems_per_col
+            data = padded_vector[
+                chunk * self.config.elems_per_row + sub * k :
+                chunk * self.config.elems_per_row + (sub + 1) * k
+            ]
+            self.buffer.load_subchunk(sub, data)
+        if step.compute is not None:
+            op = step.compute
+            matrix_rows = self._tile_matrix(op.dram_row)
+            self._latches[:, op.latch] = tile_compute(
+                matrix_rows,
+                self.buffer.chunk(layout.cols_in_chunk(op.chunk)),
+                self._latches[:, op.latch],
+                self.config.mults_per_bank,
+            )
+        if step.emit is not None:
+            emit = step.emit
+            values = self._latches[:, emit.latch].copy()
+            self._latches[:, emit.latch] = 0.0
+            if emit.chunk is None and self.lut is not None:
+                values = self.lut.apply(values)
+            return (emit.matrix_rows, values)
+        return None
+
+    def run_gemv(
+        self,
+        layout: Layout,
+        vector: Optional[np.ndarray] = None,
+        background=None,
+    ) -> ChannelRunResult:
+        """Execute one matrix-vector product on this channel's slice.
+
+        Args:
+            layout: the resident matrix's layout (from :meth:`add_matrix`).
+            vector: the input vector (functional mode).
+            background: optional non-AiM traffic source with a
+                ``commands_for_boundary(index, now) -> list[Command]``
+                method (and optionally ``record_completion``);
+                its commands are interleaved at tile boundaries, where
+                every bank is precharged — honouring Section III-D's rule
+                that non-AiM commands access a different row and never
+                interfere with in-flight AiM row operations.
+        """
+        controller = self.channel.controller
+        generator = CommandStreamGenerator(self.config, self.timing, self.opt, layout)
+        if self.functional:
+            if vector is None:
+                raise ProtocolError("functional mode requires an input vector")
+            padded = layout.pad_vector(vector)
+        else:
+            padded = np.zeros(0, dtype=np.float32)
+        self._row_cache = None
+
+        before = stats_snapshot(controller.stats)
+        start = controller.now
+        end = start
+        output = (
+            np.zeros(layout.m, dtype=np.float32) if self.functional else None
+        )
+        boundary = 0
+        for step in generator.gemv_steps():
+            if step.barrier_cycles:
+                if background is not None:
+                    for command in background.commands_for_boundary(
+                        boundary, controller.now
+                    ):
+                        record = controller.issue(command)
+                        end = max(end, record.complete)
+                        notify = getattr(background, "record_completion", None)
+                        if notify is not None:
+                            notify(command, record)
+                boundary += 1
+                controller.refresh_barrier(step.barrier_cycles)
+                continue
+            if step.command is not None:
+                record = controller.issue(step.command)
+                end = max(end, record.complete)
+            if self.functional:
+                emitted = self._handle_functional(step, padded, layout)
+                if emitted is not None and output is not None:
+                    rows, values = emitted
+                    mask = rows >= 0
+                    # fp32 host-side reduction of per-chunk partials.
+                    np.add.at(output, rows[mask], values[mask])
+        after = stats_snapshot(controller.stats)
+        return ChannelRunResult(
+            channel_index=self.channel_index,
+            row_slice=(0, layout.m),
+            start_cycle=start,
+            end_cycle=end,
+            stats=stats_delta(before, after),
+            output=output,
+        )
+
+    def power_report(self) -> PowerReport:
+        """Normalized power breakdown over everything run so far."""
+        return self.channel.power_report()

@@ -1,0 +1,118 @@
+"""Newton's ablatable optimizations (Figure 9).
+
+Figure 9 adds the optimizations progressively over the non-optimized
+design: (1) all-bank ganged compute commands, (2) complex multi-step
+compute commands, (3) reuse via tiling and the interleaved layout,
+(4) four-bank ganged activations, and (5) aggressive tFAW — which
+together constitute the full Newton design.
+
+``result_latches`` covers the Section III-C in-between option (four
+result latches per bank, partial input reuse) that the paper evaluates
+and rejects; it only applies to the row-major (no-reuse) traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which of Newton's interface/layout optimizations are enabled."""
+
+    ganged_compute: bool = True
+    """One COMP command drives all banks (16x command-bandwidth saving)."""
+
+    complex_commands: bool = True
+    """Buffer-read + column-access + MAC fused into one command (3x)."""
+
+    interleaved_reuse: bool = True
+    """Chunk-interleaved DRAM-row-wide layout with column-major tile
+    traversal for full input reuse (Figure 3); when disabled, the
+    Newton-no-reuse row-major layout is used."""
+
+    four_bank_activation: bool = True
+    """G_ACT activates a four-bank cluster per command."""
+
+    aggressive_tfaw: bool = False
+    """Use the reduced tFAW enabled by stronger internal voltage
+    generators (Section III-D / Figure 6)."""
+
+    result_latches: int = 1
+    """Result latches per bank. The full-reuse design needs exactly one;
+    the Section III-C partial-reuse variant uses four with the row-major
+    traversal."""
+
+    def __post_init__(self) -> None:
+        if self.result_latches < 1:
+            raise ConfigurationError("at least one result latch per bank is required")
+        if self.interleaved_reuse and self.result_latches != 1:
+            raise ConfigurationError(
+                "the interleaved full-reuse design uses a single result "
+                "latch; multiple latches only apply to the row-major variant"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short tag for tables."""
+        if self == FULL:
+            return "Newton"
+        if self == NON_OPT:
+            return "Non-opt-Newton"
+        flags = [
+            "gang" if self.ganged_compute else "",
+            "complex" if self.complex_commands else "",
+            "reuse" if self.interleaved_reuse else "",
+            "4bank" if self.four_bank_activation else "",
+            "tfaw" if self.aggressive_tfaw else "",
+        ]
+        on = "+".join(f for f in flags if f)
+        tag = on or "none"
+        if self.result_latches != 1:
+            tag += f"+latches{self.result_latches}"
+        return tag
+
+    def evolve(self, **kwargs) -> "OptimizationConfig":
+        """Return a copy with the given flags replaced."""
+        return replace(self, **kwargs)
+
+
+FULL = OptimizationConfig(
+    ganged_compute=True,
+    complex_commands=True,
+    interleaved_reuse=True,
+    four_bank_activation=True,
+    aggressive_tfaw=True,
+)
+"""The complete Newton design."""
+
+NON_OPT = OptimizationConfig(
+    ganged_compute=False,
+    complex_commands=False,
+    interleaved_reuse=False,
+    four_bank_activation=False,
+    aggressive_tfaw=False,
+)
+"""Non-opt-Newton: same compute and internal bandwidth, none of the
+interface/layout optimizations."""
+
+
+def figure9_ladder() -> List[Tuple[str, OptimizationConfig]]:
+    """The progressive configurations of Figure 9, in paper order."""
+    steps: List[Tuple[str, OptimizationConfig]] = []
+    cfg = NON_OPT
+    steps.append(("non-opt", cfg))
+    cfg = cfg.evolve(ganged_compute=True)
+    steps.append(("+gang", cfg))
+    cfg = cfg.evolve(complex_commands=True)
+    steps.append(("+complex", cfg))
+    cfg = cfg.evolve(interleaved_reuse=True)
+    steps.append(("+reuse", cfg))
+    cfg = cfg.evolve(four_bank_activation=True)
+    steps.append(("+four-bank", cfg))
+    cfg = cfg.evolve(aggressive_tfaw=True)
+    steps.append(("+tFAW (Newton)", cfg))
+    return steps

@@ -1,0 +1,110 @@
+"""Adder-tree vs column-major MAC organization (Section III-B).
+
+Newton reduces each bank's 16 lane products through an adder tree into
+one output element. The alternative the paper analyzes — a column-major,
+element-interleaved layout where each column access carries one element
+of 16 *different* matrix rows into 16 independent accumulators — needs
+the same multipliers and adders but 16 accumulator latches, and, more
+importantly, utilizes its multipliers only when every bank can be given
+16 distinct matrix rows.
+
+Quantitatively (the paper's argument):
+
+* column-major idles multipliers whenever
+  ``m < lanes x banks x channels`` (thousands of rows on a 24-channel
+  system);
+* the adder tree idles banks only when ``m < banks x channels``
+  (a few hundred).
+
+Since real layers have 512+ matrix rows — more than total banks
+(256-384) but not always more than total lanes (4096-6144) — "the
+latter approach's unfavorable case is more likely", hence the tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.area import AreaModel, AreaReport
+from repro.dram.config import DRAMConfig
+from repro.errors import ConfigurationError
+
+
+class MacOrganization(enum.Enum):
+    """How each bank's 16 multipliers feed accumulation."""
+
+    ADDER_TREE = "adder-tree"
+    COLUMN_MAJOR = "column-major"
+
+
+@dataclass(frozen=True)
+class OrganizationComparison:
+    """Utilization and area of both organizations for one matrix height."""
+
+    m: int
+    tree_utilization: float
+    column_major_utilization: float
+    tree_area: AreaReport
+    column_major_area: AreaReport
+
+    @property
+    def tree_wins(self) -> bool:
+        """Tree wins on utilization, or ties with less latch area."""
+        if self.tree_utilization != self.column_major_utilization:
+            return self.tree_utilization > self.column_major_utilization
+        return self.tree_area.compute_area <= self.column_major_area.compute_area
+
+
+class OrganizationModel:
+    """Multiplier-utilization model for both MAC organizations."""
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across all channels (the tree's parallelism grain)."""
+        return self.config.banks_per_channel * self.config.num_channels
+
+    @property
+    def total_lanes(self) -> int:
+        """Multipliers across all channels (column-major's grain)."""
+        return self.total_banks * self.config.mults_per_bank
+
+    def utilization(self, m: int, organization: MacOrganization) -> float:
+        """Fraction of multipliers doing useful work for an m-row matrix.
+
+        Both organizations process work in waves of their parallelism
+        grain; the last (partial) wave idles the remainder.
+        """
+        if m <= 0:
+            raise ConfigurationError("matrix height must be positive")
+        grain = (
+            self.total_banks
+            if organization is MacOrganization.ADDER_TREE
+            else self.total_lanes
+        )
+        waves = -(-m // grain)
+        return m / (waves * grain)
+
+    def compare(self, m: int) -> OrganizationComparison:
+        """Full comparison for one matrix height."""
+        area = AreaModel(self.config)
+        return OrganizationComparison(
+            m=m,
+            tree_utilization=self.utilization(m, MacOrganization.ADDER_TREE),
+            column_major_utilization=self.utilization(
+                m, MacOrganization.COLUMN_MAJOR
+            ),
+            tree_area=area.newton(),
+            column_major_area=area.column_major(),
+        )
+
+    def paper_argument_holds(self, typical_rows: int = 512) -> bool:
+        """The Section III-B conclusion for typical layer heights:
+        512+ matrix rows saturate the tree's banks but not column-major's
+        lanes on an aggressive multi-channel system."""
+        tree = self.utilization(typical_rows, MacOrganization.ADDER_TREE)
+        cm = self.utilization(typical_rows, MacOrganization.COLUMN_MAJOR)
+        return tree >= cm

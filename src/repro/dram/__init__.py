@@ -1,0 +1,48 @@
+"""Cycle-accurate (command-level) DRAM substrate.
+
+This package is the reproduction's stand-in for the paper's DRAMSim2-based
+simulator: a from-scratch, constraint-based DRAM timing engine. Rather
+than ticking every cycle, the controller computes each command's earliest
+legal issue cycle as the maximum over its timing constraints (command-bus
+occupancy, bank state, tRRD/tFAW windows, data-bus occupancy, refresh),
+which is exact for single-master command streams and fast enough to run
+hundreds of thousands of commands in pure Python.
+"""
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.dram.controller import ChannelController, IssueRecord
+from repro.dram.channel import Channel
+from repro.dram.power import PowerModel, PowerReport
+from repro.dram.trace import CommandTrace
+from repro.dram.area import AreaModel, AreaParams, AreaReport, AREA_BUDGET_FRACTION
+from repro.dram.families import FAMILIES, FamilyPreset, family_by_name
+from repro.dram.ticksim import TickSimulator
+from repro.dram.encoding import COMMAND_WORD_BITS, decode, encode
+
+__all__ = [
+    "Command",
+    "CommandKind",
+    "DRAMConfig",
+    "hbm2e_like_config",
+    "TimingParams",
+    "hbm2e_like_timing",
+    "ChannelController",
+    "IssueRecord",
+    "Channel",
+    "PowerModel",
+    "PowerReport",
+    "CommandTrace",
+    "AreaModel",
+    "AreaParams",
+    "AreaReport",
+    "AREA_BUDGET_FRACTION",
+    "FAMILIES",
+    "FamilyPreset",
+    "family_by_name",
+    "TickSimulator",
+    "encode",
+    "decode",
+    "COMMAND_WORD_BITS",
+]

@@ -1,0 +1,71 @@
+"""Physical address coordinates and mapping helpers.
+
+Newton commands address (channel, bank, row, column) directly — "the
+Newton commands are based on physical addresses as are conventional DRAM
+commands" — and the matrix layout expects physical contiguity (the paper
+allocates it with superpages). This module provides the coordinate type
+and a linear <-> coordinate mapping with bank-interleaved ordering, which
+the layouts and tests use to reason about placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True, order=True)
+class DramCoord:
+    """A (channel, bank, row, col) physical coordinate."""
+
+    channel: int
+    bank: int
+    row: int
+    col: int
+
+
+def validate_coord(config: DRAMConfig, coord: DramCoord) -> None:
+    """Raise :class:`LayoutError` if ``coord`` is outside the device."""
+    if not 0 <= coord.channel < config.num_channels:
+        raise LayoutError(f"channel {coord.channel} outside [0, {config.num_channels})")
+    if not 0 <= coord.bank < config.banks_per_channel:
+        raise LayoutError(f"bank {coord.bank} outside [0, {config.banks_per_channel})")
+    if not 0 <= coord.row < config.rows_per_bank:
+        raise LayoutError(f"row {coord.row} outside [0, {config.rows_per_bank})")
+    if not 0 <= coord.col < config.cols_per_row:
+        raise LayoutError(f"col {coord.col} outside [0, {config.cols_per_row})")
+
+
+def linear_to_coord(config: DRAMConfig, index: int) -> DramCoord:
+    """Map a linear column-I/O index to a coordinate.
+
+    Ordering is bank-interleaved within a channel at DRAM-row granularity
+    (row r of bank 0, row r of bank 1, ...), matching the Figure 3 layout's
+    walk over the device.
+    """
+    cols = config.cols_per_row
+    banks = config.banks_per_channel
+    rows = config.rows_per_bank
+    per_channel = banks * rows * cols
+    if index < 0 or index >= per_channel * config.num_channels:
+        raise LayoutError(f"linear index {index} outside the device")
+    channel, rem = divmod(index, per_channel)
+    row_group, rem = divmod(rem, banks * cols)
+    bank, col = divmod(rem, cols)
+    return DramCoord(channel=channel, bank=bank, row=row_group, col=col)
+
+
+def coord_to_linear(config: DRAMConfig, coord: DramCoord) -> int:
+    """Inverse of :func:`linear_to_coord`."""
+    validate_coord(config, coord)
+    cols = config.cols_per_row
+    banks = config.banks_per_channel
+    per_channel = banks * config.rows_per_bank * cols
+    return (
+        coord.channel * per_channel
+        + coord.row * banks * cols
+        + coord.bank * cols
+        + coord.col
+    )

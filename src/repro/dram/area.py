@@ -1,0 +1,186 @@
+"""Area budget model (Section I / III-B).
+
+The paper's feasibility argument is an *area* argument: digital PIM is
+only buildable if the compute stays within a severe die-area budget
+("no more than 25% area overhead"; "even such minimal hardware incurs
+around 20% area penalty"), which is why Newton carries only MACs,
+buffers, and latches — and why previous full-core PIM proposals were
+never built.
+
+This model charges each structure in DRAM-process gate-equivalents and
+expresses the total as a fraction of the bank array area, reproducing
+the paper's two quantitative claims:
+
+* Newton's minimal datapath lands around ~20%, inside the 25% cap;
+* a full in-order core per bank (the prior-work design point) blows
+  far past it.
+
+The adder-tree vs column-major comparison (Section III-B) also comes
+down to latches: both need 16 multipliers and 16 adders, but the
+column-major organization needs 16 accumulator latches per bank where
+the tree needs one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+from repro.errors import ConfigurationError
+
+AREA_BUDGET_FRACTION = 0.25
+"""The paper's ceiling: 'no more than 25% area overhead'."""
+
+
+@dataclass(frozen=True)
+class AreaParams:
+    """Gate-equivalent costs in DRAM-process units.
+
+    The absolute unit is arbitrary (areas are reported as fractions of
+    the bank array); the *ratios* follow standard synthesis counts: a
+    bfloat16 multiplier ~ 6x a bfloat16 adder ~ 40x a 16-bit latch.
+    """
+
+    bank_array_units: float = 10_000.0
+    """One bank's memory array + sense amps, the normalization basis."""
+
+    multiplier_units: float = 100.0
+    """One bfloat16 multiplier (DRAM-process transistors)."""
+
+    adder_units: float = 16.0
+    """One bfloat16 adder."""
+
+    latch16_units: float = 2.5
+    """One 16-bit latch."""
+
+    lut_units: float = 160.0
+    """The per-channel activation lookup table (no-reuse variant only)."""
+
+    global_buffer_per_bit: float = 0.012
+    """Per-bit cost of the channel-shared global buffer (SRAM-ish)."""
+
+    full_core_units: float = 25_000.0
+    """A minimal in-order core + caches per bank — the prior-work
+    design point Newton exists to avoid."""
+
+    voltage_generator_units: float = 800.0
+    """Per-channel LDO regulator + DC-DC pump upgrade enabling the
+    aggressive tFAW (Figure 6: 'improving tFAW comes with the cost of
+    higher die area' — justified by Newton's higher price point)."""
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ConfigurationError(f"area parameter {name} must be positive")
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-channel area accounting."""
+
+    bank_array_area: float
+    multiplier_area: float
+    adder_area: float
+    latch_area: float
+    buffer_area: float
+    lut_area: float
+    voltage_generator_area: float = 0.0
+
+    @property
+    def compute_area(self) -> float:
+        """Everything Newton adds to the channel."""
+        return (
+            self.multiplier_area
+            + self.adder_area
+            + self.latch_area
+            + self.buffer_area
+            + self.lut_area
+            + self.voltage_generator_area
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Added area over the bank-array area (the paper's metric)."""
+        return self.compute_area / self.bank_array_area
+
+    @property
+    def within_budget(self) -> bool:
+        """Does the design fit the 25% ceiling?"""
+        return self.overhead_fraction <= AREA_BUDGET_FRACTION
+
+
+class AreaModel:
+    """Area accounting for Newton datapath variants."""
+
+    def __init__(self, config: DRAMConfig, params: AreaParams = AreaParams()):
+        self.config = config
+        self.params = params
+
+    def _datapath(
+        self,
+        latches_per_bank: int,
+        column_major: bool,
+        with_lut: bool,
+        aggressive_tfaw: bool = True,
+    ) -> AreaReport:
+        p = self.params
+        banks = self.config.banks_per_channel
+        lanes = self.config.mults_per_bank
+        # Both organizations need `lanes` multipliers and `lanes` adders
+        # per bank (a 16-to-1 tree is 15 adders + 1 accumulate; column
+        # major is 16 independent accumulating adders) — Section III-B.
+        multiplier_area = banks * lanes * p.multiplier_units
+        adder_area = banks * lanes * p.adder_units
+        latch_count = lanes if column_major else latches_per_bank
+        latch_area = banks * latch_count * p.latch16_units
+        buffer_area = self.config.elems_per_row * 16 * p.global_buffer_per_bit
+        lut_area = p.lut_units if with_lut else 0.0
+        return AreaReport(
+            bank_array_area=banks * p.bank_array_units,
+            multiplier_area=multiplier_area,
+            adder_area=adder_area,
+            latch_area=latch_area,
+            buffer_area=buffer_area,
+            lut_area=lut_area,
+            voltage_generator_area=(
+                p.voltage_generator_units if aggressive_tfaw else 0.0
+            ),
+        )
+
+    def newton(
+        self,
+        latches_per_bank: int = 1,
+        with_lut: bool = False,
+        aggressive_tfaw: bool = True,
+    ) -> AreaReport:
+        """The adder-tree Newton datapath (the shipped design).
+
+        ``aggressive_tfaw`` charges the strengthened voltage generators
+        of Figure 6; disabling it models a standard-tFAW Newton.
+        """
+        if latches_per_bank < 1:
+            raise ConfigurationError("at least one result latch per bank")
+        return self._datapath(
+            latches_per_bank,
+            column_major=False,
+            with_lut=with_lut,
+            aggressive_tfaw=aggressive_tfaw,
+        )
+
+    def column_major(self) -> AreaReport:
+        """The Section III-B alternative: 16 accumulator latches per bank."""
+        return self._datapath(1, column_major=True, with_lut=False)
+
+    def full_core_pim(self) -> AreaReport:
+        """Prior-work PIM: a full core per bank (for the infeasibility
+        comparison; buffers/LUT omitted — the cores alone blow the budget)."""
+        p = self.params
+        banks = self.config.banks_per_channel
+        return AreaReport(
+            bank_array_area=banks * p.bank_array_units,
+            multiplier_area=banks * p.full_core_units,
+            adder_area=0.0,
+            latch_area=0.0,
+            buffer_area=0.0,
+            lut_area=0.0,
+        )

@@ -1,0 +1,90 @@
+"""Per-bank state machine and timing bookkeeping.
+
+A bank is either closed or holds one open row in its bit-line sense
+amplifiers (Newton has no double buffering: "DRAM rows are not
+double-buffered causing the last row activation latency to be exposed").
+The bank records the earliest cycles at which the next ACT, column
+access, and PRE become legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TimingViolationError
+
+NEG_INF = -(10**18)
+
+
+@dataclass
+class BankState:
+    """Timing state of a single DRAM bank."""
+
+    index: int
+    open_row: Optional[int] = None
+    ready_for_act: int = 0
+    """Earliest cycle an ACT may issue (precharge / refresh complete)."""
+    column_ready: int = 0
+    """Earliest cycle a column access may issue (ACT + tRCD)."""
+    precharge_ready: int = 0
+    """Earliest cycle a PRE may issue (ACT + tRAS, write recovery)."""
+    last_column_issue: int = field(default=NEG_INF)
+    """Issue cycle of the most recent column access on this bank."""
+    activations: int = 0
+    column_accesses: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        """True when a row is latched in the sense amplifiers."""
+        return self.open_row is not None
+
+    def do_activate(self, row: int, at: int, t_rcd: int, t_ras: int) -> None:
+        """Apply the effects of an ACT issued at cycle ``at``."""
+        if self.is_open:
+            raise TimingViolationError(
+                f"bank {self.index}: ACT while row {self.open_row} is open "
+                "(a precharge must close it first; rows are not double-buffered)"
+            )
+        if at < self.ready_for_act:
+            raise TimingViolationError(
+                f"bank {self.index}: ACT at {at} before ready_for_act={self.ready_for_act}"
+            )
+        self.open_row = row
+        self.column_ready = at + t_rcd
+        self.precharge_ready = at + t_ras
+        self.activations += 1
+
+    def do_column(self, at: int, write_recovery: int = 0) -> None:
+        """Apply the effects of a column access issued at cycle ``at``."""
+        if not self.is_open:
+            raise TimingViolationError(
+                f"bank {self.index}: column access with no open row"
+            )
+        if at < self.column_ready:
+            raise TimingViolationError(
+                f"bank {self.index}: column access at {at} before tRCD "
+                f"satisfied at {self.column_ready}"
+            )
+        self.last_column_issue = at
+        # A write pushes out the earliest precharge by the write recovery.
+        if write_recovery:
+            self.precharge_ready = max(self.precharge_ready, at + write_recovery)
+        self.column_accesses += 1
+
+    def do_precharge(self, at: int, t_rp: int) -> None:
+        """Apply the effects of a PRE issued at cycle ``at``."""
+        if at < self.precharge_ready:
+            raise TimingViolationError(
+                f"bank {self.index}: PRE at {at} before tRAS satisfied "
+                f"at {self.precharge_ready}"
+            )
+        self.open_row = None
+        self.ready_for_act = at + t_rp
+
+    def do_refresh_done(self, at_done: int) -> None:
+        """Close the bank and block it until the refresh completes."""
+        self.open_row = None
+        self.ready_for_act = at_done
+        self.column_ready = at_done
+        self.precharge_ready = at_done

@@ -1,0 +1,61 @@
+"""Shared command bus and shared data bus occupancy models.
+
+The command bus serializes *all* commands to a channel with an
+inter-command delay of ``t_cmd`` cycles; it is the critical resource the
+paper's ganged and complex commands conserve ("the compute-memory command
+bandwidth remains constrained"). The data bus serializes transfers that
+actually cross the channel's global I/O (RD, WR, GWRITE, READRES) —
+Newton's in-bank compute deliberately never touches it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class BusTimer:
+    """Occupancy timer for a serialized bus resource."""
+
+    def __init__(self, slot_cycles: int, name: str = "bus"):
+        if slot_cycles <= 0:
+            raise ConfigurationError(f"{name} slot width must be positive")
+        self.slot_cycles = slot_cycles
+        self.name = name
+        self._next_free = 0
+        self.slots_used = 0
+        self.busy_cycles = 0
+
+    @property
+    def next_free(self) -> int:
+        """Earliest cycle the bus can accept another slot."""
+        return self._next_free
+
+    def earliest(self, not_before: int = 0) -> int:
+        """Earliest cycle a slot starting at or after ``not_before`` may begin."""
+        return max(self._next_free, not_before)
+
+    def occupy(self, at: int, cycles: int = 0) -> int:
+        """Occupy the bus starting at ``at`` for ``cycles`` (default slot width).
+
+        Returns the cycle at which the bus frees again.
+        """
+        width = cycles if cycles > 0 else self.slot_cycles
+        if at < self._next_free:
+            raise ConfigurationError(
+                f"{self.name}: slot at {at} overlaps previous occupancy ending "
+                f"at {self._next_free}"
+            )
+        self._next_free = at + width
+        self.slots_used += 1
+        self.busy_cycles += width
+        return self._next_free
+
+    def advance_to(self, cycle: int) -> None:
+        """Fast-forward the bus's free time (used across refresh stalls)."""
+        self._next_free = max(self._next_free, cycle)
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles the bus was occupied."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)

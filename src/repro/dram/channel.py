@@ -1,0 +1,48 @@
+"""A channel: the timing controller plus functional bank storage.
+
+This is the DRAM-only composition; the Newton-specific units (global
+input-vector buffer, per-bank MAC arrays, result latches) are layered on
+top by :mod:`repro.core.engine`, keeping the substrate reusable as a
+plain DRAM model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import ChannelController
+from repro.dram.power import PowerModel, PowerParams, PowerReport
+from repro.dram.storage import BankStorage
+from repro.dram.timing import TimingParams
+
+
+class Channel:
+    """One (pseudo) channel: controller + per-bank storage."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        timing: TimingParams,
+        *,
+        aggressive_tfaw: bool = False,
+        refresh_enabled: bool = True,
+        power_params: PowerParams = PowerParams(),
+    ):
+        self.config = config
+        self.timing = timing
+        self.controller = ChannelController(
+            config,
+            timing,
+            aggressive_tfaw=aggressive_tfaw,
+            refresh_enabled=refresh_enabled,
+        )
+        self.storage: List[BankStorage] = [
+            BankStorage(config, i) for i in range(config.banks_per_channel)
+        ]
+        self.power_model = PowerModel(config, timing, power_params)
+
+    def power_report(self) -> PowerReport:
+        """Power breakdown for everything issued so far."""
+        end = self.controller.finalize()
+        return self.power_model.report(self.controller.stats, end)

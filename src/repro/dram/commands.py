@@ -1,0 +1,190 @@
+"""The DRAM command taxonomy: standard commands plus Newton's (Table I).
+
+Standard commands: ACT, PRE, PRE_ALL, RD, WR, REF.
+
+Newton extensions (Table I):
+
+========== =============================================================
+Command    Operation
+========== =============================================================
+COMP#      Ganged multiply of sub-chunk # in all banks (the *complex*
+           command: global-buffer read + column access + multiply-reduce)
+READRES    Read the result latches of all banks in one column access
+GWRITE#    WRITE sub-chunk # into the per-channel global buffer
+G_ACT#     Ganged activation of four-bank cluster #
+========== =============================================================
+
+The Figure 9 ablation additionally needs the *de-optimized* encodings the
+full design replaces: per-bank COMP (no ganging) and the three-step
+micro-command sequence BUF_READ + COL_READ + MAC (no complex commands).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class CommandKind(enum.Enum):
+    """Every command the controller can issue."""
+
+    # Standard DRAM
+    ACT = "ACT"
+    PRE = "PRE"
+    PRE_ALL = "PRE_ALL"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    # Newton (Table I)
+    G_ACT = "G_ACT"
+    GWRITE = "GWRITE"
+    COMP = "COMP"
+    READRES = "READRES"
+    # De-optimized encodings for the Figure 9 ablation
+    COMP_BANK = "COMP_BANK"  # per-bank compute (ganging disabled)
+    BUF_READ = "BUF_READ"  # step 1 of a non-complex compute
+    COL_READ = "COL_READ"  # step 2 of a non-complex compute
+    MAC = "MAC"  # step 3 of a non-complex compute
+    COL_READ_ALL = "COL_READ_ALL"  # ganged step 2 (gang without complex)
+    MAC_ALL = "MAC_ALL"  # ganged step 3 (gang without complex)
+    READRES_BANK = "READRES_BANK"  # per-bank result read (ganging disabled)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+NEWTON_KINDS: Tuple[CommandKind, ...] = (
+    CommandKind.G_ACT,
+    CommandKind.GWRITE,
+    CommandKind.COMP,
+    CommandKind.READRES,
+)
+"""The four commands Table I adds to the DRAM interface."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command as placed on the (shared) command bus.
+
+    Attributes:
+        kind: the command opcode.
+        bank: target bank for per-bank commands, else ``None``.
+        group: target four-bank cluster for ``G_ACT``, else ``None``.
+        row: DRAM row for activations.
+        col: column I/O index for column commands (RD/WR/COMP/...).
+        subchunk: global-buffer sub-chunk index for GWRITE/BUF_READ/COMP
+            (the COMP# / GWRITE# parameter of Table I).
+    """
+
+    kind: CommandKind
+    bank: Optional[int] = None
+    group: Optional[int] = None
+    row: Optional[int] = None
+    col: Optional[int] = None
+    subchunk: Optional[int] = None
+    auto_precharge: bool = field(default=False)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for traces."""
+        parts = [self.kind.value]
+        if self.group is not None:
+            parts.append(f"grp={self.group}")
+        if self.bank is not None:
+            parts.append(f"bank={self.bank}")
+        if self.row is not None:
+            parts.append(f"row={self.row}")
+        if self.col is not None:
+            parts.append(f"col={self.col}")
+        if self.subchunk is not None:
+            parts.append(f"sub={self.subchunk}")
+        if self.auto_precharge:
+            parts.append("AP")
+        return " ".join(parts)
+
+
+def act(bank: int, row: int) -> Command:
+    """Activate ``row`` in ``bank``."""
+    return Command(CommandKind.ACT, bank=bank, row=row)
+
+
+def g_act(group: int, row: int) -> Command:
+    """Ganged activation of ``row`` across four-bank cluster ``group``."""
+    return Command(CommandKind.G_ACT, group=group, row=row)
+
+
+def pre(bank: int) -> Command:
+    """Precharge ``bank``."""
+    return Command(CommandKind.PRE, bank=bank)
+
+
+def pre_all() -> Command:
+    """Precharge every open bank in the channel."""
+    return Command(CommandKind.PRE_ALL)
+
+
+def rd(bank: int, col: int, auto_precharge: bool = False) -> Command:
+    """Read one column I/O from the open row of ``bank``."""
+    return Command(CommandKind.RD, bank=bank, col=col, auto_precharge=auto_precharge)
+
+
+def wr(bank: int, col: int, auto_precharge: bool = False) -> Command:
+    """Write one column I/O into the open row of ``bank``."""
+    return Command(CommandKind.WR, bank=bank, col=col, auto_precharge=auto_precharge)
+
+
+def ref() -> Command:
+    """All-bank refresh."""
+    return Command(CommandKind.REF)
+
+
+def gwrite(subchunk: int) -> Command:
+    """Load sub-chunk ``subchunk`` of the input vector into the global buffer."""
+    return Command(CommandKind.GWRITE, subchunk=subchunk)
+
+
+def comp(col: int, subchunk: int, auto_precharge: bool = False) -> Command:
+    """Ganged complex compute: broadcast sub-chunk, column-read, MAC — all banks."""
+    return Command(CommandKind.COMP, col=col, subchunk=subchunk, auto_precharge=auto_precharge)
+
+
+def comp_bank(bank: int, col: int, subchunk: int, auto_precharge: bool = False) -> Command:
+    """Per-bank complex compute (used when ganging is ablated)."""
+    return Command(
+        CommandKind.COMP_BANK, bank=bank, col=col, subchunk=subchunk, auto_precharge=auto_precharge
+    )
+
+
+def buf_read(subchunk: int) -> Command:
+    """Micro-command: read a sub-chunk from the global buffer (non-complex mode)."""
+    return Command(CommandKind.BUF_READ, subchunk=subchunk)
+
+
+def col_read(bank: int, col: int) -> Command:
+    """Micro-command: column access feeding the multipliers (non-complex mode)."""
+    return Command(CommandKind.COL_READ, bank=bank, col=col)
+
+
+def mac(bank: int) -> Command:
+    """Micro-command: fire the multiply-reduce (non-complex mode)."""
+    return Command(CommandKind.MAC, bank=bank)
+
+
+def col_read_all(col: int, auto_precharge: bool = False) -> Command:
+    """Ganged micro-command: column access in all banks (gang, no complex)."""
+    return Command(CommandKind.COL_READ_ALL, col=col, auto_precharge=auto_precharge)
+
+
+def mac_all() -> Command:
+    """Ganged micro-command: fire the multiply-reduce in all banks."""
+    return Command(CommandKind.MAC_ALL)
+
+
+def readres() -> Command:
+    """Read all banks' result latches, concatenated, in one access."""
+    return Command(CommandKind.READRES)
+
+
+def readres_bank(bank: int) -> Command:
+    """Read a single bank's result latch (used when ganging is ablated)."""
+    return Command(CommandKind.READRES_BANK, bank=bank)

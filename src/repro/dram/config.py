@@ -1,0 +1,110 @@
+"""DRAM geometry (Table III) and derived quantities.
+
+The HBM2E-like configuration: 16 banks per (pseudo) channel, 32K rows per
+bank, 8 Kb (1 KB) rows accessed as 32 column I/Os of 256 bits, bfloat16
+elements, and 16 multipliers per bank rate-matched to one column access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Geometry of one Newton-capable DRAM device."""
+
+    num_channels: int = 1
+    """(Pseudo) channels; Newton's per-channel operation simply repeats
+    across channels (Section III-D)."""
+
+    banks_per_channel: int = 16
+    """Banks per channel; Figure 10 sweeps this over {8, 16, 32}."""
+
+    rows_per_bank: int = 32768
+    """DRAM rows per bank (Table III: 32K)."""
+
+    cols_per_row: int = 32
+    """Column I/Os per row (Table III: 32 accesses of 256 b each)."""
+
+    col_io_bits: int = 256
+    """Bits per column access (one sub-chunk)."""
+
+    elem_bits: int = 16
+    """Bits per element (bfloat16)."""
+
+    mults_per_bank: int = 16
+    """Multipliers per bank; rate-matched when equal to elems_per_col."""
+
+    bank_group_size: int = 4
+    """Banks activated by one G_ACT command (the four-bank cluster)."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_channels",
+            "banks_per_channel",
+            "rows_per_bank",
+            "cols_per_row",
+            "col_io_bits",
+            "elem_bits",
+            "mults_per_bank",
+            "bank_group_size",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.col_io_bits % self.elem_bits != 0:
+            raise ConfigurationError("column I/O width must be a whole number of elements")
+        if self.banks_per_channel % self.bank_group_size != 0:
+            raise ConfigurationError("banks per channel must be a multiple of the bank group size")
+        if self.mults_per_bank != self.elems_per_col:
+            raise ConfigurationError(
+                "Newton rate-matches the multipliers to the column access: "
+                f"mults_per_bank ({self.mults_per_bank}) must equal elements "
+                f"per column access ({self.elems_per_col})"
+            )
+
+    @property
+    def elems_per_col(self) -> int:
+        """Elements per column access (the sub-chunk: 16 bfloat16)."""
+        return self.col_io_bits // self.elem_bits
+
+    @property
+    def elems_per_row(self) -> int:
+        """Elements per DRAM row (the chunk: 512 bfloat16 = 1 KB)."""
+        return self.elems_per_col * self.cols_per_row
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per DRAM row."""
+        return self.elems_per_row * self.elem_bits // 8
+
+    @property
+    def col_io_bytes(self) -> int:
+        """Bytes per column access."""
+        return self.col_io_bits // 8
+
+    @property
+    def bank_groups(self) -> int:
+        """Number of four-bank clusters per channel."""
+        return self.banks_per_channel // self.bank_group_size
+
+    @property
+    def bank_bytes(self) -> int:
+        """Capacity of one bank in bytes."""
+        return self.rows_per_bank * self.row_bytes
+
+    @property
+    def channel_bytes(self) -> int:
+        """Capacity of one channel in bytes."""
+        return self.bank_bytes * self.banks_per_channel
+
+    def with_overrides(self, **kwargs: int) -> "DRAMConfig":
+        """Return a copy with the given fields replaced (for sweeps)."""
+        return replace(self, **kwargs)
+
+
+def hbm2e_like_config(num_channels: int = 1, banks_per_channel: int = 16) -> DRAMConfig:
+    """The Table III HBM2E-like geometry preset."""
+    return DRAMConfig(num_channels=num_channels, banks_per_channel=banks_per_channel)

@@ -1,0 +1,422 @@
+"""The constraint-based channel controller: the timing heart of the model.
+
+Every command's issue cycle is computed as the maximum over the timing
+constraints that bind it:
+
+* the shared **command bus** (one command per ``t_cmd`` cycles — the
+  resource Newton's ganged/complex commands conserve),
+* the target **bank state** (tRCD / tRAS / tRP, open row, no double
+  buffering),
+* the channel **activation window** (tRRD and tFAW, with Newton's
+  aggressive tFAW selectable),
+* the shared **data bus** (for transfers that cross the channel I/O:
+  RD / WR / GWRITE / READRES — ganged COMP never does),
+* per-bank **column cadence** (one column access per tCCD), and
+* the **adder-tree drain** before a result read.
+
+Because a Newton channel has a single master issuing an in-order stream,
+this earliest-legal-issue computation is cycle-exact and avoids per-cycle
+ticking entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.bank import BankState
+from repro.dram.bus import BusTimer
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.faw import ActivationWindow
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.timing import TimingParams
+from repro.errors import TimingViolationError
+
+
+@dataclass(frozen=True)
+class IssueRecord:
+    """Outcome of issuing one command."""
+
+    command: Command
+    issue: int
+    """Cycle the command left the command bus."""
+    complete: int
+    """Cycle its effect is usable (data at host, row open, ...)."""
+
+
+@dataclass
+class ControllerStats:
+    """Aggregated accounting the power model and tests consume."""
+
+    command_counts: Dict[CommandKind, int] = field(default_factory=dict)
+    bank_activations: int = 0
+    bank_column_accesses: int = 0
+    compute_column_accesses: int = 0
+    data_transfers: int = 0
+    open_bank_cycles: int = 0
+    refreshes: int = 0
+    refresh_stall_cycles: int = 0
+
+    def count(self, kind: CommandKind) -> int:
+        """Commands issued of the given kind."""
+        return self.command_counts.get(kind, 0)
+
+    @property
+    def total_commands(self) -> int:
+        """All commands placed on the command bus."""
+        return sum(self.command_counts.values())
+
+
+class ChannelController:
+    """Timing engine for one (pseudo) channel."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        timing: TimingParams,
+        *,
+        aggressive_tfaw: bool = False,
+        refresh_enabled: bool = True,
+    ):
+        self.config = config
+        self.timing = timing
+        self.aggressive_tfaw = aggressive_tfaw
+        self.banks: List[BankState] = [
+            BankState(index=i) for i in range(config.banks_per_channel)
+        ]
+        self.cmd_bus = BusTimer(timing.t_cmd, name="command bus")
+        self.data_bus = BusTimer(timing.t_ccd, name="data bus")
+        self.window = ActivationWindow(
+            timing.t_rrd, timing.faw_window(aggressive_tfaw)
+        )
+        self.refresh = RefreshScheduler(
+            t_refi=timing.t_refi, t_rfc=timing.t_rfc, enabled=refresh_enabled
+        )
+        self.stats = ControllerStats()
+        self.now = 0
+        self.trace = None
+        """Optional :class:`~repro.dram.trace.CommandTrace` recorder."""
+        self._last_tree_feed: int = -(10**18)
+        self._bank_opened_at: List[int] = [0] * config.banks_per_channel
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _bank(self, index: Optional[int]) -> BankState:
+        if index is None:
+            raise TimingViolationError("command requires a bank operand")
+        if not 0 <= index < len(self.banks):
+            raise TimingViolationError(f"bank {index} outside the channel")
+        return self.banks[index]
+
+    def _group_banks(self, group: Optional[int]) -> Sequence[BankState]:
+        if group is None:
+            raise TimingViolationError("G_ACT requires a bank-group operand")
+        size = self.config.bank_group_size
+        if not 0 <= group < self.config.bank_groups:
+            raise TimingViolationError(f"bank group {group} outside the channel")
+        return self.banks[group * size : (group + 1) * size]
+
+    def _record(self, command: Command, issue: int, complete: int) -> IssueRecord:
+        counts = self.stats.command_counts
+        counts[command.kind] = counts.get(command.kind, 0) + 1
+        self.now = max(self.now, issue)
+        record = IssueRecord(command=command, issue=issue, complete=complete)
+        if self.trace is not None:
+            self.trace.record(record)
+        return record
+
+    def _occupy_cmd(self, earliest: int) -> int:
+        at = self.cmd_bus.earliest(earliest)
+        self.cmd_bus.occupy(at)
+        return at
+
+    def _data_slot_constraint(self, data_offset: int) -> int:
+        """Earliest issue such that the data-bus slot (starting
+        ``data_offset`` after issue) does not overlap the previous one."""
+        return self.data_bus.next_free - data_offset
+
+    def _activate_banks(self, banks: Sequence[BankState], row: int, at: int) -> None:
+        for bank in banks:
+            bank.do_activate(row, at, self.timing.t_rcd, self.timing.t_ras)
+            self._bank_opened_at[bank.index] = at
+        self.stats.bank_activations += len(banks)
+
+    def _close_bank(self, bank: BankState, at: int) -> None:
+        self.stats.open_bank_cycles += max(0, at - self._bank_opened_at[bank.index])
+        bank.do_precharge(at, self.timing.t_rp)
+
+    def _auto_precharge(self, bank: BankState, column_issue: int) -> None:
+        ap_at = max(bank.precharge_ready, column_issue + self.timing.t_ccd)
+        self._close_bank(bank, ap_at)
+
+    # ------------------------------------------------------------------
+    # refresh
+
+    def refresh_barrier(self, op_duration: int) -> int:
+        """Apply Newton's refresh rule before a row-long operation.
+
+        If a refresh would mature within ``op_duration`` of the current
+        time, the controller stalls, refreshes (closing every bank), and
+        returns the post-refresh start cycle; otherwise returns ``now``.
+        """
+        before = self.refresh.refreshes_issued
+        start = self.refresh.stall_for_refresh(self.now, op_duration)
+        issued = self.refresh.refreshes_issued - before
+        if issued:
+            for bank in self.banks:
+                if bank.is_open:
+                    self._close_bank(bank, max(self.now, bank.precharge_ready))
+                bank.do_refresh_done(start)
+            self.cmd_bus.advance_to(start)
+            self.data_bus.advance_to(start)
+            self.stats.refreshes += issued
+            self.stats.refresh_stall_cycles += start - self.now
+            self.stats.command_counts[CommandKind.REF] = (
+                self.stats.command_counts.get(CommandKind.REF, 0) + issued
+            )
+            self.now = start
+        return self.now
+
+    # ------------------------------------------------------------------
+    # command issue
+
+    def issue(self, command: Command) -> IssueRecord:
+        """Issue one command at its earliest legal cycle."""
+        handler = self._HANDLERS[command.kind]
+        return handler(self, command)
+
+    def _issue_act(self, command: Command) -> IssueRecord:
+        bank = self._bank(command.bank)
+        if command.row is None:
+            raise TimingViolationError("ACT requires a row operand")
+        earliest = max(bank.ready_for_act, self.window.earliest(1))
+        at = self._occupy_cmd(earliest)
+        self.window.record(at, 1)
+        self._activate_banks([bank], command.row, at)
+        return self._record(command, at, at + self.timing.t_rcd)
+
+    def _issue_g_act(self, command: Command) -> IssueRecord:
+        banks = self._group_banks(command.group)
+        if command.row is None:
+            raise TimingViolationError("G_ACT requires a row operand")
+        earliest = max(
+            max(b.ready_for_act for b in banks),
+            self.window.earliest(len(banks)),
+        )
+        at = self._occupy_cmd(earliest)
+        self.window.record(at, len(banks))
+        self._activate_banks(banks, command.row, at)
+        return self._record(command, at, at + self.timing.t_rcd)
+
+    def _issue_pre(self, command: Command) -> IssueRecord:
+        bank = self._bank(command.bank)
+        if not bank.is_open:
+            raise TimingViolationError(f"PRE on closed bank {bank.index}")
+        earliest = max(
+            bank.precharge_ready, bank.last_column_issue + self.timing.t_ccd
+        )
+        at = self._occupy_cmd(earliest)
+        self._close_bank(bank, at)
+        return self._record(command, at, at + self.timing.t_rp)
+
+    def _issue_pre_all(self, command: Command) -> IssueRecord:
+        open_banks = [b for b in self.banks if b.is_open]
+        if not open_banks:
+            raise TimingViolationError("PRE_ALL with no open banks")
+        earliest = max(
+            max(b.precharge_ready for b in open_banks),
+            max(b.last_column_issue for b in open_banks) + self.timing.t_ccd,
+        )
+        at = self._occupy_cmd(earliest)
+        for bank in open_banks:
+            self._close_bank(bank, at)
+        return self._record(command, at, at + self.timing.t_rp)
+
+    def _issue_column_transfer(self, command: Command, write: bool) -> IssueRecord:
+        bank = self._bank(command.bank)
+        earliest = max(
+            bank.column_ready,
+            bank.last_column_issue + self.timing.t_ccd,
+            self._data_slot_constraint(self.timing.t_aa),
+        )
+        at = self._occupy_cmd(earliest)
+        bank.do_column(at, write_recovery=self.timing.t_wr if write else 0)
+        self.stats.bank_column_accesses += 1
+        self.data_bus.occupy(at + self.timing.t_aa)
+        self.stats.data_transfers += 1
+        if command.auto_precharge:
+            self._auto_precharge(bank, at)
+        return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
+
+    def _issue_rd(self, command: Command) -> IssueRecord:
+        return self._issue_column_transfer(command, write=False)
+
+    def _issue_wr(self, command: Command) -> IssueRecord:
+        return self._issue_column_transfer(command, write=True)
+
+    def _issue_gwrite(self, command: Command) -> IssueRecord:
+        # Loads one sub-chunk into the per-channel global buffer: occupies
+        # the command bus and the channel data I/O, touches no bank.
+        earliest = self._data_slot_constraint(self.timing.t_aa)
+        at = self._occupy_cmd(earliest)
+        self.data_bus.occupy(at + self.timing.t_aa)
+        self.stats.data_transfers += 1
+        return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
+
+    def _issue_comp(self, command: Command) -> IssueRecord:
+        # Ganged complex compute: column access + MAC in every bank at once.
+        for bank in self.banks:
+            if not bank.is_open:
+                raise TimingViolationError(
+                    f"COMP with bank {bank.index} closed; all banks must hold "
+                    "their tile row"
+                )
+        earliest = max(
+            max(b.column_ready for b in self.banks),
+            max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+        )
+        at = self._occupy_cmd(earliest)
+        for bank in self.banks:
+            bank.do_column(at)
+        self.stats.bank_column_accesses += len(self.banks)
+        self.stats.compute_column_accesses += len(self.banks)
+        self._last_tree_feed = at
+        if command.auto_precharge:
+            for bank in self.banks:
+                self._auto_precharge(bank, at)
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_comp_bank(self, command: Command) -> IssueRecord:
+        bank = self._bank(command.bank)
+        earliest = max(
+            bank.column_ready, bank.last_column_issue + self.timing.t_ccd
+        )
+        at = self._occupy_cmd(earliest)
+        bank.do_column(at)
+        self.stats.bank_column_accesses += 1
+        self.stats.compute_column_accesses += 1
+        self._last_tree_feed = at
+        if command.auto_precharge:
+            self._auto_precharge(bank, at)
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_buf_read(self, command: Command) -> IssueRecord:
+        at = self._occupy_cmd(0)
+        return self._record(command, at, at + 1)
+
+    def _issue_col_read(self, command: Command) -> IssueRecord:
+        bank = self._bank(command.bank)
+        earliest = max(
+            bank.column_ready, bank.last_column_issue + self.timing.t_ccd
+        )
+        at = self._occupy_cmd(earliest)
+        bank.do_column(at)
+        self.stats.bank_column_accesses += 1
+        self.stats.compute_column_accesses += 1
+        if command.auto_precharge:
+            self._auto_precharge(bank, at)
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_mac(self, command: Command) -> IssueRecord:
+        at = self._occupy_cmd(0)
+        self._last_tree_feed = at
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_col_read_all(self, command: Command) -> IssueRecord:
+        for bank in self.banks:
+            if not bank.is_open:
+                raise TimingViolationError(
+                    f"COL_READ_ALL with bank {bank.index} closed"
+                )
+        earliest = max(
+            max(b.column_ready for b in self.banks),
+            max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+        )
+        at = self._occupy_cmd(earliest)
+        for bank in self.banks:
+            bank.do_column(at)
+        self.stats.bank_column_accesses += len(self.banks)
+        self.stats.compute_column_accesses += len(self.banks)
+        if command.auto_precharge:
+            for bank in self.banks:
+                self._auto_precharge(bank, at)
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_mac_all(self, command: Command) -> IssueRecord:
+        at = self._occupy_cmd(0)
+        self._last_tree_feed = at
+        return self._record(command, at, at + self.timing.t_ccd)
+
+    def _issue_readres(self, command: Command) -> IssueRecord:
+        # The host memory controller inserts the adder-tree drain delay
+        # before reading the result latches (Section III-D, issue (2)).
+        earliest = max(
+            self._last_tree_feed + self.timing.t_tree_drain,
+            self._data_slot_constraint(self.timing.t_aa),
+        )
+        at = self._occupy_cmd(earliest)
+        self.data_bus.occupy(at + self.timing.t_aa)
+        self.stats.data_transfers += 1
+        return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
+
+    def _issue_readres_bank(self, command: Command) -> IssueRecord:
+        bank = self._bank(command.bank)
+        earliest = max(
+            bank.last_column_issue + self.timing.t_tree_drain,
+            self._last_tree_feed + self.timing.t_tree_drain,
+            self._data_slot_constraint(self.timing.t_aa),
+        )
+        at = self._occupy_cmd(earliest)
+        self.data_bus.occupy(at + self.timing.t_aa)
+        self.stats.data_transfers += 1
+        return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
+
+    def _issue_ref(self, command: Command) -> IssueRecord:
+        for bank in self.banks:
+            if bank.is_open:
+                raise TimingViolationError(
+                    "REF requires all banks precharged; issue PRE_ALL first"
+                )
+        earliest = max(b.ready_for_act for b in self.banks)
+        at = self._occupy_cmd(earliest)
+        done = at + self.timing.t_rfc
+        for bank in self.banks:
+            bank.do_refresh_done(done)
+        self.stats.refreshes += 1
+        return self._record(command, at, done)
+
+    _HANDLERS = {
+        CommandKind.ACT: _issue_act,
+        CommandKind.G_ACT: _issue_g_act,
+        CommandKind.PRE: _issue_pre,
+        CommandKind.PRE_ALL: _issue_pre_all,
+        CommandKind.RD: _issue_rd,
+        CommandKind.WR: _issue_wr,
+        CommandKind.REF: _issue_ref,
+        CommandKind.GWRITE: _issue_gwrite,
+        CommandKind.COMP: _issue_comp,
+        CommandKind.COMP_BANK: _issue_comp_bank,
+        CommandKind.BUF_READ: _issue_buf_read,
+        CommandKind.COL_READ: _issue_col_read,
+        CommandKind.MAC: _issue_mac,
+        CommandKind.COL_READ_ALL: _issue_col_read_all,
+        CommandKind.MAC_ALL: _issue_mac_all,
+        CommandKind.READRES: _issue_readres,
+        CommandKind.READRES_BANK: _issue_readres_bank,
+    }
+
+    # ------------------------------------------------------------------
+    # finalization
+
+    def finalize(self, end: Optional[int] = None) -> int:
+        """Close open-bank accounting and return the end-of-run cycle."""
+        end_cycle = max(self.now, end if end is not None else self.now)
+        for bank in self.banks:
+            if bank.is_open:
+                self.stats.open_bank_cycles += max(
+                    0, end_cycle - self._bank_opened_at[bank.index]
+                )
+                self._bank_opened_at[bank.index] = end_cycle
+        return end_cycle

@@ -1,0 +1,127 @@
+"""Other DRAM-family presets (Section III-E / Conclusion).
+
+"Newton's key ideas are applicable to other DRAM families such as
+LPDDR, DDR, and GDDR, with low-level differences based on the internal
+bandwidth, impact on density, and implementation (e.g., number of MACs
+for rate matching)." SK hynix's shipped product is in fact GDDR6-AiM.
+
+These presets carry the *-like* caveat of the HBM2E preset: geometry and
+timing chosen to be family-plausible and internally consistent (the MAC
+count per bank is always rate-matched to the column I/O width, as the
+config layer enforces), with results meaningful as ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FamilyPreset:
+    """A named DRAM family configuration."""
+
+    name: str
+    config: DRAMConfig
+    timing: TimingParams
+    notes: str
+
+
+def hbm2e_family(num_channels: int = 24) -> FamilyPreset:
+    """The paper's evaluation vehicle: many narrow (pseudo) channels."""
+    return FamilyPreset(
+        name="HBM2E",
+        config=DRAMConfig(num_channels=num_channels),
+        timing=TimingParams(),
+        notes="Table III: 16 banks, 32 x 256 b columns per 1 KB row, 16 MACs",
+    )
+
+
+def gddr6_family(num_channels: int = 12) -> FamilyPreset:
+    """GDDR6-like: the family Newton actually shipped in (GDDR6-AiM).
+
+    Fewer, faster channels; 2 KB rows read as 64 column I/Os; the same
+    256-bit access grain keeps 16 MACs per bank rate-matched.
+    """
+    return FamilyPreset(
+        name="GDDR6",
+        config=DRAMConfig(
+            num_channels=num_channels,
+            banks_per_channel=16,
+            rows_per_bank=16384,
+            cols_per_row=64,
+            col_io_bits=256,
+        ),
+        timing=TimingParams(t_ccd=3, t_rrd=6, t_faw=24, t_faw_aim=12, t_cmd=3),
+        notes="2 KB rows, 64 columns, higher column rate",
+    )
+
+
+def ddr4_family(num_channels: int = 4) -> FamilyPreset:
+    """DDR4-like: few wide-row channels with a narrow 64-bit interface.
+
+    Only 4 elements per column access, so rate matching needs just 4
+    MACs per bank — the 'number of MACs for rate matching' difference
+    the paper calls out.
+    """
+    return FamilyPreset(
+        name="DDR4",
+        config=DRAMConfig(
+            num_channels=num_channels,
+            banks_per_channel=16,
+            rows_per_bank=65536,
+            cols_per_row=128,
+            col_io_bits=64,
+            mults_per_bank=4,
+        ),
+        timing=TimingParams(t_ccd=6, t_rrd=6, t_faw=34, t_faw_aim=20, t_cmd=4),
+        notes="1 KB rows as 128 x 64 b columns; 4 MACs per bank",
+    )
+
+
+def lpddr4_family(num_channels: int = 8) -> FamilyPreset:
+    """LPDDR4-like: mobile-class — 8 banks, slower core timings."""
+    return FamilyPreset(
+        name="LPDDR4",
+        config=DRAMConfig(
+            num_channels=num_channels,
+            banks_per_channel=8,
+            rows_per_bank=32768,
+            cols_per_row=64,
+            col_io_bits=128,
+            mults_per_bank=8,
+        ),
+        timing=TimingParams(
+            t_rcd=18, t_rp=18, t_ras=42, t_ccd=8, t_rrd=10,
+            t_faw=40, t_faw_aim=24, t_cmd=4, t_aa=28, t_tree_drain=10,
+        ),
+        notes="8 banks, 128 b columns, 8 MACs per bank, slower core",
+    )
+
+
+FamilyBuilder = Callable[..., FamilyPreset]
+
+FAMILIES: Dict[str, FamilyBuilder] = {
+    builder().name: builder
+    for builder in (hbm2e_family, gddr6_family, ddr4_family, lpddr4_family)
+}
+"""Every family preset, keyed by name."""
+
+
+def family_by_name(name: str, **kwargs: int) -> FamilyPreset:
+    """Look up a family preset by name.
+
+    Raises:
+        ConfigurationError: for unknown family names.
+    """
+    try:
+        builder = FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown DRAM family {name!r}; available: {sorted(FAMILIES)}"
+        ) from None
+    return builder(**kwargs)

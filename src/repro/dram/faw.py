@@ -1,0 +1,80 @@
+"""Rolling activation-window tracker (tRRD and tFAW).
+
+tFAW bounds how many row activations may land in any sliding window: at
+most four activations per ``t_faw`` cycles per channel. Newton's G_ACT
+issues four activations *in one command*, so one G_ACT consumes an entire
+window and consecutive G_ACTs are separated by max(tRRD, tFAW) — exactly
+the Section III-F model's ``max(tRRD, tFAW) * (n/4 - 1)`` term.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import TimingViolationError
+
+
+class ActivationWindow:
+    """Tracks recent activations to enforce tRRD and tFAW.
+
+    The window size (four) is the JEDEC four-activation window; the
+    tracker is agnostic to whether activations arrive singly (ACT) or
+    four-at-a-time (G_ACT).
+    """
+
+    WINDOW = 4
+
+    def __init__(self, t_rrd: int, t_faw: int):
+        if t_rrd <= 0 or t_faw <= 0:
+            raise TimingViolationError("tRRD and tFAW must be positive")
+        self.t_rrd = t_rrd
+        self.t_faw = t_faw
+        self._recent: Deque[int] = deque(maxlen=self.WINDOW)
+        self._last_act = -(10**18)
+        self.total_activations = 0
+
+    def set_faw(self, t_faw: int) -> None:
+        """Switch the window in force (standard vs aggressive tFAW)."""
+        if t_faw <= 0:
+            raise TimingViolationError("tFAW must be positive")
+        self.t_faw = t_faw
+
+    def earliest(self, count: int) -> int:
+        """Earliest cycle at which ``count`` simultaneous activations are legal.
+
+        Args:
+            count: activations issued by the command (1 for ACT, the bank
+                group size for G_ACT). Must not exceed the window size —
+                more than four truly simultaneous activations can never
+                satisfy tFAW.
+        """
+        if count < 1:
+            raise TimingViolationError("an activation command must activate at least one bank")
+        if count > self.WINDOW:
+            raise TimingViolationError(
+                f"{count} simultaneous activations can never satisfy the "
+                f"four-activation window"
+            )
+        bound = self._last_act + self.t_rrd
+        # After appending `count` acts at time t, every activation whose
+        # WINDOW-previous activation exists must start >= tFAW after it.
+        # The binding historical entry for the batch is the one WINDOW-count
+        # from the end of history.
+        history = list(self._recent)
+        if len(history) >= self.WINDOW - count + 1:
+            anchor = history[-(self.WINDOW - count + 1)]
+            bound = max(bound, anchor + self.t_faw)
+        return bound
+
+    def record(self, at: int, count: int) -> None:
+        """Record ``count`` activations issued at cycle ``at``."""
+        if at < self.earliest(count):
+            raise TimingViolationError(
+                f"activation batch at {at} violates tRRD/tFAW; earliest legal "
+                f"cycle is {self.earliest(count)}"
+            )
+        for _ in range(count):
+            self._recent.append(at)
+        self._last_act = at
+        self.total_activations += count

@@ -1,0 +1,56 @@
+"""Refresh scheduling with Newton's delay rule (Section III-E).
+
+Newton's result latch accumulates across an entire DRAM row, so a refresh
+maturing mid-row would destroy the open row and the partial result. The
+paper's fix: "the memory controller simply waits for the pending refresh
+to mature, sends the refresh command, and then sends the Newton command."
+:meth:`RefreshScheduler.stall_for_refresh` implements exactly that check
+at row-operation granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class RefreshScheduler:
+    """Tracks refresh deadlines and the stalls they impose."""
+
+    t_refi: int
+    t_rfc: int
+    enabled: bool = True
+    next_due: int = field(init=False)
+    refreshes_issued: int = 0
+    stall_cycles: int = 0
+    log: List[Tuple[int, int]] = field(default_factory=list)
+    """(issue_cycle, completion_cycle) of every refresh, for tests."""
+
+    def __post_init__(self) -> None:
+        self.next_due = self.t_refi
+
+    def stall_for_refresh(self, now: int, op_duration: int) -> int:
+        """Return the cycle at which a row operation of ``op_duration`` may start.
+
+        If a refresh would mature inside ``[now, now + op_duration)``, it
+        is performed first and the operation starts after it completes.
+        An operation longer than a refresh interval can never be fully
+        protected; the protection window is capped at ``tREFI - tRFC``
+        and the overflowing refresh is postponed to the next barrier
+        (JEDEC permits postponing refreshes), so the average refresh rate
+        is always preserved.
+        """
+        if not self.enabled:
+            return now
+        start = now
+        guard = min(op_duration, self.t_refi - self.t_rfc)
+        while self.next_due < start + guard:
+            issue_at = max(start, self.next_due)
+            done_at = issue_at + self.t_rfc
+            self.log.append((issue_at, done_at))
+            self.refreshes_issued += 1
+            self.stall_cycles += done_at - start
+            self.next_due += self.t_refi
+            start = done_at
+        return start

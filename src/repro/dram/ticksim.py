@@ -1,0 +1,197 @@
+"""A per-cycle ("tick") reference simulator for differential validation.
+
+The production controller computes each command's issue cycle as a
+closed-form max over constraints. This module executes the same command
+stream the way textbook DRAM simulators do — advancing one cycle at a
+time and issuing the head-of-queue command the first cycle every
+constraint is satisfied — with the constraints expressed as per-cycle
+*predicates* over recorded event times rather than the controller's
+incremental bookkeeping.
+
+Because the mechanism is different (polling vs. computation) while the
+rules are the same, agreement between the two is meaningful: a mistake
+in either engine's handling of, say, the tFAW sliding window or the
+auto-precharge timing shows up as a cycle-level divergence.
+`tests/dram/test_ticksim.py` pins them identical on the full command
+streams Newton generates, for every optimization combination.
+
+The tick loop is O(cycles), so use it on small streams only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError, TimingViolationError
+
+_COLUMN_KINDS = frozenset(
+    {
+        CommandKind.RD,
+        CommandKind.WR,
+        CommandKind.COMP,
+        CommandKind.COMP_BANK,
+        CommandKind.COL_READ,
+        CommandKind.COL_READ_ALL,
+    }
+)
+_DATA_KINDS = frozenset(
+    {CommandKind.RD, CommandKind.WR, CommandKind.GWRITE, CommandKind.READRES,
+     CommandKind.READRES_BANK}
+)
+_TREE_FEED_KINDS = frozenset(
+    {CommandKind.COMP, CommandKind.COMP_BANK, CommandKind.MAC, CommandKind.MAC_ALL}
+)
+
+
+@dataclass
+class _TickBank:
+    open_row: Optional[int] = None
+    act_time: int = -(10**9)
+    pre_done: int = 0
+    last_col: int = -(10**9)
+    wr_recovery_until: int = -(10**9)
+
+
+class TickSimulator:
+    """Issues a command list cycle by cycle under the same timing rules."""
+
+    def __init__(self, config: DRAMConfig, timing: TimingParams, *, aggressive_tfaw: bool):
+        self.config = config
+        self.timing = timing
+        self.faw = timing.faw_window(aggressive_tfaw)
+
+    # ------------------------------------------------------------------
+
+    def _target_banks(self, command: Command) -> Sequence[int]:
+        kind = command.kind
+        if kind in (CommandKind.G_ACT,):
+            size = self.config.bank_group_size
+            return range(command.group * size, (command.group + 1) * size)
+        if kind in (
+            CommandKind.COMP,
+            CommandKind.COL_READ_ALL,
+        ):
+            return range(self.config.banks_per_channel)
+        if command.bank is not None:
+            return [command.bank]
+        return []
+
+    def _can_issue(
+        self,
+        command: Command,
+        now: int,
+        banks: List[_TickBank],
+        act_history: List[int],
+        bus_free: int,
+        data_free: int,
+        last_tree_feed: int,
+    ) -> bool:
+        t = self.timing
+        kind = command.kind
+        if now < bus_free:
+            return False
+        if kind in (CommandKind.ACT, CommandKind.G_ACT):
+            targets = list(self._target_banks(command))
+            count = len(targets)
+            for b in targets:
+                if banks[b].open_row is not None:
+                    raise TimingViolationError(f"tick sim: ACT on open bank {b}")
+                if now < banks[b].pre_done:
+                    return False
+            if act_history and now - act_history[-1] < t.t_rrd:
+                return False
+            # Appending `count` activations at `now`: every new one must
+            # start >= tFAW after its fourth-previous activation. The
+            # binding anchor is the (4 - count + 1)-th most recent entry.
+            back = 4 - count + 1
+            if len(act_history) >= back:
+                if now - act_history[-back] < self.faw:
+                    return False
+            return True
+        if kind in _COLUMN_KINDS:
+            for b in self._target_banks(command):
+                bank = banks[b]
+                if bank.open_row is None:
+                    raise TimingViolationError(f"tick sim: column on closed bank {b}")
+                if now < bank.act_time + t.t_rcd:
+                    return False
+                if now - bank.last_col < t.t_ccd:
+                    return False
+            if kind in _DATA_KINDS and now + t.t_aa < data_free:
+                return False
+            return True
+        if kind in (CommandKind.GWRITE,):
+            return now + t.t_aa >= data_free
+        if kind in (CommandKind.READRES, CommandKind.READRES_BANK):
+            if now < last_tree_feed + t.t_tree_drain:
+                return False
+            if kind is CommandKind.READRES_BANK and command.bank is not None:
+                if now < banks[command.bank].last_col + t.t_tree_drain:
+                    return False
+            return now + t.t_aa >= data_free
+        if kind in (CommandKind.BUF_READ, CommandKind.MAC, CommandKind.MAC_ALL):
+            return True
+        if kind is CommandKind.PRE:
+            bank = banks[command.bank]
+            return (
+                now >= bank.act_time + t.t_ras
+                and now >= bank.wr_recovery_until
+                and now - bank.last_col >= t.t_ccd
+            )
+        raise ConfigurationError(f"tick sim does not model {kind}")
+
+    def run(self, commands: Sequence[Command], max_cycles: int = 2_000_000) -> List[int]:
+        """Issue every command in order; return per-command issue cycles."""
+        t = self.timing
+        banks = [_TickBank() for _ in range(self.config.banks_per_channel)]
+        act_history: List[int] = []
+        issues: List[int] = []
+        bus_free = 0
+        data_free = 0
+        last_tree_feed = -(10**9)
+        now = 0
+        for command in commands:
+            while not self._can_issue(
+                command, now, banks, act_history, bus_free, data_free,
+                last_tree_feed,
+            ):
+                now += 1
+                if now > max_cycles:
+                    raise TimingViolationError(
+                        f"tick sim: {command.describe()} never became legal"
+                    )
+            issues.append(now)
+            bus_free = now + t.t_cmd
+            kind = command.kind
+            if kind in (CommandKind.ACT, CommandKind.G_ACT):
+                targets = list(self._target_banks(command))
+                for b in targets:
+                    banks[b].open_row = command.row
+                    banks[b].act_time = now
+                act_history.extend([now] * len(targets))
+            elif kind in _COLUMN_KINDS:
+                for b in self._target_banks(command):
+                    banks[b].last_col = now
+                    if kind is CommandKind.WR:
+                        banks[b].wr_recovery_until = now + t.t_wr
+                    if command.auto_precharge:
+                        ap_at = max(banks[b].act_time + t.t_ras, now + t.t_ccd)
+                        ap_at = max(ap_at, banks[b].wr_recovery_until)
+                        banks[b].open_row = None
+                        banks[b].pre_done = ap_at + t.t_rp
+                if kind in _TREE_FEED_KINDS:
+                    last_tree_feed = now
+                if kind in _DATA_KINDS:
+                    data_free = now + t.t_aa + t.t_ccd
+            elif kind in (CommandKind.GWRITE, CommandKind.READRES, CommandKind.READRES_BANK):
+                data_free = now + t.t_aa + t.t_ccd
+            elif kind in (CommandKind.MAC, CommandKind.MAC_ALL):
+                last_tree_feed = now
+            elif kind is CommandKind.PRE:
+                banks[command.bank].open_row = None
+                banks[command.bank].pre_done = now + t.t_rp
+        return issues

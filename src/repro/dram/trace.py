@@ -1,0 +1,82 @@
+"""Command trace recording.
+
+A :class:`CommandTrace` attached to a controller records every
+:class:`~repro.dram.controller.IssueRecord` as it issues — the textual
+equivalent of Figure 7's timing diagram. Traces are bounded (a ring of
+the most recent records) so tracing a long run cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional
+
+from repro.dram.commands import CommandKind
+from repro.dram.controller import IssueRecord
+from repro.errors import ConfigurationError
+
+
+class CommandTrace:
+    """A bounded recorder of issued commands."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ConfigurationError("trace capacity must be positive")
+        self.capacity = capacity
+        self._records: Deque[IssueRecord] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, record: IssueRecord) -> None:
+        """Append one issue record (oldest records roll off)."""
+        self._records.append(record)
+        self.total_recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def truncated(self) -> bool:
+        """True when old records have rolled off the ring."""
+        return self.total_recorded > len(self._records)
+
+    def records(
+        self,
+        *,
+        kinds: Optional[Iterable[CommandKind]] = None,
+        since: int = 0,
+        predicate: Optional[Callable[[IssueRecord], bool]] = None,
+    ) -> List[IssueRecord]:
+        """The recorded commands, optionally filtered.
+
+        Args:
+            kinds: restrict to these command kinds.
+            since: drop records issued before this cycle.
+            predicate: arbitrary extra filter.
+        """
+        kind_set = set(kinds) if kinds is not None else None
+        out = []
+        for rec in self._records:
+            if rec.issue < since:
+                continue
+            if kind_set is not None and rec.command.kind not in kind_set:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def render(self, limit: int = 200) -> str:
+        """A Figure 7-style text timing diagram of the last ``limit`` records."""
+        lines = [f"{'cycle':>8}  command"]
+        for rec in list(self._records)[-limit:]:
+            lines.append(f"{rec.issue:>8}  {rec.command.describe()}")
+        if self.truncated:
+            lines.insert(1, f"{'...':>8}  ({self.total_recorded - len(self._records)} earlier records dropped)")
+        return "\n".join(lines)
+
+    def gaps(self, kind: CommandKind) -> List[int]:
+        """Issue-to-issue gaps between consecutive commands of one kind
+        (the quantity Figure 7 annotates: tFAW between G_ACTs, tCCD
+        between COMPs)."""
+        issues = [r.issue for r in self._records if r.command.kind is kind]
+        return [b - a for a, b in zip(issues, issues[1:])]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Newton reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid DRAM/Newton configuration was supplied."""
+
+
+class TimingViolationError(ReproError):
+    """A command stream violated a DRAM timing constraint.
+
+    The constraint-based controller normally *stalls* commands until they
+    are legal; this error is reserved for states that can never become
+    legal (e.g. reading a column of a bank with no open row).
+    """
+
+
+class LayoutError(ReproError):
+    """A matrix/vector does not fit, or an address fell outside a layout."""
+
+
+class CapacityError(ReproError):
+    """The requested allocation exceeds the device's storage."""
+
+
+class ProtocolError(ReproError):
+    """A Newton command was used in a way the interface forbids.
+
+    Examples: issuing ``COMP`` before the global buffer was loaded, or
+    reading a result latch that was never written.
+    """

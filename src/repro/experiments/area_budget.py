@@ -1,0 +1,72 @@
+"""Extension: the area-feasibility table behind Section I's claim.
+
+Newton "makes PIM feasible for the first time" because its datapath is
+the *only* design point inside DRAM's area budget. This experiment
+tabulates the per-channel area overhead of the shipped design, the
+Section III-C four-latch variant, the Section III-B column-major
+organization, the no-reuse variant's LUT cost, and a prior-work
+full-core-per-bank PIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.dram.area import AREA_BUDGET_FRACTION, AreaModel, AreaReport
+from repro.experiments import common
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    """One design point's area accounting."""
+
+    design: str
+    report: AreaReport
+
+
+@dataclass
+class AreaBudgetResult:
+    """The area-feasibility table."""
+
+    rows: List[AreaRow] = field(default_factory=list)
+
+    def row(self, design: str) -> AreaRow:
+        """Look up one design point."""
+        return next(r for r in self.rows if r.design == design)
+
+    def render(self) -> str:
+        """The table, with the 25% budget line."""
+        table = render_table(
+            ["design", "overhead vs bank array", "within 25% budget"],
+            [
+                (
+                    r.design,
+                    f"{r.report.overhead_fraction:.1%}",
+                    "yes" if r.report.within_budget else "NO",
+                )
+                for r in self.rows
+            ],
+            title=(
+                "Area feasibility (Section I/III-B): budget = "
+                f"{AREA_BUDGET_FRACTION:.0%} of the bank array"
+            ),
+        )
+        return table
+
+
+def run(banks: int = common.EVAL_BANKS) -> AreaBudgetResult:
+    """Build the feasibility table."""
+    model = AreaModel(common.eval_config(banks=banks, channels=1))
+    result = AreaBudgetResult()
+    result.rows.append(AreaRow("Newton (adder tree, 1 latch)", model.newton()))
+    result.rows.append(
+        AreaRow("Newton + LUT (no-reuse variant)", model.newton(with_lut=True))
+    )
+    result.rows.append(
+        AreaRow("four result latches (Section III-C)", model.newton(latches_per_bank=4))
+    )
+    result.rows.append(AreaRow("column-major MACs (Section III-B)", model.column_major()))
+    result.rows.append(AreaRow("full core per bank (prior PIM)", model.full_core_pim()))
+    return result

@@ -1,0 +1,103 @@
+"""Extension: the chunk-width tradeoff (Section III-C).
+
+"The wider the chunk the lower the [output] traffic but the more the
+input buffering whose cost is amortized over the entire channel by
+employing a global buffer." Newton picks the widest possible chunk — a
+full DRAM row — because the single shared buffer makes the area cost
+negligible. This study sweeps hypothetical chunk widths and tabulates:
+
+* input-buffer bits required (one buffer per channel),
+* output-vector read traffic (one READRES per chunk-row per matrix row:
+  narrower chunks mean more partial results crossing the interface),
+* the buffer's share of the channel's area budget,
+
+reproducing the asymmetry that justifies the DRAM-row-wide choice: the
+output traffic falls hyperbolically with width while the buffer area
+stays under a tenth of a percent of the channel even at full width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.dram.area import AreaModel
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import layer_by_name
+
+CHUNK_WIDTHS: Tuple[int, ...] = (32, 64, 128, 256, 512)
+"""Hypothetical chunk widths in elements (512 = one DRAM row: Newton)."""
+
+
+@dataclass(frozen=True)
+class ChunkWidthRow:
+    """One chunk width's costs for a reference layer."""
+
+    chunk_elems: int
+    buffer_bits: int
+    output_reads: int
+    buffer_area_fraction: float
+
+
+@dataclass
+class ChunkWidthResult:
+    """The sweep."""
+
+    layer_name: str = ""
+    rows: List[ChunkWidthRow] = field(default_factory=list)
+
+    def output_traffic_hyperbolic(self) -> bool:
+        """Doubling the chunk width must halve the output reads."""
+        for a, b in zip(self.rows, self.rows[1:]):
+            if a.output_reads != 2 * b.output_reads:
+                return False
+        return True
+
+    def buffer_always_negligible(self) -> bool:
+        """Even the full-row buffer is a rounding error of channel area."""
+        return all(r.buffer_area_fraction < 0.005 for r in self.rows)
+
+    def render(self) -> str:
+        """The sweep as a table."""
+        return render_table(
+            ["chunk (elems)", "buffer bits", "output reads / input", "buffer area"],
+            [
+                (
+                    r.chunk_elems,
+                    r.buffer_bits,
+                    r.output_reads,
+                    f"{r.buffer_area_fraction:.4%}",
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Section III-C chunk-width tradeoff ({self.layer_name}, "
+                "per channel)"
+            ),
+        )
+
+
+def run(layer_name: str = "GNMTs1", banks: int = common.EVAL_BANKS) -> ChunkWidthResult:
+    """Sweep chunk widths for one layer on a single channel's slice."""
+    layer = layer_by_name(layer_name)
+    config = common.eval_config(banks=banks, channels=1)
+    area = AreaModel(config)
+    bank_array = area.params.bank_array_units * banks
+    result = ChunkWidthResult(layer_name=layer_name)
+    for chunk in CHUNK_WIDTHS:
+        chunks_per_row = -(-layer.n // chunk)
+        # One partial result per (matrix row, chunk) crosses the host
+        # interface; a READRES covers `banks` of them at once.
+        output_reads = -(-layer.m // banks) * chunks_per_row
+        buffer_bits = chunk * config.elem_bits
+        buffer_area = buffer_bits * area.params.global_buffer_per_bit
+        result.rows.append(
+            ChunkWidthRow(
+                chunk_elems=chunk,
+                buffer_bits=buffer_bits,
+                output_reads=output_reads,
+                buffer_area_fraction=buffer_area / bank_array,
+            )
+        )
+    return result

@@ -1,0 +1,79 @@
+"""Shared experiment plumbing: the paper's evaluation configuration.
+
+Every figure uses the same 24-channel, 16-banks-per-channel HBM2E-like
+system (Section V) unless the figure itself sweeps a parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL, OptimizationConfig
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.workloads.spec import BenchmarkLayer
+
+EVAL_CHANNELS = 24
+"""The paper's 24-channel evaluation system (Section V-A)."""
+
+EVAL_BANKS = 16
+"""Banks per channel in the default configuration (Table III)."""
+
+
+def eval_config(
+    banks: int = EVAL_BANKS, channels: int = EVAL_CHANNELS
+) -> DRAMConfig:
+    """The Section V evaluation DRAM configuration."""
+    return hbm2e_like_config(num_channels=channels, banks_per_channel=banks)
+
+
+def eval_timing() -> TimingParams:
+    """The Table III-compatible timing preset."""
+    return hbm2e_like_timing()
+
+
+def make_device(
+    opt: OptimizationConfig = FULL,
+    *,
+    banks: int = EVAL_BANKS,
+    channels: int = EVAL_CHANNELS,
+    functional: bool = False,
+    refresh_enabled: bool = True,
+    timing: Optional[TimingParams] = None,
+) -> NewtonDevice:
+    """A fresh Newton device in the evaluation configuration."""
+    return NewtonDevice(
+        eval_config(banks, channels),
+        timing if timing is not None else eval_timing(),
+        opt,
+        functional=functional,
+        refresh_enabled=refresh_enabled,
+    )
+
+
+def newton_layer_cycles(
+    layer: BenchmarkLayer,
+    opt: OptimizationConfig = FULL,
+    *,
+    banks: int = EVAL_BANKS,
+    channels: int = EVAL_CHANNELS,
+    refresh_enabled: bool = True,
+) -> int:
+    """Simulated cycles for one Table II layer on a fresh device."""
+    device = make_device(
+        opt, banks=banks, channels=channels, refresh_enabled=refresh_enabled
+    )
+    handle = device.load_matrix(m=layer.m, n=layer.n)
+    return device.gemv(handle).cycles
+
+
+def make_baselines(
+    banks: int = EVAL_BANKS, channels: int = EVAL_CHANNELS
+) -> "tuple[IdealNonPim, GpuModel]":
+    """The two comparison baselines on the same memory system."""
+    config = eval_config(banks, channels)
+    timing = eval_timing()
+    return IdealNonPim(config, timing), titan_v_like(config, timing)

@@ -1,0 +1,90 @@
+"""Extension: Newton across DRAM families (Conclusion / Section III-E).
+
+The paper closes by noting Newton applies "to other DRAMs, including
+DDR, LPDDR, and GDDR families" with the MAC count re-rate-matched to
+each family's column I/O. This study runs the same layer on every
+family preset and reports Newton's speedup over that family's own Ideal
+Non-PIM (each family's external bandwidth differs, so the within-family
+ratio is the meaningful comparison) alongside the Section III-F model's
+prediction for that family's timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL
+from repro.dram.families import FAMILIES, FamilyPreset
+from repro.utils.tables import render_table
+from repro.workloads.catalog import layer_by_name
+
+
+@dataclass(frozen=True)
+class FamilyRow:
+    """One family's measurement."""
+
+    family: str
+    banks: int
+    macs_per_bank: int
+    newton_cycles: int
+    speedup_vs_ideal: float
+    model_prediction: float
+
+
+@dataclass
+class FamilyStudyResult:
+    """The cross-family table."""
+
+    layer_name: str = ""
+    rows: List[FamilyRow] = field(default_factory=list)
+
+    def every_family_benefits(self) -> bool:
+        """Newton must beat the bandwidth bound in every family."""
+        return all(r.speedup_vs_ideal > 2.0 for r in self.rows)
+
+    def render(self) -> str:
+        """The table."""
+        return render_table(
+            ["family", "banks", "MACs/bank", "Newton cycles", "vs Ideal", "model"],
+            [
+                (
+                    r.family,
+                    r.banks,
+                    r.macs_per_bank,
+                    r.newton_cycles,
+                    r.speedup_vs_ideal,
+                    r.model_prediction,
+                )
+                for r in self.rows
+            ],
+            title=f"Newton across DRAM families ({self.layer_name})",
+        )
+
+
+def _measure(preset: FamilyPreset, m: int, n: int) -> FamilyRow:
+    device = NewtonDevice(preset.config, preset.timing, FULL, functional=False)
+    handle = device.load_matrix(m=m, n=n)
+    cycles = device.gemv(handle).cycles
+    ideal = IdealNonPim(preset.config, preset.timing)
+    model = AnalyticalModel(preset.config, preset.timing)
+    return FamilyRow(
+        family=preset.name,
+        banks=preset.config.banks_per_channel,
+        macs_per_bank=preset.config.mults_per_bank,
+        newton_cycles=cycles,
+        speedup_vs_ideal=ideal.gemv_cycles(m, n) / cycles,
+        model_prediction=model.predicted_speedup(),
+    )
+
+
+def run(layer_name: str = "GNMTs1") -> FamilyStudyResult:
+    """Run the same layer on every family preset."""
+    layer = layer_by_name(layer_name)
+    result = FamilyStudyResult(layer_name=layer_name)
+    for builder in FAMILIES.values():
+        result.rows.append(_measure(builder(), layer.m, layer.n))
+    return result

@@ -1,0 +1,67 @@
+"""Figure 10: sensitivity to the number of banks per channel.
+
+Compute bandwidth scales linearly with banks, but the activation
+overheads (``o`` in Section III-F) grow too, so the speedup is sublinear:
+the paper reports 28x / 54x / 96x at 8 / 16 / 32 banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+BANK_SWEEP: Tuple[int, ...] = (8, 16, 32)
+
+
+@dataclass
+class Fig10Result:
+    """Per-layer speedups over the GPU at each bank count."""
+
+    speedups: Dict[int, List[Tuple[str, float]]] = field(default_factory=dict)
+
+    def gmean(self, banks: int) -> float:
+        """Geometric-mean speedup at a bank count."""
+        return geometric_mean([s for _, s in self.speedups[banks]])
+
+    def sublinear(self) -> bool:
+        """Doubling banks should help, but by less than 2x (Amdahl)."""
+        gains = [self.gmean(b) for b in sorted(self.speedups)]
+        return all(
+            later > earlier and later < 2.0 * earlier
+            for earlier, later in zip(gains, gains[1:])
+        )
+
+    def render(self) -> str:
+        """Figure 10 as a paper-style table."""
+        banks = sorted(self.speedups)
+        names = [name for name, _ in self.speedups[banks[0]]]
+        rows = []
+        for i, name in enumerate(names):
+            rows.append([name] + [self.speedups[b][i][1] for b in banks])
+        rows.append(["gmean"] + [self.gmean(b) for b in banks])
+        return render_table(
+            ["layer"] + [f"{b} banks" for b in banks],
+            rows,
+            title="Figure 10: speedup over GPU vs banks per channel",
+        )
+
+
+def run(channels: int = common.EVAL_CHANNELS) -> Fig10Result:
+    """Regenerate Figure 10."""
+    result = Fig10Result()
+    for banks in BANK_SWEEP:
+        _, gpu = common.make_baselines(banks, channels)
+        rows = []
+        for layer in TABLE_II_LAYERS:
+            newton = common.newton_layer_cycles(
+                layer, FULL, banks=banks, channels=channels
+            )
+            rows.append((layer.name, gpu.gemv_cycles(layer.m, layer.n) / newton))
+        result.speedups[banks] = rows
+    return result

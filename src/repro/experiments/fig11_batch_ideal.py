@@ -1,0 +1,89 @@
+"""Figure 11: sensitivity to batch size — Newton vs Ideal Non-PIM.
+
+Performance is normalized to the Titan-V-like GPU at batch 1. Newton's
+per-input time is constant (its compute cannot exploit batch reuse);
+Ideal Non-PIM amortizes the matrix transfer over the batch, so it nearly
+catches Newton at k = 8 and is ~1.6x faster at k = 16 — the paper's
+crossover, an artifact of its infinite compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+BATCH_SWEEP: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """Normalized performance (higher is better) at each batch size."""
+
+    layer: str
+    newton: Dict[int, float]
+    ideal: Dict[int, float]
+
+
+@dataclass
+class Fig11Result:
+    """The Figure 11 dataset."""
+
+    rows: List[BatchRow] = field(default_factory=list)
+    batches: Tuple[int, ...] = BATCH_SWEEP
+
+    def crossover_batch(self, layer: str) -> int:
+        """Smallest batch at which Ideal Non-PIM beats Newton (paper: ~16)."""
+        row = next(r for r in self.rows if r.layer == layer)
+        for k in self.batches:
+            if row.ideal[k] > row.newton[k]:
+                return k
+        return 0
+
+    def render(self) -> str:
+        """Figure 11 as a paper-style table."""
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [f"{row.layer} Newton"] + [row.newton[k] for k in self.batches]
+            )
+            table_rows.append(
+                [f"{row.layer} Ideal"] + [row.ideal[k] for k in self.batches]
+            )
+        return render_table(
+            ["system"] + [f"k={k}" for k in self.batches],
+            table_rows,
+            title=(
+                "Figure 11: per-input performance vs batch size "
+                "(normalized to GPU @ k=1)"
+            ),
+        )
+
+
+def run(
+    banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS
+) -> Fig11Result:
+    """Regenerate Figure 11."""
+    ideal, gpu = common.make_baselines(banks, channels)
+    result = Fig11Result()
+    for layer in TABLE_II_LAYERS:
+        gpu_base = gpu.gemv_cycles_per_input(layer.m, layer.n, batch=1)
+        newton_cycles = common.newton_layer_cycles(
+            layer, FULL, banks=banks, channels=channels
+        )
+        newton = {}
+        ideal_perf = {}
+        for k in BATCH_SWEEP:
+            # Newton runs the batch back to back: per-input time constant.
+            newton[k] = gpu_base / newton_cycles
+            ideal_perf[k] = gpu_base / ideal.gemv_cycles_per_input(
+                layer.m, layer.n, batch=k
+            )
+        result.rows.append(
+            BatchRow(layer=layer.name, newton=newton, ideal=ideal_perf)
+        )
+    return result

@@ -1,0 +1,93 @@
+"""Figure 12: sensitivity to batch size — Newton vs the realistic GPU.
+
+Same normalization as Figure 11 (GPU at batch 1 = 1.0). Against the
+*realistic* GPU — rather than the infinite-compute ideal — a much larger
+batch is needed before caching overtakes Newton: the paper reports the
+crossover at batch ≈ 64, and argues batch-8-and-below (edge inference) is
+where Newton matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+BATCH_SWEEP: Tuple[int, ...] = (1, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """Normalized performance (higher is better) at each batch size."""
+
+    layer: str
+    newton: Dict[int, float]
+    gpu: Dict[int, float]
+
+
+@dataclass
+class Fig12Result:
+    """The Figure 12 dataset."""
+
+    rows: List[BatchRow] = field(default_factory=list)
+    batches: Tuple[int, ...] = BATCH_SWEEP
+
+    def crossover_batch(self, layer: str) -> int:
+        """Smallest batch at which the GPU beats Newton (paper: ~64)."""
+        row = next(r for r in self.rows if r.layer == layer)
+        for k in self.batches:
+            if row.gpu[k] > row.newton[k]:
+                return k
+        return 0
+
+    def newton_wins_small_batches(self, layer: str, up_to: int = 8) -> bool:
+        """Newton should dominate at edge-sized batches (paper's argument)."""
+        row = next(r for r in self.rows if r.layer == layer)
+        return all(
+            row.newton[k] > row.gpu[k] for k in self.batches if k <= up_to
+        )
+
+    def render(self) -> str:
+        """Figure 12 as a paper-style table."""
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [f"{row.layer} Newton"] + [row.newton[k] for k in self.batches]
+            )
+            table_rows.append(
+                [f"{row.layer} GPU"] + [row.gpu[k] for k in self.batches]
+            )
+        return render_table(
+            ["system"] + [f"k={k}" for k in self.batches],
+            table_rows,
+            title=(
+                "Figure 12: per-input performance vs batch size "
+                "(normalized to GPU @ k=1)"
+            ),
+        )
+
+
+def run(
+    banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS
+) -> Fig12Result:
+    """Regenerate Figure 12."""
+    _, gpu = common.make_baselines(banks, channels)
+    result = Fig12Result()
+    for layer in TABLE_II_LAYERS:
+        gpu_base = gpu.gemv_cycles_per_input(layer.m, layer.n, batch=1)
+        newton_cycles = common.newton_layer_cycles(
+            layer, FULL, banks=banks, channels=channels
+        )
+        newton = {}
+        gpu_perf = {}
+        for k in BATCH_SWEEP:
+            newton[k] = gpu_base / newton_cycles
+            gpu_perf[k] = gpu_base / gpu.gemv_cycles_per_input(
+                layer.m, layer.n, batch=k
+            )
+        result.rows.append(BatchRow(layer=layer.name, newton=newton, gpu=gpu_perf))
+    return result

@@ -1,0 +1,70 @@
+"""Figure 13: average power, normalized to conventional DRAM.
+
+Newton's per-channel average power over each benchmark, divided by the
+power of conventional DRAM streaming reads at peak bandwidth (the paper's
+normalization). Paper anchors: ~2.8x mean, with all-bank COMP phases
+burning ~4x peak-read power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.optimizations import FULL
+from repro.dram.power import PowerReport
+from repro.experiments import common
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+
+@dataclass(frozen=True)
+class PowerRow:
+    """One benchmark's normalized average power."""
+
+    layer: str
+    normalized_power: float
+    report: PowerReport
+
+
+@dataclass
+class Fig13Result:
+    """The Figure 13 dataset."""
+
+    rows: List[PowerRow] = field(default_factory=list)
+
+    @property
+    def mean_power(self) -> float:
+        """Mean normalized power across benchmarks (paper: ~2.8x)."""
+        return geometric_mean([r.normalized_power for r in self.rows])
+
+    def render(self) -> str:
+        """Figure 13 as a paper-style table."""
+        return render_table(
+            ["layer", "Newton avg power / conventional DRAM"],
+            [(r.layer, r.normalized_power) for r in self.rows]
+            + [("mean", self.mean_power)],
+            title="Figure 13: average power normalized to conventional DRAM",
+        )
+
+
+def run(
+    banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS
+) -> Fig13Result:
+    """Regenerate Figure 13."""
+    result = Fig13Result()
+    for layer in TABLE_II_LAYERS:
+        device = common.make_device(FULL, banks=banks, channels=channels)
+        handle = device.load_matrix(m=layer.m, n=layer.n)
+        device.gemv(handle)
+        report = device.power_report()
+        baseline = device.conventional_dram_power()
+        result.rows.append(
+            PowerRow(
+                layer=layer.name,
+                normalized_power=report.average_power / baseline,
+                report=report,
+            )
+        )
+    return result

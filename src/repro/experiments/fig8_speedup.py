@@ -1,0 +1,145 @@
+"""Figure 8: speedup over the Titan-V-like GPU.
+
+Left section: each Table II layer, with three systems — full Newton,
+Non-opt-Newton, and Ideal Non-PIM — plus the geometric mean. Right
+section: the four end-to-end models (GNMT, BERT, AlexNet, DLRM).
+
+Paper anchors: Newton 54x gmean (layers), Non-opt-Newton 1.48x, Ideal
+Non-PIM 5.4x; Newton is 10x over Ideal Non-PIM; key-target (GNMT, BERT,
+DLRM) end-to-end mean 49x; AlexNet end-to-end only 1.2x (conv-bound);
+DLRM drops from 70x (single layer, inside the refresh window) to 47x
+end-to-end (refresh intervenes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.baselines.gpu import GpuModel
+from repro.core.optimizations import FULL, NON_OPT
+from repro.experiments import common
+from repro.host.pipeline import PipelineModel
+from repro.host.runtime import NewtonRuntime
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import render_table
+from repro.workloads.catalog import KEY_TARGET_WORKLOADS, TABLE_II_LAYERS
+from repro.workloads.models import END_TO_END_MODELS
+from repro.workloads.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class LayerRow:
+    """One Figure 8 layer bar group (speedups over the GPU)."""
+
+    name: str
+    newton: float
+    non_opt: float
+    ideal: float
+
+
+@dataclass(frozen=True)
+class ModelRow:
+    """One Figure 8 end-to-end bar (speedup over the GPU)."""
+
+    name: str
+    newton: float
+
+
+@dataclass
+class Fig8Result:
+    """The full Figure 8 dataset."""
+
+    layer_rows: List[LayerRow] = field(default_factory=list)
+    model_rows: List[ModelRow] = field(default_factory=list)
+
+    @property
+    def gmean_newton(self) -> float:
+        """Per-layer geometric-mean Newton speedup (paper: 54x)."""
+        return geometric_mean([r.newton for r in self.layer_rows])
+
+    @property
+    def gmean_non_opt(self) -> float:
+        """Per-layer geometric-mean Non-opt-Newton speedup (paper: 1.48x)."""
+        return geometric_mean([r.non_opt for r in self.layer_rows])
+
+    @property
+    def gmean_ideal(self) -> float:
+        """Per-layer geometric-mean Ideal Non-PIM speedup (paper: 5.4x)."""
+        return geometric_mean([r.ideal for r in self.layer_rows])
+
+    @property
+    def newton_over_ideal(self) -> float:
+        """Newton's gmean advantage over Ideal Non-PIM (paper: 10x)."""
+        return self.gmean_newton / self.gmean_ideal
+
+    @property
+    def key_target_mean(self) -> float:
+        """End-to-end gmean over GNMT/BERT/DLRM (paper: 49x)."""
+        vals = [r.newton for r in self.model_rows if r.name in KEY_TARGET_WORKLOADS]
+        return geometric_mean(vals)
+
+    def render(self) -> str:
+        """Figure 8 as two paper-style tables."""
+        layer_table = render_table(
+            ["layer", "Newton", "Non-opt-Newton", "Ideal Non-PIM"],
+            [
+                (r.name, r.newton, r.non_opt, r.ideal)
+                for r in self.layer_rows
+            ]
+            + [
+                ("gmean", self.gmean_newton, self.gmean_non_opt, self.gmean_ideal)
+            ],
+            title="Figure 8 (left): speedup over Titan-V-like GPU, single layers",
+        )
+        model_table = render_table(
+            ["model", "Newton end-to-end"],
+            [(r.name, r.newton) for r in self.model_rows]
+            + [("key-target mean", self.key_target_mean)],
+            title="Figure 8 (right): end-to-end speedup over the GPU",
+        )
+        return layer_table + "\n\n" + model_table
+
+
+def _gpu_model_cycles(spec: ModelSpec, gpu: GpuModel) -> float:
+    """GPU end-to-end time: every layer on the GPU."""
+    total = 0.0
+    for layer in spec.layers:
+        if layer.on_newton:
+            total += gpu.gemv_cycles(layer.m, layer.n)
+        else:
+            total += gpu.host_op_cycles(layer.host_flops, layer.host_bytes)
+    return total
+
+
+def run(banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS) -> Fig8Result:
+    """Regenerate Figure 8."""
+    ideal, gpu = common.make_baselines(banks, channels)
+    result = Fig8Result()
+
+    for layer in TABLE_II_LAYERS:
+        gpu_cycles = gpu.gemv_cycles(layer.m, layer.n)
+        newton = common.newton_layer_cycles(layer, FULL, banks=banks, channels=channels)
+        non_opt = common.newton_layer_cycles(layer, NON_OPT, banks=banks, channels=channels)
+        ideal_cycles = ideal.gemv_cycles(layer.m, layer.n)
+        result.layer_rows.append(
+            LayerRow(
+                name=layer.name,
+                newton=gpu_cycles / newton,
+                non_opt=gpu_cycles / non_opt,
+                ideal=gpu_cycles / ideal_cycles,
+            )
+        )
+
+    for name, spec in END_TO_END_MODELS.items():
+        device = common.make_device(FULL, banks=banks, channels=channels)
+        runtime = NewtonRuntime(
+            device, gpu, PipelineModel(device.config, device.timing)
+        )
+        loaded = runtime.load_model(spec)
+        run_record = runtime.run(loaded)
+        gpu_total = _gpu_model_cycles(spec, gpu)
+        result.model_rows.append(
+            ModelRow(name=name, newton=gpu_total / run_record.total_cycles)
+        )
+    return result

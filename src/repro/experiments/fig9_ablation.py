@@ -1,0 +1,74 @@
+"""Figure 9: isolating Newton's optimizations.
+
+Starting from Non-opt-Newton, the optimizations are added progressively —
+all-bank ganged compute, complex commands, reuse (interleaved layout +
+tiling), four-bank ganged activation, aggressive tFAW — and the
+geometric-mean speedup over the GPU is reported at every step.
+
+Paper anchors: 1.48x without any optimization; ganging yields the largest
+jump (16x command-bandwidth reduction); complex commands a further 3x
+command-bandwidth reduction; the ladder ends at the full design's 54x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.optimizations import figure9_ladder
+from repro.experiments import common
+from repro.utils.stats import geometric_mean
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+
+@dataclass(frozen=True)
+class LadderRow:
+    """One ablation step."""
+
+    step: str
+    gmean_speedup: float
+    per_layer: "tuple[float, ...]"
+
+
+@dataclass
+class Fig9Result:
+    """The Figure 9 ladder."""
+
+    rows: List[LadderRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Figure 9 as a paper-style table."""
+        return render_table(
+            ["optimization step", "gmean speedup vs GPU"],
+            [(r.step, r.gmean_speedup) for r in self.rows],
+            title="Figure 9: isolating Newton's optimizations",
+        )
+
+    def monotonically_improves(self) -> bool:
+        """Every added optimization should help (the paper's claim)."""
+        speeds = [r.gmean_speedup for r in self.rows]
+        return all(b >= a for a, b in zip(speeds, speeds[1:]))
+
+
+def run(
+    banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS
+) -> Fig9Result:
+    """Regenerate Figure 9."""
+    _, gpu = common.make_baselines(banks, channels)
+    result = Fig9Result()
+    for step_name, opt in figure9_ladder():
+        speedups = []
+        for layer in TABLE_II_LAYERS:
+            newton = common.newton_layer_cycles(
+                layer, opt, banks=banks, channels=channels
+            )
+            speedups.append(gpu.gemv_cycles(layer.m, layer.n) / newton)
+        result.rows.append(
+            LadderRow(
+                step=step_name,
+                gmean_speedup=geometric_mean(speedups),
+                per_layer=tuple(speedups),
+            )
+        )
+    return result

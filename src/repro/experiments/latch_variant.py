@@ -1,0 +1,80 @@
+"""Section III-C's rejected option: four result latches per bank.
+
+The paper explored a middle ground between full input reuse and none:
+re-use the buffered input chunk across four matrix rows per bank (four
+result latches) with a row-major traversal — avoiding the per-DRAM-row
+output traffic while refetching input once every four matrix rows. It
+found the full-reuse design "performs virtually similarly ... while
+avoiding the latter's extra result latches", and dropped the option.
+
+This extension experiment reproduces that comparison (and includes the
+1-latch row-major Newton-no-reuse for scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+
+@dataclass(frozen=True)
+class VariantRow:
+    """Cycles per variant for one layer."""
+
+    layer: str
+    full_reuse: int
+    four_latches: int
+    no_reuse: int
+
+    @property
+    def four_latch_ratio(self) -> float:
+        """Four-latch time over full-reuse time (paper: ~1.0)."""
+        return self.four_latches / self.full_reuse
+
+
+@dataclass
+class LatchVariantResult:
+    """The latch-variant comparison."""
+
+    rows: List[VariantRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The comparison table."""
+        return render_table(
+            ["layer", "full reuse", "4 latches", "no reuse", "4-latch / full"],
+            [
+                (r.layer, r.full_reuse, r.four_latches, r.no_reuse, r.four_latch_ratio)
+                for r in self.rows
+            ],
+            title="Section III-C: result-latch variants (cycles, lower is better)",
+        )
+
+
+def run(
+    banks: int = common.EVAL_BANKS, channels: int = common.EVAL_CHANNELS
+) -> LatchVariantResult:
+    """Run the three-variant comparison."""
+    four_latch = FULL.evolve(interleaved_reuse=False, result_latches=4)
+    no_reuse = FULL.evolve(interleaved_reuse=False)
+    result = LatchVariantResult()
+    for layer in TABLE_II_LAYERS:
+        result.rows.append(
+            VariantRow(
+                layer=layer.name,
+                full_reuse=common.newton_layer_cycles(
+                    layer, FULL, banks=banks, channels=channels
+                ),
+                four_latches=common.newton_layer_cycles(
+                    layer, four_latch, banks=banks, channels=channels
+                ),
+                no_reuse=common.newton_layer_cycles(
+                    layer, no_reuse, banks=banks, channels=channels
+                ),
+            )
+        )
+    return result

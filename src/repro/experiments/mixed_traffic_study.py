@@ -1,0 +1,118 @@
+"""Extension: AiM slowdown under interleaved ordinary traffic (§III-D).
+
+"AiM memory can be used as normal memory." This experiment sweeps the
+host's mixing ratio — ordinary reads interleaved per tile boundary — and
+measures the AiM layer's slowdown, quantifying the cost of treating a
+Newton channel as general-purpose memory while it computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.engine import NewtonChannelEngine
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.host.mixed_traffic import NonAimRequest, NonAimTrafficSource
+from repro.utils.tables import render_table
+
+MIX_RATIOS: Tuple[int, ...] = (0, 1, 2, 4)
+"""Ordinary requests interleaved per tile boundary."""
+
+
+@dataclass(frozen=True)
+class MixRow:
+    """One mixing ratio's outcome."""
+
+    per_boundary: int
+    aim_cycles: int
+    slowdown: float
+    non_aim_served: int
+    non_aim_worst_latency: int = 0
+    """Worst ordinary-read latency (queueing behind AiM tiles included)."""
+
+
+@dataclass
+class MixedTrafficResult:
+    """The mixing-ratio sweep for one layer."""
+
+    layer_name: str = ""
+    rows: List[MixRow] = field(default_factory=list)
+
+    def slowdown_monotone(self) -> bool:
+        """More interleaved traffic can only slow AiM down."""
+        slows = [r.slowdown for r in self.rows]
+        return all(b >= a for a, b in zip(slows, slows[1:]))
+
+    def render(self) -> str:
+        """The sweep as a table."""
+        return render_table(
+            [
+                "reads per tile boundary",
+                "AiM cycles",
+                "slowdown",
+                "reads served",
+                "worst read latency",
+            ],
+            [
+                (
+                    r.per_boundary,
+                    r.aim_cycles,
+                    r.slowdown,
+                    r.non_aim_served,
+                    r.non_aim_worst_latency,
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Section III-D: {self.layer_name} under interleaved "
+                "non-AiM traffic"
+            ),
+        )
+
+
+def run(banks: int = common.EVAL_BANKS, m: int = 1024, n: int = 1024) -> MixedTrafficResult:
+    """Sweep the mixing ratio on a BERTs1-shaped layer (single channel,
+    where the contention is; other channels behave identically)."""
+    config = common.eval_config(banks=banks, channels=1)
+    timing = common.eval_timing()
+    result = MixedTrafficResult(layer_name=f"{m}x{n}")
+    baseline = None
+    for ratio in MIX_RATIOS:
+        engine = NewtonChannelEngine(
+            config, timing, FULL, functional=False, refresh_enabled=True
+        )
+        layout = engine.add_matrix(m, n)
+        traffic = None
+        if ratio:
+            boundaries = layout.num_chunks * layout.tiles
+            # Arrivals paced to the tile cadence (one batch per boundary)
+            # so the reported latency is per-request queueing, not the
+            # drain time of a single burst.
+            tile_cycles = 204
+            requests = [
+                NonAimRequest(
+                    bank=i % config.banks_per_channel,
+                    row=config.rows_per_bank - 1 - (i % 64),
+                    col=i % config.cols_per_row,
+                    arrival=(i // ratio) * tile_cycles,
+                )
+                for i in range(boundaries * ratio)
+            ]
+            traffic = NonAimTrafficSource(requests, per_boundary=ratio)
+        run_record = engine.run_gemv(layout, background=traffic)
+        if baseline is None:
+            baseline = run_record.cycles
+        result.rows.append(
+            MixRow(
+                per_boundary=ratio,
+                aim_cycles=run_record.cycles,
+                slowdown=run_record.cycles / baseline,
+                non_aim_served=traffic.issued if traffic else 0,
+                non_aim_worst_latency=(
+                    max(traffic.latencies) if traffic and traffic.latencies else 0
+                ),
+            )
+        )
+    return result

@@ -1,0 +1,82 @@
+"""Extension: adder-tree vs column-major utilization (Section III-B).
+
+Sweeps matrix heights over the Table II range and reports each
+organization's multiplier utilization on the paper's aggressive
+24-channel system — the quantitative form of the argument that typical
+matrix heights (512+) exceed total banks (256-384) but not total lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.organization import MacOrganization, OrganizationModel
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+EXTRA_HEIGHTS: Tuple[int, ...] = (128, 256, 384, 768, 6144)
+"""Synthetic heights bracketing the tree/column-major grain sizes."""
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """Utilization of both organizations for one matrix height."""
+
+    label: str
+    m: int
+    tree: float
+    column_major: float
+
+
+@dataclass
+class OrganizationResult:
+    """The utilization sweep."""
+
+    rows: List[UtilizationRow] = field(default_factory=list)
+    total_banks: int = 0
+    total_lanes: int = 0
+
+    def tree_always_at_least_as_good(self) -> bool:
+        """The Section III-B conclusion over the whole sweep."""
+        return all(r.tree >= r.column_major for r in self.rows)
+
+    def render(self) -> str:
+        """The sweep as a table."""
+        body = render_table(
+            ["workload", "matrix rows", "tree util", "column-major util"],
+            [(r.label, r.m, r.tree, r.column_major) for r in self.rows],
+            title=(
+                "Section III-B: multiplier utilization "
+                f"({self.total_banks} banks / {self.total_lanes} lanes total)"
+            ),
+        )
+        return body
+
+
+def run(channels: int = common.EVAL_CHANNELS) -> OrganizationResult:
+    """Run the utilization sweep."""
+    model = OrganizationModel(common.eval_config(channels=channels))
+    result = OrganizationResult(
+        total_banks=model.total_banks, total_lanes=model.total_lanes
+    )
+    for layer in TABLE_II_LAYERS:
+        result.rows.append(
+            UtilizationRow(
+                label=layer.name,
+                m=layer.m,
+                tree=model.utilization(layer.m, MacOrganization.ADDER_TREE),
+                column_major=model.utilization(layer.m, MacOrganization.COLUMN_MAJOR),
+            )
+        )
+    for m in EXTRA_HEIGHTS:
+        result.rows.append(
+            UtilizationRow(
+                label=f"synthetic {m}",
+                m=m,
+                tree=model.utilization(m, MacOrganization.ADDER_TREE),
+                column_major=model.utilization(m, MacOrganization.COLUMN_MAJOR),
+            )
+        )
+    return result

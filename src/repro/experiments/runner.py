@@ -1,0 +1,103 @@
+"""Regenerate every table and figure: the ``newton-repro`` console script."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    area_budget,
+    chunk_width_study,
+    energy_efficiency,
+    family_study,
+    fig8_speedup,
+    fig9_ablation,
+    fig10_banks,
+    fig11_batch_ideal,
+    fig12_batch_gpu,
+    fig13_power,
+    latch_variant,
+    mixed_traffic_study,
+    model_validation,
+    organization_study,
+    scrub_overhead,
+    sensitivity,
+    serving_study,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "fig8": fig8_speedup.run,
+    "fig9": fig9_ablation.run,
+    "fig10": fig10_banks.run,
+    "fig11": fig11_batch_ideal.run,
+    "fig12": fig12_batch_gpu.run,
+    "fig13": fig13_power.run,
+    "model-validation": model_validation.run,
+    "latch-variant": latch_variant.run,
+    "area-budget": area_budget.run,
+    "organization": organization_study.run,
+    "scrub-overhead": scrub_overhead.run,
+    "mixed-traffic": mixed_traffic_study.run,
+    "sensitivity": sensitivity.run,
+    "families": family_study.run,
+    "energy": energy_efficiency.run,
+    "serving": serving_study.run,
+    "chunk-width": chunk_width_study.run,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the requested experiments (default: all) and print the tables."""
+    parser = argparse.ArgumentParser(
+        prog="newton-repro",
+        description="Regenerate the Newton paper's evaluation tables/figures.",
+    )
+    # NB: argparse rejects an empty nargs="*" positional when `choices`
+    # is set (bpo-27227), so validity is checked by hand below.
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run (default: all); one of: "
+        f"{', '.join([*EXPERIMENTS, 'all'])}",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also append the rendered tables to this file",
+    )
+    args = parser.parse_args(argv)
+    requested = args.experiments or ["all"]
+    unknown = [name for name in requested if name not in EXPERIMENTS and name != "all"]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join([*EXPERIMENTS, 'all'])}"
+        )
+    selected = (
+        list(EXPERIMENTS)
+        if "all" in requested
+        else list(dict.fromkeys(requested))
+    )
+    sections = []
+    for name in selected:
+        started = time.time()
+        result = EXPERIMENTS[name]()
+        elapsed = time.time() - started
+        header = f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name))
+        body = result.render()
+        print(header)
+        print(body)
+        print()
+        sections.append(header + "\n" + body + "\n")
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as f:
+            f.write("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

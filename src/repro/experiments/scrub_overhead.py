@@ -1,0 +1,90 @@
+"""Extension: ECC scrub-by-reload overhead (Section III-E).
+
+The paper claims re-loading the matrix from a non-AiM copy "every so
+often" (e.g. once per 1000 inputs) costs only "a small bandwidth
+overhead". This experiment quantifies it per Table II layer: the reload
+time over the external interface, amortized against the simulated
+per-inference latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.optimizations import FULL
+from repro.core.scrub import ScrubPolicy
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import TABLE_II_LAYERS
+
+
+@dataclass(frozen=True)
+class ScrubRow:
+    """One layer's scrub accounting."""
+
+    layer: str
+    inference_cycles: int
+    reload_cycles: float
+    overhead_fraction: float
+
+
+@dataclass
+class ScrubResult:
+    """The scrub-overhead table."""
+
+    inputs_per_scrub: int = 1000
+    rows: List[ScrubRow] = field(default_factory=list)
+
+    @property
+    def worst_overhead(self) -> float:
+        """The largest per-layer overhead fraction."""
+        return max(r.overhead_fraction for r in self.rows)
+
+    def render(self) -> str:
+        """The table."""
+        return render_table(
+            ["layer", "inference (cyc)", "reload (cyc)", "overhead"],
+            [
+                (
+                    r.layer,
+                    r.inference_cycles,
+                    round(r.reload_cycles),
+                    f"{r.overhead_fraction:.3%}",
+                )
+                for r in self.rows
+            ],
+            title=(
+                "Section III-E: matrix reload (ECC scrub) every "
+                f"{self.inputs_per_scrub} inputs"
+            ),
+        )
+
+
+def run(
+    banks: int = common.EVAL_BANKS,
+    channels: int = common.EVAL_CHANNELS,
+    inputs_per_scrub: int = 1000,
+) -> ScrubResult:
+    """Quantify the scrub overhead per Table II layer."""
+    policy = ScrubPolicy(inputs_per_scrub=inputs_per_scrub)
+    config = common.eval_config(banks, channels)
+    timing = common.eval_timing()
+    bytes_per_cycle = config.num_channels * config.col_io_bytes / timing.t_ccd
+    result = ScrubResult(inputs_per_scrub=inputs_per_scrub)
+    for layer in TABLE_II_LAYERS:
+        inference = common.newton_layer_cycles(
+            layer, FULL, banks=banks, channels=channels
+        )
+        reload_cycles = policy.reload_cycles(layer.matrix_bytes, bytes_per_cycle)
+        result.rows.append(
+            ScrubRow(
+                layer=layer.name,
+                inference_cycles=inference,
+                reload_cycles=reload_cycles,
+                overhead_fraction=policy.overhead_fraction(
+                    layer.matrix_bytes, bytes_per_cycle, inference
+                ),
+            )
+        )
+    return result

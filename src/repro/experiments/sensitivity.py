@@ -1,0 +1,119 @@
+"""Extension: timing-parameter sensitivity ablations.
+
+DESIGN.md calls out the design choices worth sweeping beyond the paper's
+own figures:
+
+* **refresh on/off** — how much of Newton's time refresh costs (the
+  paper's model/simulation residual);
+* **command-bus inter-command delay** — the resource the ganged/complex
+  commands conserve: the full design should be nearly insensitive, the
+  de-optimized design acutely sensitive (the whole point of the
+  interface optimizations);
+* **tFAW value** — the continuous version of the aggressive-tFAW step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.optimizations import FULL, NON_OPT
+from repro.experiments import common
+from repro.utils.tables import render_table
+from repro.workloads.catalog import layer_by_name
+
+COMMAND_GAPS: Tuple[int, ...] = (2, 4, 8)
+FAW_VALUES: Tuple[int, ...] = (8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One swept point."""
+
+    parameter: str
+    value: int
+    full_cycles: int
+    non_opt_cycles: int
+
+
+@dataclass
+class SensitivityResult:
+    """The sweeps, on the GNMTs1 layer."""
+
+    rows: List[SensitivityRow] = field(default_factory=list)
+    refresh_on_cycles: int = 0
+    refresh_off_cycles: int = 0
+
+    def series(self, parameter: str) -> List[SensitivityRow]:
+        """One parameter's sweep."""
+        return [r for r in self.rows if r.parameter == parameter]
+
+    def full_design_insensitive_to_command_gap(self) -> bool:
+        """Full Newton is command-bandwidth light: doubling the gap from
+        the default must cost it far less than it costs Non-opt-Newton."""
+        gaps = self.series("t_cmd")
+        full_span = gaps[-1].full_cycles / gaps[0].full_cycles
+        non_opt_span = gaps[-1].non_opt_cycles / gaps[0].non_opt_cycles
+        return non_opt_span > 1.5 * full_span
+
+    @property
+    def refresh_cost_fraction(self) -> float:
+        """Fraction of Newton's time spent on refresh."""
+        return 1.0 - self.refresh_off_cycles / self.refresh_on_cycles
+
+    def render(self) -> str:
+        """Both sweeps plus the refresh cost."""
+        body = render_table(
+            ["parameter", "value", "Newton cycles", "Non-opt cycles"],
+            [
+                (r.parameter, r.value, r.full_cycles, r.non_opt_cycles)
+                for r in self.rows
+            ],
+            title="Timing sensitivity on GNMTs1 (24 channels)",
+        )
+        return (
+            body
+            + f"\nrefresh cost: {self.refresh_cost_fraction:.2%} of Newton's time "
+            f"({self.refresh_on_cycles} vs {self.refresh_off_cycles} cycles)"
+        )
+
+
+def run(channels: int = common.EVAL_CHANNELS) -> SensitivityResult:
+    """Run the sweeps."""
+    layer = layer_by_name("GNMTs1")
+    result = SensitivityResult()
+
+    for gap in COMMAND_GAPS:
+        timing = common.eval_timing().with_overrides(t_cmd=gap)
+        result.rows.append(
+            SensitivityRow(
+                parameter="t_cmd",
+                value=gap,
+                full_cycles=_cycles(layer, FULL, timing, channels),
+                non_opt_cycles=_cycles(layer, NON_OPT, timing, channels),
+            )
+        )
+    for faw in FAW_VALUES:
+        timing = common.eval_timing().with_overrides(t_faw_aim=min(faw, 32), t_faw=32)
+        result.rows.append(
+            SensitivityRow(
+                parameter="t_faw_aim",
+                value=faw,
+                full_cycles=_cycles(layer, FULL, timing, channels),
+                non_opt_cycles=_cycles(layer, NON_OPT, timing, channels),
+            )
+        )
+
+    result.refresh_on_cycles = common.newton_layer_cycles(
+        layer, FULL, channels=channels, refresh_enabled=True
+    )
+    result.refresh_off_cycles = common.newton_layer_cycles(
+        layer, FULL, channels=channels, refresh_enabled=False
+    )
+    return result
+
+
+def _cycles(layer, opt, timing, channels) -> int:
+    device = common.make_device(opt, channels=channels, timing=timing)
+    handle = device.load_matrix(m=layer.m, n=layer.n)
+    return device.gemv(handle).cycles

@@ -1,0 +1,48 @@
+"""Host-side partial-result accumulation (Section III-C).
+
+"If the matrix row is wider than the chunk, then the host reduces
+multiple chunks' partial results all of which contribute to the same
+output vector element." The engine performs this reduction inline during
+execution; this standalone accumulator exists as the reference semantics
+(and for callers that stream READRES payloads themselves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+
+class HostAccumulator:
+    """fp32 accumulation of per-chunk partial output elements."""
+
+    def __init__(self, m: int):
+        if m <= 0:
+            raise ProtocolError("output vector length must be positive")
+        self.m = m
+        self._output = np.zeros(m, dtype=np.float32)
+        self.partials_received = 0
+
+    def add_partials(self, matrix_rows: np.ndarray, values: np.ndarray) -> None:
+        """Fold one READRES payload into the output vector.
+
+        Args:
+            matrix_rows: per-bank global matrix row indices (-1 = padding
+                bank, ignored).
+            values: per-bank bfloat16 partial results (as float32).
+        """
+        matrix_rows = np.asarray(matrix_rows, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float32).reshape(-1)
+        if matrix_rows.shape != values.shape:
+            raise ProtocolError("matrix_rows and values must have equal length")
+        if np.any(matrix_rows >= self.m):
+            raise ProtocolError("a partial targets a row beyond the output vector")
+        mask = matrix_rows >= 0
+        np.add.at(self._output, matrix_rows[mask], values[mask])
+        self.partials_received += int(mask.sum())
+
+    @property
+    def output(self) -> np.ndarray:
+        """The accumulated output vector (a copy)."""
+        return self._output.copy()

@@ -1,0 +1,121 @@
+"""Superpage allocation for physically contiguous matrices (Section III-E).
+
+Newton's layout "expects physical address contiguity", and Newton
+commands address physical rows directly — so the host allocates the
+matrix with superpages, guaranteeing contiguity, while ordinary 4 KB
+pages may land anywhere. This allocator models a bank's DRAM-row space:
+superpage reservations carve contiguous row ranges for AiM matrices,
+regular allocations fill the gaps, and the "AiM and non-AiM data may
+share a bank but never a DRAM row" rule (Section III-A) falls out of
+row-granular bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.dram.config import DRAMConfig
+from repro.errors import CapacityError, ConfigurationError, LayoutError
+
+
+@dataclass(frozen=True)
+class Superpage:
+    """A physically contiguous DRAM-row range reserved for AiM data."""
+
+    base_row: int
+    rows: int
+
+    @property
+    def end_row(self) -> int:
+        """One past the last row."""
+        return self.base_row + self.rows
+
+
+@dataclass
+class RowAllocator:
+    """Row-granular allocator for one bank's address space."""
+
+    config: DRAMConfig
+    _superpages: List[Superpage] = field(default_factory=list)
+    _non_aim_rows: Set[int] = field(default_factory=set)
+    _next_probe: int = 0
+
+    @property
+    def total_rows(self) -> int:
+        """Rows in the bank."""
+        return self.config.rows_per_bank
+
+    def _is_free(self, row: int) -> bool:
+        if row in self._non_aim_rows:
+            return False
+        return all(not (sp.base_row <= row < sp.end_row) for sp in self._superpages)
+
+    def allocate_superpage(self, rows: int) -> Superpage:
+        """Reserve a contiguous row range (first-fit).
+
+        Raises:
+            CapacityError: if no contiguous range of ``rows`` exists.
+        """
+        if rows <= 0:
+            raise ConfigurationError("a superpage needs at least one row")
+        if rows > self.total_rows:
+            raise CapacityError(
+                f"superpage of {rows} rows exceeds the bank ({self.total_rows})"
+            )
+        run_start = None
+        run_len = 0
+        for row in range(self.total_rows):
+            if self._is_free(row):
+                if run_start is None:
+                    run_start = row
+                run_len += 1
+                if run_len == rows:
+                    page = Superpage(base_row=run_start, rows=rows)
+                    self._superpages.append(page)
+                    return page
+            else:
+                run_start = None
+                run_len = 0
+        raise CapacityError(
+            f"no contiguous range of {rows} rows available "
+            f"(fragmented by {len(self._non_aim_rows)} non-AiM rows and "
+            f"{len(self._superpages)} superpages)"
+        )
+
+    def allocate_non_aim_row(self) -> int:
+        """Allocate one ordinary (non-AiM) row anywhere.
+
+        Non-AiM data may share a *bank* with AiM data but never a *row*
+        (Section III-A), which row-granular allocation guarantees.
+        """
+        for offset in range(self.total_rows):
+            row = (self._next_probe + offset) % self.total_rows
+            if self._is_free(row):
+                self._non_aim_rows.add(row)
+                self._next_probe = (row + 1) % self.total_rows
+                return row
+        raise CapacityError("the bank is full")
+
+    def free_superpage(self, page: Superpage) -> None:
+        """Release a superpage reservation."""
+        try:
+            self._superpages.remove(page)
+        except ValueError:
+            raise LayoutError(f"superpage {page} is not allocated") from None
+
+    def free_non_aim_row(self, row: int) -> None:
+        """Release an ordinary row."""
+        try:
+            self._non_aim_rows.remove(row)
+        except KeyError:
+            raise LayoutError(f"row {row} is not a non-AiM allocation") from None
+
+    def is_aim_row(self, row: int) -> bool:
+        """Whether a row belongs to an AiM superpage."""
+        return any(sp.base_row <= row < sp.end_row for sp in self._superpages)
+
+    def rows_free(self) -> int:
+        """Unallocated rows remaining."""
+        reserved = sum(sp.rows for sp in self._superpages) + len(self._non_aim_rows)
+        return self.total_rows - reserved

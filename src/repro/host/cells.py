@@ -1,0 +1,67 @@
+"""Recurrent cell semantics for the host (GNMT's LSTM layers).
+
+Newton computes each LSTM layer's fused gate pre-activations as one
+matrix-vector product (the 4-hidden x input matrix of Table II's GNMT
+rows); the host then applies the cheap element-wise cell update:
+
+    i, f, g, o = split(gates)
+    c' = sigmoid(f) * c + sigmoid(i) * tanh(g)
+    h' = sigmoid(o) * tanh(c')
+
+These element-wise operations stream with the results (like activation
+functions, Section III-C) and cost no exposed latency; their value here
+is *functional* — they make the end-to-end GNMT run a real recurrence
+instead of shape glue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.numerics.activation import sigmoid, tanh_fn
+
+
+@dataclass
+class LSTMCell:
+    """One layer's LSTM cell state and update rule."""
+
+    hidden: int
+    c: np.ndarray = field(init=False)
+    h: np.ndarray = field(init=False)
+    steps: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.hidden <= 0:
+            raise ConfigurationError("hidden size must be positive")
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero the recurrent state (start of a new sequence)."""
+        self.c = np.zeros(self.hidden, dtype=np.float32)
+        self.h = np.zeros(self.hidden, dtype=np.float32)
+        self.steps = 0
+
+    def step(self, gates: np.ndarray) -> np.ndarray:
+        """Apply one cell update from fused gate pre-activations.
+
+        Args:
+            gates: the Newton GEMV output, length ``4 * hidden``, laid
+                out [i | f | g | o] (the fused-gate matrix row order).
+
+        Returns:
+            The new hidden state ``h`` (also stored for the next step).
+        """
+        gates = np.asarray(gates, dtype=np.float32).reshape(-1)
+        if gates.shape[0] != 4 * self.hidden:
+            raise ProtocolError(
+                f"expected {4 * self.hidden} gate pre-activations, got "
+                f"{gates.shape[0]}"
+            )
+        i, f, g, o = np.split(gates, 4)
+        self.c = sigmoid(f) * self.c + sigmoid(i) * tanh_fn(g)
+        self.h = sigmoid(o) * tanh_fn(self.c)
+        self.steps += 1
+        return self.h.copy()

@@ -1,0 +1,122 @@
+"""Interleaving ordinary DRAM traffic with AiM operations (Section III-D).
+
+"AiM memory can be used as normal memory and can hold non-AiM data" —
+with two rules the paper spells out:
+
+1. AiM and non-AiM data may share a bank but never a DRAM row, so a
+   non-AiM access always needs its own activation (a precharge separates
+   it from any AiM row), and AiM row operations are guaranteed complete
+   before the non-AiM row opens;
+2. banks left free by a partial last tile cannot serve non-AiM requests
+   until every bank finishes its AiM operations.
+
+This module provides the traffic source the engine interleaves at tile
+boundaries — the points where every bank is precharged, which is exactly
+where both rules are satisfied by construction — plus bookkeeping to
+measure the interference in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dram import commands as cmds
+from repro.dram.commands import Command
+from repro.errors import ConfigurationError, LayoutError
+
+
+@dataclass(frozen=True)
+class NonAimRequest:
+    """One ordinary read or write to a non-AiM row."""
+
+    bank: int
+    row: int
+    col: int
+    is_write: bool = False
+    arrival: int = 0
+    """Cycle the host issued the request (for latency accounting)."""
+
+    def to_commands(self) -> List[Command]:
+        """The activate + column access (with auto-precharge) sequence."""
+        column = (
+            cmds.wr(self.bank, self.col, auto_precharge=True)
+            if self.is_write
+            else cmds.rd(self.bank, self.col, auto_precharge=True)
+        )
+        return [cmds.act(self.bank, self.row), column]
+
+
+@dataclass
+class NonAimTrafficSource:
+    """Feeds non-AiM requests to the engine at tile boundaries.
+
+    Args:
+        requests: the queued ordinary accesses, served in order.
+        per_boundary: how many requests to interleave per tile boundary
+            (the host memory controller's mixing ratio).
+        aim_rows: rows reserved for AiM data — a request targeting one is
+            rejected up front (rule 1: never share a row).
+    """
+
+    requests: List[NonAimRequest]
+    per_boundary: int = 1
+    aim_rows: Optional[Sequence[range]] = None
+    issued: int = 0
+    latencies: List[int] = field(default_factory=list)
+    """Completion latency of each finished request (data back at host),
+    measured from its ``arrival``; the host-visible cost of sharing the
+    channel with AiM compute."""
+    _cursor: int = field(default=0, repr=False)
+    _arrival_fifo: List[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.per_boundary <= 0:
+            raise ConfigurationError("per_boundary must be positive")
+        if self.aim_rows is not None:
+            for request in self.requests:
+                for span in self.aim_rows:
+                    if request.row in span:
+                        raise LayoutError(
+                            f"non-AiM request targets AiM row {request.row}: "
+                            "AiM and non-AiM data may share a bank but "
+                            "never a DRAM row (Section III-A)"
+                        )
+
+    @property
+    def pending(self) -> int:
+        """Requests not yet issued."""
+        return len(self.requests) - self._cursor
+
+    def commands_for_boundary(
+        self, boundary_index: int, now: int = 0
+    ) -> List[Command]:
+        """The commands to interleave at one tile boundary.
+
+        Only requests that have *arrived* by ``now`` are served (a
+        request cannot be issued before the host generates it).
+        """
+        out: List[Command] = []
+        served = 0
+        while self._cursor < len(self.requests) and served < self.per_boundary:
+            request = self.requests[self._cursor]
+            if request.arrival > now:
+                break  # in-order queue: later requests wait too
+            out.extend(request.to_commands())
+            self._arrival_fifo.append(request.arrival)
+            self._cursor += 1
+            served += 1
+            self.issued += 1
+        return out
+
+    def record_completion(self, command: Command, record) -> None:
+        """Engine callback: log latency when a request's column access
+        completes (data back at the host).
+
+        Requests are served strictly in order, so completions match the
+        arrival FIFO one column access at a time.
+        """
+        from repro.dram.commands import CommandKind
+
+        if command.kind in (CommandKind.RD, CommandKind.WR) and self._arrival_fifo:
+            self.latencies.append(record.complete - self._arrival_fifo.pop(0))

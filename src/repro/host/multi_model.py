@@ -1,0 +1,115 @@
+"""Multiple ML models on one Newton device (Section III-D, issue (4)).
+
+"The current Newton design can process only one ML model at a time in a
+bank or even a channel. Different models can operate simultaneously in
+different channels." This scheduler partitions the device's channels
+into disjoint sets, places one model per set, and runs them
+concurrently — channels are fully independent, so concurrent wall time
+is the slowest partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.gpu import titan_v_like
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL, OptimizationConfig
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import ConfigurationError
+from repro.host.runtime import LoadedModel, ModelRun, NewtonRuntime
+from repro.workloads.spec import ModelSpec
+
+
+@dataclass
+class ModelPartition:
+    """One model bound to a disjoint channel set."""
+
+    spec: ModelSpec
+    channels: Tuple[int, ...]
+    runtime: NewtonRuntime
+    loaded: LoadedModel
+
+
+@dataclass
+class ConcurrentRun:
+    """Outcome of running every partition concurrently."""
+
+    runs: Dict[str, ModelRun] = field(default_factory=dict)
+
+    @property
+    def wall_cycles(self) -> float:
+        """Concurrent wall clock: the slowest partition."""
+        return max(run.total_cycles for run in self.runs.values())
+
+    @property
+    def serial_cycles(self) -> float:
+        """What the same work would take run one-after-another on the
+        same per-model channel counts."""
+        return sum(run.total_cycles for run in self.runs.values())
+
+
+class MultiModelScheduler:
+    """Places models on disjoint channel sets and runs them together."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        timing: Optional[TimingParams] = None,
+        opt: OptimizationConfig = FULL,
+        *,
+        functional: bool = False,
+    ):
+        self.config = config
+        self.timing = timing if timing is not None else hbm2e_like_timing()
+        self.opt = opt
+        self.functional = functional
+        self.partitions: List[ModelPartition] = []
+        self._next_channel = 0
+
+    def place(self, spec: ModelSpec, channels: int) -> ModelPartition:
+        """Bind a model to the next ``channels`` free channels.
+
+        Raises:
+            ConfigurationError: if the device has too few channels left.
+        """
+        if channels <= 0:
+            raise ConfigurationError("a model needs at least one channel")
+        if self._next_channel + channels > self.config.num_channels:
+            raise ConfigurationError(
+                f"only {self.config.num_channels - self._next_channel} channels "
+                f"free, {channels} requested — different models need "
+                "different channels (Section III-D)"
+            )
+        channel_ids = tuple(
+            range(self._next_channel, self._next_channel + channels)
+        )
+        self._next_channel += channels
+        # Channels are independent: a partition is exactly a smaller device.
+        sub_config = self.config.with_overrides(num_channels=channels)
+        device = NewtonDevice(
+            sub_config, self.timing, self.opt, functional=self.functional
+        )
+        gpu = titan_v_like(sub_config, self.timing)
+        runtime = NewtonRuntime(device, gpu)
+        partition = ModelPartition(
+            spec=spec,
+            channels=channel_ids,
+            runtime=runtime,
+            loaded=runtime.load_model(spec),
+        )
+        self.partitions.append(partition)
+        return partition
+
+    def run_all(self) -> ConcurrentRun:
+        """One inference per placed model, concurrently."""
+        if not self.partitions:
+            raise ConfigurationError("no models placed")
+        result = ConcurrentRun()
+        for partition in self.partitions:
+            result.runs[partition.spec.name] = partition.runtime.run(
+                partition.loaded
+            )
+        return result

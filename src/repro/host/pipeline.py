@@ -1,0 +1,59 @@
+"""Activation-function and batch-normalization overlap (Section III-C).
+
+The host applies the neural activation "as and when elements of the
+vector are computed", so it is fully hidden under Newton's compute.
+Batch normalization is different: its scaling factor depends on the full
+vector's range, so it cannot start until the layer finishes. The paper
+hides most of it by (1) tracking the running min/max as results stream
+out and (2) exposing only the *first tile's* normalization latency —
+later tiles are normalized under the next layer's Newton compute.
+
+This module turns that scheme into exposed-cycle accounting per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Exposed host-side latency between consecutive Newton layers."""
+
+    config: DRAMConfig
+    timing: TimingParams
+    normalize_cycles_per_element: float = 0.25
+    """Host cycles to normalize one output element (a multiply-add on a
+    wide vector unit; four elements per cycle)."""
+
+    def __post_init__(self) -> None:
+        if self.normalize_cycles_per_element <= 0:
+            raise ConfigurationError("normalization rate must be positive")
+
+    def tile_elements(self) -> int:
+        """Output elements one tile produces (one per bank)."""
+        return self.config.banks_per_channel * self.config.num_channels
+
+    def activation_exposed_cycles(self) -> int:
+        """Activation functions are applied element-wise as results
+        stream out — nothing is exposed."""
+        return 0
+
+    def batchnorm_exposed_cycles(self) -> int:
+        """Only the first tile's normalization latency is exposed before
+        the next layer's MV computation can launch with that tile."""
+        return int(
+            round(self.tile_elements() * self.normalize_cycles_per_element)
+        )
+
+    def exposed_cycles(self, *, batchnorm: bool) -> int:
+        """Exposed host latency after one layer finishes on Newton."""
+        return (
+            self.batchnorm_exposed_cycles()
+            if batchnorm
+            else self.activation_exposed_cycles()
+        )

@@ -1,0 +1,245 @@
+"""End-to-end model execution on a Newton device (Figure 8, right side).
+
+The runtime walks a :class:`~repro.workloads.spec.ModelSpec` in order:
+FC layers run on the Newton device (whose channel clocks advance across
+layers, so refresh interference accumulates end-to-end exactly as on
+hardware); non-FC layers (convolutions, embedding gathers, attention
+glue) are timed on the host compute model; activation functions are
+hidden and batch normalization exposes only its first-tile latency
+(:mod:`repro.host.pipeline`).
+
+Weights are synthetic, but the *structure* is real: LSTM layers run the
+actual cell update over Newton's fused-gate GEMV output (with recurrent
+state persisting across :meth:`NewtonRuntime.run_sequence` steps), and
+non-recurrent layers chain through shape glue. Per-layer numerics are
+verified against NumPy on the actual chained inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.gpu import GpuModel
+from repro.core.device import MatrixHandle, NewtonDevice
+from repro.host.cells import LSTMCell
+from repro.host.pipeline import PipelineModel
+from repro.numerics.activation import apply_activation
+from repro.workloads.generator import generate_layer_data, generate_vector
+from repro.workloads.spec import LayerSpec, ModelSpec
+from repro.errors import ProtocolError
+
+
+@dataclass
+class LoadedModel:
+    """A model whose FC weights are resident in the device."""
+
+    spec: ModelSpec
+    handles: Dict[str, MatrixHandle]
+    weights: Dict[str, np.ndarray] = field(default_factory=dict)
+    cells: Dict[str, LSTMCell] = field(default_factory=dict)
+    """Recurrent state per LSTM layer (persists across sequence steps)."""
+
+    def reset_state(self) -> None:
+        """Zero every recurrent cell (start of a new sequence)."""
+        for cell in self.cells.values():
+            cell.reset()
+
+
+@dataclass
+class LayerRun:
+    """Execution record of one layer."""
+
+    name: str
+    on_newton: bool
+    cycles: float
+    exposed_cycles: float = 0.0
+
+
+@dataclass
+class ModelRun:
+    """Execution record of one end-to-end inference."""
+
+    model: str
+    layer_runs: List[LayerRun]
+    output: Optional[np.ndarray] = None
+
+    @property
+    def newton_cycles(self) -> float:
+        """Cycles spent in Newton GEMV across all FC layers."""
+        return sum(r.cycles for r in self.layer_runs if r.on_newton)
+
+    @property
+    def host_cycles(self) -> float:
+        """Cycles spent in host-side (non-FC) work."""
+        return sum(r.cycles for r in self.layer_runs if not r.on_newton)
+
+    @property
+    def exposed_pipeline_cycles(self) -> float:
+        """Normalization latency not hidden under Newton compute."""
+        return sum(r.exposed_cycles for r in self.layer_runs)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end wall clock (layers are serially dependent)."""
+        return self.newton_cycles + self.host_cycles + self.exposed_pipeline_cycles
+
+
+class NewtonRuntime:
+    """Drives end-to-end models across a Newton device and the host."""
+
+    def __init__(
+        self,
+        device: NewtonDevice,
+        host_model: GpuModel,
+        pipeline: Optional[PipelineModel] = None,
+    ):
+        self.device = device
+        self.host_model = host_model
+        self.pipeline = pipeline or PipelineModel(device.config, device.timing)
+
+    # ------------------------------------------------------------------
+
+    def load_model(self, spec: ModelSpec, seed: int = 0) -> LoadedModel:
+        """Make every FC layer's weights resident in the device."""
+        handles: Dict[str, MatrixHandle] = {}
+        weights: Dict[str, np.ndarray] = {}
+        cells: Dict[str, LSTMCell] = {}
+        for i, layer in enumerate(spec.layers):
+            if not layer.on_newton:
+                continue
+            if layer.output_transform == "lstm_cell" and self.device.functional:
+                cells[layer.name] = LSTMCell(hidden=layer.m // 4)
+            if self.device.functional:
+                data = generate_layer_data(layer.m, layer.n, seed=seed + i)
+                weights[layer.name] = data.matrix
+                handles[layer.name] = self.device.load_matrix(data.matrix)
+            else:
+                handles[layer.name] = self.device.load_matrix(m=layer.m, n=layer.n)
+        return LoadedModel(spec=spec, handles=handles, weights=weights, cells=cells)
+
+    @staticmethod
+    def _fit_vector(x: np.ndarray, n: int) -> np.ndarray:
+        """Shape glue between layers of synthetic models.
+
+        Folds (averages groups) when the vector is a multiple of the
+        target (e.g. 4 LSTM gates back to the hidden width), tiles when
+        the target is a multiple, and pads/truncates otherwise.
+        """
+        if x.shape[0] == n:
+            return x
+        if x.shape[0] % n == 0:
+            return x.reshape(-1, n).mean(axis=0).astype(np.float32)
+        if n % x.shape[0] == 0:
+            return np.tile(x, n // x.shape[0]).astype(np.float32)
+        out = np.zeros(n, dtype=np.float32)
+        k = min(n, x.shape[0])
+        out[:k] = x[:k]
+        return out
+
+    @staticmethod
+    def _batchnorm(x: np.ndarray) -> np.ndarray:
+        """Vector-wide normalization (the range-dependent host step)."""
+        std = float(np.std(x))
+        if std == 0.0:
+            return x - np.mean(x)
+        return ((x - np.mean(x)) / std).astype(np.float32)
+
+    def run(
+        self, loaded: LoadedModel, input_vector: Optional[np.ndarray] = None, seed: int = 0
+    ) -> ModelRun:
+        """One end-to-end inference pass."""
+        functional = self.device.functional
+        first_newton = next(
+            (l for l in loaded.spec.layers if l.on_newton), None
+        )
+        if first_newton is None:
+            raise ProtocolError(f"{loaded.spec.name}: no Newton layers to run")
+        x: Optional[np.ndarray] = None
+        if functional:
+            x = (
+                np.asarray(input_vector, dtype=np.float32)
+                if input_vector is not None
+                else generate_vector(first_newton.n, seed=seed)
+            )
+        layer_runs: List[LayerRun] = []
+        for layer in loaded.spec.layers:
+            if layer.on_newton:
+                layer_runs.append(self._run_newton_layer(loaded, layer, x))
+                if functional:
+                    x = self._advance_vector(layer, loaded, x)
+            else:
+                cycles = self.host_model.host_op_cycles(
+                    layer.host_flops, layer.host_bytes
+                )
+                layer_runs.append(
+                    LayerRun(name=layer.name, on_newton=False, cycles=cycles)
+                )
+        return ModelRun(model=loaded.spec.name, layer_runs=layer_runs, output=x)
+
+    def _layer_input(
+        self, loaded: LoadedModel, layer: LayerSpec, x: np.ndarray
+    ) -> np.ndarray:
+        """Build a layer's input vector, including LSTM recurrence.
+
+        A 2-hidden-wide LSTM layer consumes the concatenation of the
+        fed-forward vector and its own previous hidden state (the
+        W[x; h] form); narrower LSTM layers consume the feed alone.
+        """
+        if layer.output_transform == "lstm_cell":
+            hidden = layer.m // 4
+            cell = loaded.cells[layer.name]
+            if layer.n >= 2 * hidden:
+                feed = self._fit_vector(x, layer.n - hidden)
+                return np.concatenate([feed, cell.h]).astype(np.float32)
+        return self._fit_vector(x, layer.n)
+
+    def _run_newton_layer(
+        self, loaded: LoadedModel, layer: LayerSpec, x: Optional[np.ndarray]
+    ) -> LayerRun:
+        handle = loaded.handles[layer.name]
+        vector = None
+        if self.device.functional:
+            assert x is not None
+            vector = self._layer_input(loaded, layer, x)
+        result = self.device.gemv(handle, vector)
+        exposed = self.pipeline.exposed_cycles(batchnorm=layer.batchnorm)
+        run = LayerRun(
+            name=layer.name,
+            on_newton=True,
+            cycles=result.cycles,
+            exposed_cycles=exposed,
+        )
+        self._last_output = result.output
+        return run
+
+    def _advance_vector(
+        self, layer: LayerSpec, loaded: LoadedModel, x: Optional[np.ndarray]
+    ) -> np.ndarray:
+        out = self._last_output
+        assert out is not None
+        out = apply_activation(layer.activation, out)
+        if layer.output_transform == "lstm_cell":
+            out = loaded.cells[layer.name].step(out)
+        if layer.batchnorm:
+            out = self._batchnorm(out)
+        return out.astype(np.float32)
+
+    def run_sequence(
+        self, loaded: LoadedModel, steps: int, seed: int = 0
+    ) -> List[ModelRun]:
+        """Decode ``steps`` tokens through a recurrent model.
+
+        Recurrent cell state persists across tokens (and is reset at the
+        start); the device clock also runs continuously, so refresh
+        interference accumulates over the sequence as on hardware.
+        """
+        if steps <= 0:
+            raise ProtocolError("a sequence needs at least one step")
+        loaded.reset_state()
+        runs: List[ModelRun] = []
+        for step in range(steps):
+            runs.append(self.run(loaded, seed=seed + step))
+        return runs

@@ -1,0 +1,172 @@
+"""Request serving under load: the edge-inference story, quantified.
+
+The paper's motivation is inference "at the edge (e.g., smartphones,
+hand-held devices, or even edge servers)" where batching is not an
+option: requests arrive one at a time and want low latency. This module
+runs a simple FIFO queueing simulation — Poisson arrivals, deterministic
+per-request service (Newton's DRAM-like latencies are deterministic by
+design; Section III-D) — and reports tail latency versus offered load
+for Newton and for a batch-1 GPU serving the same stream. Newton's ~50x
+shorter service time translates directly into ~50x more sustainable
+load at bounded tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Latency statistics of one simulated request stream."""
+
+    offered_load: float
+    """Arrival rate over service rate (utilization; >= 1 is unstable)."""
+    requests: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    max_queue: int
+
+    @property
+    def stable(self) -> bool:
+        """Whether the queue could keep up."""
+        return self.offered_load < 1.0
+
+
+class ServingSimulator:
+    """FIFO single-server queue with deterministic service."""
+
+    def __init__(self, service_cycles: float, seed: int = 0):
+        if service_cycles <= 0:
+            raise ConfigurationError("service time must be positive")
+        self.service_cycles = float(service_cycles)
+        self.seed = seed
+
+    def simulate(
+        self, offered_load: float, requests: int = 2000
+    ) -> ServingResult:
+        """Serve a Poisson stream at the given utilization.
+
+        Args:
+            offered_load: arrival rate as a fraction of the server's
+                capacity (1/service_cycles). Must be positive; values
+                >= 1 are allowed and report the (unbounded) backlog.
+            requests: stream length.
+        """
+        if offered_load <= 0:
+            raise ConfigurationError("offered load must be positive")
+        if requests <= 0:
+            raise ConfigurationError("simulate at least one request")
+        rng = np.random.default_rng(self.seed)
+        mean_interarrival = self.service_cycles / offered_load
+        interarrivals = rng.exponential(mean_interarrival, size=requests)
+        arrivals = np.cumsum(interarrivals)
+
+        latencies = np.empty(requests, dtype=np.float64)
+        completion = 0.0
+        max_queue = 0
+        finished: List[float] = []
+        for i in range(requests):
+            start = max(arrivals[i], completion)
+            completion = start + self.service_cycles
+            latencies[i] = completion - arrivals[i]
+            # Queue depth at this arrival: earlier requests not finished.
+            depth = int(np.sum(latencies[:i] + arrivals[:i] > arrivals[i]))
+            max_queue = max(max_queue, depth)
+        return ServingResult(
+            offered_load=offered_load,
+            requests=requests,
+            p50=float(np.percentile(latencies, 50)),
+            p95=float(np.percentile(latencies, 95)),
+            p99=float(np.percentile(latencies, 99)),
+            mean=float(np.mean(latencies)),
+            max_queue=max_queue,
+        )
+
+    def simulate_batched(
+        self,
+        offered_load: float,
+        window_cycles: float,
+        batch_service,
+        requests: int = 2000,
+        max_batch: int = 64,
+    ) -> ServingResult:
+        """Batching server: requests accumulate for a window, then serve.
+
+        This is how a GPU actually fights its poor batch-1 efficiency —
+        trading latency (the window wait) for throughput (batch reuse).
+        ``batch_service(k)`` gives the service time of a k-batch;
+        ``offered_load`` remains relative to the *batch-1* capacity so it
+        is comparable with :meth:`simulate`.
+        """
+        if offered_load <= 0:
+            raise ConfigurationError("offered load must be positive")
+        if window_cycles <= 0:
+            raise ConfigurationError("the batching window must be positive")
+        if requests <= 0:
+            raise ConfigurationError("simulate at least one request")
+        rng = np.random.default_rng(self.seed)
+        mean_interarrival = self.service_cycles / offered_load
+        arrivals = np.cumsum(rng.exponential(mean_interarrival, size=requests))
+
+        latencies: List[float] = []
+        server_free = 0.0
+        i = 0
+        max_queue = 0
+        while i < len(arrivals):
+            # The window opens at the first waiting arrival (or when the
+            # server frees, if it is backlogged).
+            window_open = max(arrivals[i], server_free)
+            window_close = window_open + window_cycles
+            j = i
+            while (
+                j < len(arrivals)
+                and arrivals[j] <= window_close
+                and j - i < max_batch
+            ):
+                j += 1
+            batch = j - i
+            start = max(window_close, server_free)
+            completion = start + float(batch_service(batch))
+            latencies.extend(completion - arrivals[k] for k in range(i, j))
+            max_queue = max(max_queue, batch)
+            server_free = completion
+            i = j
+        lat = np.array(latencies)
+        return ServingResult(
+            offered_load=offered_load,
+            requests=requests,
+            p50=float(np.percentile(lat, 50)),
+            p95=float(np.percentile(lat, 95)),
+            p99=float(np.percentile(lat, 99)),
+            mean=float(np.mean(lat)),
+            max_queue=max_queue,
+        )
+
+    def max_stable_load(
+        self, latency_budget: float, requests: int = 2000
+    ) -> float:
+        """Highest offered load whose p99 stays inside ``latency_budget``.
+
+        Found by bisection over (0, 1); returns 0.0 if even a trickle
+        misses the budget (service time alone exceeds it).
+        """
+        if latency_budget <= self.service_cycles:
+            return 0.0
+        lo, hi = 0.01, 0.999
+        if self.simulate(hi, requests).p99 <= latency_budget:
+            return hi
+        for _ in range(24):
+            mid = (lo + hi) / 2
+            if self.simulate(mid, requests).p99 <= latency_budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo

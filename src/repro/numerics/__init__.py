@@ -1,0 +1,45 @@
+"""Numeric substrates: software bfloat16, the adder tree, activations.
+
+Newton stipulates 16-bit bfloat16 data ("our customers and partners
+stipulate that recommendation systems ... need high accuracy"), and its
+per-bank datapath is a 16-lane multiplier array feeding a pipelined adder
+tree with one accumulating result latch. This package provides a bit-exact
+software model of that arithmetic plus the activation-function units.
+"""
+
+from repro.numerics.bfloat16 import (
+    BF16_EPS,
+    bf16_add,
+    bf16_mul,
+    float_to_bf16_bits,
+    bf16_bits_to_float,
+    quantize_bf16,
+)
+from repro.numerics.adder_tree import AdderTree, adder_tree_reduce
+from repro.numerics.activation import (
+    ACTIVATIONS,
+    identity,
+    relu,
+    sigmoid,
+    tanh_fn,
+    apply_activation,
+)
+from repro.numerics.lut import ActivationLUT
+
+__all__ = [
+    "BF16_EPS",
+    "quantize_bf16",
+    "float_to_bf16_bits",
+    "bf16_bits_to_float",
+    "bf16_mul",
+    "bf16_add",
+    "AdderTree",
+    "adder_tree_reduce",
+    "ACTIVATIONS",
+    "identity",
+    "relu",
+    "sigmoid",
+    "tanh_fn",
+    "apply_activation",
+    "ActivationLUT",
+]

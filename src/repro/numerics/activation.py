@@ -1,0 +1,71 @@
+"""Neural-network activation functions applied by the host (Section III-C).
+
+In the default (interleaved, full-reuse) Newton design the host applies
+the activation to the final reduced outputs; only the no-reuse variant
+uses the in-DRAM lookup table (:mod:`repro.numerics.lut`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+ActivationFn = Callable[[np.ndarray], np.ndarray]
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """No-op activation (used by linear output layers)."""
+    return np.asarray(x, dtype=np.float32)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(np.asarray(x, dtype=np.float32), np.float32(0.0))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float32)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def tanh_fn(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent."""
+    return np.tanh(np.asarray(x, dtype=np.float32))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (BERT's FFN activation), tanh form."""
+    x = np.asarray(x, dtype=np.float32)
+    inner = np.float32(0.7978845608) * (x + np.float32(0.044715) * x * x * x)
+    return np.float32(0.5) * x * (1.0 + np.tanh(inner))
+
+
+ACTIVATIONS: Dict[str, ActivationFn] = {
+    "identity": identity,
+    "relu": relu,
+    "sigmoid": sigmoid,
+    "tanh": tanh_fn,
+    "gelu": gelu,
+}
+
+
+def apply_activation(name: str, x: np.ndarray) -> np.ndarray:
+    """Apply a named activation function.
+
+    Raises:
+        KeyError: if ``name`` is not one of :data:`ACTIVATIONS`.
+    """
+    try:
+        fn = ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; expected one of {sorted(ACTIVATIONS)}"
+        ) from None
+    return fn(x)

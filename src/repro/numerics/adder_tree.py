@@ -1,0 +1,88 @@
+"""The per-bank pipelined adder tree (Figure 4).
+
+Each bank reduces its 16 lane products through a 16-to-1 adder tree (15
+adders) plus one accumulation adder into a single bfloat16 result latch.
+The tree is pipelined: a new set of additions can start every ``tCCD``
+cycles, while the full reduction takes ``PIPELINE_DEPTH`` stages — which
+is why the host memory controller must insert a drain delay before
+``READRES`` (Section III-D, timing issue (2)).
+
+This module provides the bit-exact functional reduction; the pipeline
+*timing* lives in :mod:`repro.dram.timing` as ``t_tree_drain``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.numerics.bfloat16 import bf16_add, quantize_bf16
+
+
+def adder_tree_reduce(products: np.ndarray) -> float:
+    """Reduce lane products through a binary tree with bf16 rounding.
+
+    Args:
+        products: 1-D array whose length is a power of two (the lane
+            count, 16 in the HBM2E-like configuration).
+
+    Returns:
+        The bfloat16-rounded tree sum as a float.
+    """
+    level = quantize_bf16(np.asarray(products, dtype=np.float32))
+    n = level.shape[0]
+    if n == 0 or (n & (n - 1)) != 0:
+        raise ConfigurationError(f"adder tree width must be a power of two, got {n}")
+    while level.shape[0] > 1:
+        level = bf16_add(level[0::2], level[1::2])
+    return float(level[0])
+
+
+class AdderTree:
+    """A ``width``-leaf adder tree with an accumulating result latch.
+
+    Mirrors Figure 4: the tree output feeds one extra adder whose other
+    input is the (single, bfloat16) result latch. ``feed`` models one
+    COMP command's reduction; ``read_and_clear`` models READRES.
+    """
+
+    def __init__(self, width: int = 16):
+        if width <= 0 or (width & (width - 1)) != 0:
+            raise ConfigurationError(f"adder tree width must be a power of two, got {width}")
+        self.width = width
+        self._latch = 0.0
+        self._dirty = False
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Number of adder stages, including the accumulation stage."""
+        return self.width.bit_length()  # log2(width) tree stages + 1 accumulate
+
+    @property
+    def latch(self) -> float:
+        """Current (bfloat16) value of the result latch."""
+        return self._latch
+
+    @property
+    def dirty(self) -> bool:
+        """True once the latch holds an un-read partial result."""
+        return self._dirty
+
+    def feed(self, products: Sequence[float]) -> None:
+        """Reduce one set of lane products and accumulate into the latch."""
+        tree_sum = adder_tree_reduce(np.asarray(products, dtype=np.float32))
+        acc = bf16_add(
+            np.array([self._latch], dtype=np.float32),
+            np.array([tree_sum], dtype=np.float32),
+        )
+        self._latch = float(acc[0])
+        self._dirty = True
+
+    def read_and_clear(self) -> float:
+        """Return the latch value and reset it (READRES semantics)."""
+        value = self._latch
+        self._latch = 0.0
+        self._dirty = False
+        return value

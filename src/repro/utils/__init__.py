@@ -1,0 +1,23 @@
+"""Shared utilities: statistics, table rendering, and unit helpers."""
+
+from repro.utils.stats import geometric_mean, harmonic_mean, summarize
+from repro.utils.tables import render_table
+from repro.utils.units import (
+    CYCLES_PER_NS,
+    bytes_per_cycle_to_gbps,
+    cycles_to_ns,
+    cycles_to_us,
+    ns_to_cycles,
+)
+
+__all__ = [
+    "geometric_mean",
+    "harmonic_mean",
+    "summarize",
+    "render_table",
+    "CYCLES_PER_NS",
+    "cycles_to_ns",
+    "cycles_to_us",
+    "ns_to_cycles",
+    "bytes_per_cycle_to_gbps",
+]

@@ -1,0 +1,50 @@
+"""Small statistics helpers used by the experiment harnesses.
+
+The paper reports geometric-mean speedups (Figure 8's "gmean" bars), so the
+geometric mean here is the one statistic results actually depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ValueError: if the sequence is empty or contains a non-positive
+            value (a non-positive speedup is always a bug upstream).
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of an empty sequence")
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"geometric_mean requires positive values, got {v!r}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (used for rate-like aggregates)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic_mean of an empty sequence")
+    for v in vals:
+        if v <= 0.0:
+            raise ValueError(f"harmonic_mean requires positive values, got {v!r}")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min/max/mean/gmean of a non-empty sequence of positives."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("summarize of an empty sequence")
+    return {
+        "min": min(vals),
+        "max": max(vals),
+        "mean": sum(vals) / len(vals),
+        "gmean": geometric_mean(vals),
+    }

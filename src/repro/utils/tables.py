@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; this module renders them in a stable, diff-friendly format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(cell: Cell, float_digits: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: str = "",
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Numbers are right-aligned; strings left-aligned. Every row must have
+    the same arity as ``headers``.
+    """
+    formatted: List[List[str]] = []
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        cells = [_format_cell(c, float_digits) for c in row]
+        for i, cell in enumerate(row):
+            if isinstance(cell, str):
+                numeric[i] = False
+        formatted.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in formatted:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in formatted)
+    return "\n".join(lines)

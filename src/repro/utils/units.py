@@ -1,0 +1,35 @@
+"""Unit conversions for the simulator's clock domain.
+
+The reproduction runs the DRAM command clock at 1 GHz so that one cycle is
+one nanosecond; every timing parameter in :mod:`repro.dram.timing` is
+therefore directly comparable to the nanosecond values Table III publishes.
+All results the paper reports are ratios, so the absolute clock only
+matters for the (normalized) power figures and the GB/s shown in traces.
+"""
+
+from __future__ import annotations
+
+CYCLES_PER_NS: float = 1.0
+"""Command-clock cycles per nanosecond (1 GHz command clock)."""
+
+
+def cycles_to_ns(cycles: float) -> float:
+    """Convert simulator cycles to nanoseconds."""
+    return cycles / CYCLES_PER_NS
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Convert simulator cycles to microseconds."""
+    return cycles_to_ns(cycles) / 1000.0
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert nanoseconds to whole cycles, rounding up (conservative)."""
+    import math
+
+    return int(math.ceil(ns * CYCLES_PER_NS))
+
+
+def bytes_per_cycle_to_gbps(bytes_per_cycle: float) -> float:
+    """Convert a bytes/cycle rate to GB/s under the 1 GHz clock."""
+    return bytes_per_cycle * CYCLES_PER_NS

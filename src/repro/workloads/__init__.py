@@ -1,0 +1,30 @@
+"""Benchmark workloads: the Table II layers and end-to-end model graphs."""
+
+from repro.workloads.spec import LayerSpec, ModelSpec, BenchmarkLayer
+from repro.workloads.catalog import TABLE_II_LAYERS, layer_by_name
+from repro.workloads.models import (
+    END_TO_END_MODELS,
+    alexnet_model,
+    bert_large_model,
+    dlrm_model,
+    gnmt_model,
+    model_by_name,
+)
+from repro.workloads.generator import WorkloadData, generate_layer_data, generate_vector
+
+__all__ = [
+    "LayerSpec",
+    "ModelSpec",
+    "BenchmarkLayer",
+    "TABLE_II_LAYERS",
+    "layer_by_name",
+    "END_TO_END_MODELS",
+    "gnmt_model",
+    "bert_large_model",
+    "alexnet_model",
+    "dlrm_model",
+    "model_by_name",
+    "WorkloadData",
+    "generate_layer_data",
+    "generate_vector",
+]

@@ -1,0 +1,44 @@
+"""The Table II benchmark catalog.
+
+Six matrix-vector shapes from NLP (GNMT, BERT) and recommendation (DLRM)
+models plus the two AlexNet fully-connected layers, with the exact
+dimensions the paper lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.spec import BenchmarkLayer
+
+TABLE_II_LAYERS: List[BenchmarkLayer] = [
+    BenchmarkLayer("GNMTs1", "GNMT", m=4096, n=1024),
+    BenchmarkLayer("GNMTs2", "GNMT", m=4096, n=2048),
+    BenchmarkLayer("BERTs1", "BERT", m=1024, n=1024),
+    BenchmarkLayer("BERTs2", "BERT", m=1024, n=4096),
+    BenchmarkLayer("BERTs3", "BERT", m=4096, n=1024),
+    BenchmarkLayer("AlexNetL6", "AlexNet", m=21632, n=2048),
+    BenchmarkLayer("AlexNetL7", "AlexNet", m=2048, n=2048),
+    BenchmarkLayer("DLRMs1", "DLRM", m=512, n=256),
+]
+"""Table II, verbatim."""
+
+_BY_NAME: Dict[str, BenchmarkLayer] = {layer.name: layer for layer in TABLE_II_LAYERS}
+
+KEY_TARGET_WORKLOADS = ("GNMT", "BERT", "DLRM")
+"""The paper's 'key target applications' (49x mean); AlexNet's FC layers
+are a free benefit, not a target."""
+
+
+def layer_by_name(name: str) -> BenchmarkLayer:
+    """Look up a Table II layer.
+
+    Raises:
+        KeyError: for names not in Table II.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark layer {name!r}; Table II has {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,45 @@
+"""Seeded synthetic data for the workloads.
+
+Newton's timing depends only on operand shapes and its numerics only on
+bit patterns, so seeded Gaussian weights scaled for well-conditioned
+bfloat16 accumulation (1/sqrt(n) columns, Xavier-style) stand in for
+trained checkpoints; functional results are verified against NumPy on
+the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadData:
+    """A generated (matrix, vector) pair plus its float64 reference."""
+
+    matrix: np.ndarray
+    vector: np.ndarray
+    reference: np.ndarray
+    """float64 matrix-vector product of the float32 operands."""
+
+
+def generate_vector(n: int, seed: int = 0) -> np.ndarray:
+    """A unit-scale random input vector."""
+    if n <= 0:
+        raise ConfigurationError("vector length must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n).astype(np.float32)
+
+
+def generate_layer_data(m: int, n: int, seed: int = 0) -> WorkloadData:
+    """Matrix, vector, and exact reference for an ``m x n`` layer."""
+    if m <= 0 or n <= 0:
+        raise ConfigurationError("layer dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    matrix = (rng.standard_normal((m, n)) / np.sqrt(n)).astype(np.float32)
+    vector = rng.standard_normal(n).astype(np.float32)
+    reference = matrix.astype(np.float64) @ vector.astype(np.float64)
+    return WorkloadData(matrix=matrix, vector=vector, reference=reference)

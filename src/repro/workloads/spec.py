@@ -1,0 +1,111 @@
+"""Workload specifications: single layers (Table II) and model graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.numerics.activation import ACTIVATIONS
+
+
+@dataclass(frozen=True)
+class BenchmarkLayer:
+    """One Table II matrix-vector benchmark."""
+
+    name: str
+    workload: str
+    m: int
+    """Matrix rows (output elements)."""
+    n: int
+    """Matrix columns = input vector length."""
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ConfigurationError(f"{self.name}: dimensions must be positive")
+
+    @property
+    def matrix_shape(self) -> Tuple[int, int]:
+        """(m, n), as Table II lists it."""
+        return (self.m, self.n)
+
+    @property
+    def matrix_bytes(self) -> int:
+        """Filter matrix footprint in bfloat16 bytes."""
+        return self.m * self.n * 2
+
+    @property
+    def flops(self) -> int:
+        """Multiply-accumulate FLOPs of one matrix-vector product."""
+        return 2 * self.m * self.n
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of an end-to-end model graph."""
+
+    name: str
+    m: int = 0
+    n: int = 0
+    activation: str = "identity"
+    batchnorm: bool = False
+    """Whether a vector-wide normalization follows (its first-tile latency
+    is exposed; Section III-C)."""
+    on_newton: bool = True
+    """FC layers run on Newton; convolutions / embeddings / attention glue
+    run on the host and are timed by the host compute model."""
+    host_flops: int = 0
+    """FLOPs of host-side work for layers with ``on_newton=False``."""
+    host_bytes: int = 0
+    """Memory traffic of that host-side work."""
+
+    output_transform: str = "none"
+    """Host-side structural transform after the activation: "none", or
+    "lstm_cell" (split fused gates [i|f|g|o] and run the LSTM update;
+    requires ``m`` to be four times the hidden width)."""
+
+    def __post_init__(self) -> None:
+        if self.on_newton:
+            if self.m <= 0 or self.n <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: Newton layers need positive dimensions"
+                )
+        elif self.host_flops <= 0 and self.host_bytes <= 0:
+            raise ConfigurationError(
+                f"{self.name}: host layers need host_flops or host_bytes"
+            )
+        if self.activation not in ACTIVATIONS:
+            raise ConfigurationError(
+                f"{self.name}: unknown activation {self.activation!r}"
+            )
+        if self.output_transform not in ("none", "lstm_cell"):
+            raise ConfigurationError(
+                f"{self.name}: unknown output_transform {self.output_transform!r}"
+            )
+        if self.output_transform == "lstm_cell" and self.m % 4 != 0:
+            raise ConfigurationError(
+                f"{self.name}: lstm_cell needs m divisible by 4 (fused gates)"
+            )
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An end-to-end model: an ordered layer graph."""
+
+    name: str
+    layers: Tuple[LayerSpec, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError(f"{self.name}: a model needs layers")
+
+    @property
+    def newton_layers(self) -> List[LayerSpec]:
+        """The FC layers Newton accelerates."""
+        return [layer for layer in self.layers if layer.on_newton]
+
+    @property
+    def total_fc_bytes(self) -> int:
+        """Filter footprint of all Newton layers."""
+        return sum(2 * layer.m * layer.n for layer in self.newton_layers)

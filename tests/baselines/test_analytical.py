@@ -1,0 +1,89 @@
+"""The Section III-F analytical model."""
+
+import pytest
+
+from repro.baselines.analytical import AnalyticalModel
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError
+
+CFG = hbm2e_like_config()
+TIMING = hbm2e_like_timing()
+
+
+@pytest.fixture
+def model():
+    return AnalyticalModel(CFG, TIMING, aggressive_tfaw=True)
+
+
+class TestPerRowModel:
+    def test_ideal_row_time(self, model):
+        assert model.t_ideal_non_pim_row() == 32 * TIMING.t_ccd
+
+    def test_newton_row_formula(self, model):
+        """t = max(tRRD, tFAW)(n/4 - 1) + tACT + col*tCCD."""
+        expected = (
+            max(TIMING.t_rrd, TIMING.t_faw_aim) * 3
+            + TIMING.t_rcd
+            + TIMING.t_rp
+            + 32 * TIMING.t_ccd
+        )
+        assert model.t_newton_row() == expected
+
+    def test_speedup_is_n_over_o_plus_1(self, model):
+        o = model.overhead_ratio()
+        assert model.predicted_speedup() == pytest.approx(16 / (o + 1))
+
+    def test_paper_operating_point(self, model):
+        """The preset must land at the paper's ~10x for 16 banks."""
+        assert model.predicted_speedup() == pytest.approx(10.0, rel=0.05)
+
+    def test_bank_sweep_is_sublinear(self, model):
+        """Figure 10's Amdahl effect: more banks, diminishing returns."""
+        s8 = model.predicted_speedup(8)
+        s16 = model.predicted_speedup(16)
+        s32 = model.predicted_speedup(32)
+        assert s8 < s16 < s32
+        assert s16 < 2 * s8
+        assert s32 < 2 * s16
+
+    def test_standard_tfaw_hurts(self):
+        slow = AnalyticalModel(CFG, TIMING, aggressive_tfaw=False)
+        fast = AnalyticalModel(CFG, TIMING, aggressive_tfaw=True)
+        assert slow.predicted_speedup() < fast.predicted_speedup()
+
+    def test_bank_count_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            model.activation_overhead(6)
+        with pytest.raises(ConfigurationError):
+            model.predicted_speedup(-4)
+
+
+class TestLayerModel:
+    def test_layer_cycles_scale_with_rows(self, model):
+        """Adding tiles adds exactly one steady-state row time each
+        (the GWRITE loading is a per-chunk constant)."""
+        small = model.predicted_layer_cycles(16, 512)
+        big = model.predicted_layer_cycles(160, 512)
+        assert big - small == pytest.approx(9 * model.t_newton_row())
+
+    def test_layer_cycles_scale_with_chunks(self, model):
+        one = model.predicted_layer_cycles(16, 512)
+        two = model.predicted_layer_cycles(16, 1024)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_channel_partitioning(self, model):
+        whole = model.predicted_layer_cycles(160, 512, channels=1)
+        split = model.predicted_layer_cycles(160, 512, channels=2)
+        assert split == pytest.approx(whole / 2, rel=0.1)
+
+    def test_partial_chunk_cheaper(self, model):
+        full = model.predicted_layer_cycles(16, 512)
+        half = model.predicted_layer_cycles(16, 256)
+        assert half < full
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predicted_layer_cycles(0, 4)
+        with pytest.raises(ConfigurationError):
+            model.predicted_layer_cycles(4, 4, channels=0)

@@ -1,0 +1,78 @@
+"""The Titan-V-like GPU roofline model and its calibration anchors."""
+
+import pytest
+
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError
+
+CFG = hbm2e_like_config(num_channels=24)
+TIMING = hbm2e_like_timing()
+
+
+@pytest.fixture
+def gpu():
+    return titan_v_like(CFG, TIMING)
+
+
+class TestCalibration:
+    def test_ideal_nonpim_is_5_4x_faster_at_batch_1(self, gpu):
+        """The paper's published mean gap between Ideal Non-PIM and the
+        GPU — the model's primary calibration anchor."""
+        ideal = IdealNonPim(CFG, TIMING)
+        ratio = gpu.gemv_cycles(4096, 1024) / ideal.gemv_cycles(4096, 1024)
+        assert ratio == pytest.approx(5.4, rel=0.02)
+
+    def test_small_kernels_less_efficient(self, gpu):
+        """A 512x256 GEMV cannot fill 80 SMs: per-byte time is worse."""
+        big_per_byte = gpu.gemv_cycles(4096, 1024) / (4096 * 1024)
+        small_per_byte = gpu.gemv_cycles(512, 256) / (512 * 256)
+        assert small_per_byte > 2 * big_per_byte
+
+    def test_batch_improves_per_input_time_sublinearly(self, gpu):
+        per1 = gpu.gemv_cycles_per_input(4096, 1024, batch=1)
+        per64 = gpu.gemv_cycles_per_input(4096, 1024, batch=64)
+        improvement = per1 / per64
+        assert 40 < improvement < 64  # sublinear in k
+
+    def test_compute_roofline_binds_eventually(self):
+        gpu = GpuModel(CFG, TIMING, peak_flops_per_cycle=100.0)
+        # With tiny compute throughput, big batches become compute-bound:
+        # per-input time stops improving.
+        per64 = gpu.gemv_cycles_per_input(4096, 1024, batch=64)
+        per128 = gpu.gemv_cycles_per_input(4096, 1024, batch=128)
+        assert per128 == pytest.approx(per64, rel=0.05)
+
+
+class TestValidation:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GpuModel(CFG, TIMING, gemv_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            GpuModel(CFG, TIMING, gemv_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            GpuModel(CFG, TIMING, batch_decay=0.1)
+        with pytest.raises(ConfigurationError):
+            GpuModel(CFG, TIMING, refresh_derate=0.9)
+
+    def test_dimension_validation(self, gpu):
+        with pytest.raises(ConfigurationError):
+            gpu.gemv_cycles(0, 4)
+        with pytest.raises(ConfigurationError):
+            gpu.efficiency_at_batch(0)
+
+    def test_host_op_roofline(self, gpu):
+        compute_bound = gpu.host_op_cycles(flops=10**9, traffic_bytes=10)
+        assert compute_bound == pytest.approx(
+            10**9 / (gpu.peak_flops_per_cycle * gpu.compute_efficiency)
+        )
+        memory_bound = gpu.host_op_cycles(flops=10, traffic_bytes=10**9)
+        assert memory_bound == pytest.approx(10**9 / gpu.bytes_per_cycle())
+        with pytest.raises(ConfigurationError):
+            gpu.host_op_cycles(-1, 0)
+
+    def test_saturation_factor_monotone(self, gpu):
+        assert gpu.saturation_factor(10**9) == 1.0
+        assert 0 < gpu.saturation_factor(10**5) < gpu.saturation_factor(10**6) < 1.0

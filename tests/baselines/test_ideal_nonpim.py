@@ -1,0 +1,56 @@
+"""Ideal Non-PIM: the bandwidth-bound upper baseline."""
+
+import pytest
+
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ideal():
+    return IdealNonPim(hbm2e_like_config(num_channels=24), hbm2e_like_timing())
+
+
+class TestIdealNonPim:
+    def test_bandwidth(self, ideal):
+        # 24 channels x 32 B per 4 cycles = 192 B/cycle.
+        assert ideal.bytes_per_cycle() == pytest.approx(192.0)
+
+    def test_time_is_matrix_transfer(self, ideal):
+        m, n = 4096, 1024
+        cycles = ideal.gemv_cycles(m, n)
+        expected = 2 * m * n / 192.0 * ideal.refresh_derate()
+        assert cycles == pytest.approx(expected)
+
+    def test_batch_amortizes_matrix(self, ideal):
+        """Per-input time falls as 1/k (the Figure 11 effect)."""
+        per1 = ideal.gemv_cycles_per_input(4096, 1024, batch=1)
+        per8 = ideal.gemv_cycles_per_input(4096, 1024, batch=8)
+        assert per8 == pytest.approx(per1 / 8)
+
+    def test_refresh_derate(self, ideal):
+        assert ideal.refresh_derate() > 1.0
+        no_refresh = IdealNonPim(ideal.config, ideal.timing, refresh_enabled=False)
+        assert no_refresh.refresh_derate() == 1.0
+        assert no_refresh.gemv_cycles(64, 64) < ideal.gemv_cycles(64, 64)
+
+    def test_model_cycles(self, ideal):
+        assert ideal.model_cycles(192) == pytest.approx(ideal.refresh_derate())
+
+    def test_validation(self, ideal):
+        with pytest.raises(ConfigurationError):
+            ideal.gemv_cycles(0, 4)
+        with pytest.raises(ConfigurationError):
+            ideal.gemv_cycles(4, 4, batch=0)
+        with pytest.raises(ConfigurationError):
+            ideal.model_cycles(0)
+
+    def test_scales_with_channels(self):
+        timing = hbm2e_like_timing()
+        one = IdealNonPim(hbm2e_like_config(num_channels=1), timing)
+        four = IdealNonPim(hbm2e_like_config(num_channels=4), timing)
+        assert one.gemv_cycles(64, 512) == pytest.approx(
+            4 * four.gemv_cycles(64, 512)
+        )

@@ -1,0 +1,61 @@
+"""The simulated streaming baseline and its cross-validation against the
+analytic Ideal Non-PIM model."""
+
+import pytest
+
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.baselines.streaming_sim import StreamingSimulator
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError
+
+CFG = hbm2e_like_config(num_channels=1)
+TIMING = hbm2e_like_timing()
+
+
+class TestStreamingSimulator:
+    def test_saturates_without_refresh(self):
+        """With the next bank's activation pipelined, the stream must
+        reach ~97% of the data bus (one ACT slot per 32 RD slots)."""
+        sim = StreamingSimulator(CFG, TIMING, refresh_enabled=False)
+        result = sim.stream_rows(256)
+        peak = CFG.col_io_bytes / TIMING.t_ccd
+        assert result.bytes_per_cycle > 0.94 * peak
+
+    def test_analytic_model_is_optimistic_bound(self):
+        """Section III-F's Ideal Non-PIM assumes perfect overlap: the
+        simulated controller must be close but never faster."""
+        sim = StreamingSimulator(CFG, TIMING).stream_rows(512)
+        analytic = IdealNonPim(CFG, TIMING)
+        analytic_bpc = analytic.bytes_per_cycle() / analytic.refresh_derate()
+        assert sim.bytes_per_cycle <= analytic_bpc
+        assert sim.bytes_per_cycle > 0.9 * analytic_bpc
+
+    def test_refresh_costs_bandwidth(self):
+        with_ref = StreamingSimulator(CFG, TIMING).stream_rows(512)
+        without = StreamingSimulator(CFG, TIMING, refresh_enabled=False).stream_rows(512)
+        assert with_ref.refreshes > 0
+        assert with_ref.bytes_per_cycle < without.bytes_per_cycle
+
+    def test_refresh_rate_matches_trefi(self):
+        result = StreamingSimulator(CFG, TIMING).stream_rows(512)
+        expected = result.cycles / TIMING.t_refi
+        assert abs(result.refreshes - expected) <= 2
+
+    def test_gemv_cycles_scale_with_matrix(self):
+        sim = StreamingSimulator(CFG, TIMING, refresh_enabled=False)
+        small = sim.gemv_cycles(64, 512)
+        big = StreamingSimulator(CFG, TIMING, refresh_enabled=False).gemv_cycles(256, 512)
+        assert big == pytest.approx(4 * small, rel=0.05)
+
+    def test_bytes_accounting(self):
+        result = StreamingSimulator(CFG, TIMING, refresh_enabled=False).stream_rows(10)
+        assert result.bytes_transferred == 10 * CFG.row_bytes
+        assert result.rows_streamed == 10
+
+    def test_validation(self):
+        sim = StreamingSimulator(CFG, TIMING)
+        with pytest.raises(ConfigurationError):
+            sim.stream_rows(0)
+        with pytest.raises(ConfigurationError):
+            sim.gemv_cycles(0, 4)

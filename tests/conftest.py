@@ -1,0 +1,45 @@
+"""Shared fixtures: small, fast configurations for unit/integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+
+
+@pytest.fixture
+def config() -> DRAMConfig:
+    """One channel, 16 banks — the Table III geometry."""
+    return DRAMConfig(num_channels=1)
+
+
+@pytest.fixture
+def small_config() -> DRAMConfig:
+    """A reduced geometry (8 banks, 256 rows) for fast functional tests."""
+    return DRAMConfig(num_channels=1, banks_per_channel=8, rows_per_bank=256)
+
+
+@pytest.fixture
+def two_channel_config() -> DRAMConfig:
+    """Two channels for partitioning tests."""
+    return DRAMConfig(num_channels=2, banks_per_channel=8, rows_per_bank=256)
+
+
+@pytest.fixture
+def timing() -> TimingParams:
+    """The HBM2E-like timing preset."""
+    return TimingParams()
+
+
+@pytest.fixture
+def fast_refresh_timing() -> TimingParams:
+    """Short refresh interval so refresh paths trigger in small runs."""
+    return TimingParams(t_refi=600, t_rfc=60)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,75 @@
+"""The refresh-barrier duration estimates vs measured tile times.
+
+The estimates only need to be conservative (an underestimate could let a
+refresh mature mid-row and corrupt the latch — the failure Section III-E
+exists to prevent), but they should not be wildly loose either, or
+refreshes fire far earlier than necessary.
+"""
+
+import pytest
+
+from repro.core.command_gen import CommandStreamGenerator
+from repro.core.engine import NewtonChannelEngine
+from repro.core.layout import make_layout
+from repro.core.optimizations import FULL, NON_OPT, OptimizationConfig
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=1024)
+TIMING = TimingParams()
+
+VARIANTS = [
+    FULL,
+    NON_OPT,
+    FULL.evolve(ganged_compute=False),
+    FULL.evolve(complex_commands=False),
+    FULL.evolve(aggressive_tfaw=False),
+]
+
+
+def _layer_cycles(opt: OptimizationConfig, tiles: int) -> int:
+    engine = NewtonChannelEngine(
+        CFG, TIMING, opt, functional=False, refresh_enabled=False
+    )
+    layout = engine.add_matrix(tiles * 16, 512)
+    return engine.run_gemv(layout).cycles
+
+
+def measured_steady_tile_cycles(opt: OptimizationConfig) -> float:
+    """Marginal per-tile cost (differences out GWRITE loading and the
+    first/last-tile edge effects)."""
+    return (_layer_cycles(opt, 13) - _layer_cycles(opt, 1)) / 12
+
+
+class TestDurationEstimates:
+    @pytest.mark.parametrize("opt", VARIANTS, ids=lambda o: o.label)
+    def test_estimate_is_conservative(self, opt):
+        layout = make_layout(CFG, 16, 512, interleaved=opt.interleaved_reuse)
+        generator = CommandStreamGenerator(CFG, TIMING, opt, layout)
+        estimate = generator.tile_duration_estimate()
+        assert estimate >= measured_steady_tile_cycles(opt)
+
+    @pytest.mark.parametrize("opt", VARIANTS, ids=lambda o: o.label)
+    def test_estimate_is_not_wildly_loose(self, opt):
+        layout = make_layout(CFG, 16, 512, interleaved=opt.interleaved_reuse)
+        generator = CommandStreamGenerator(CFG, TIMING, opt, layout)
+        estimate = generator.tile_duration_estimate()
+        assert estimate <= 3.0 * measured_steady_tile_cycles(opt)
+
+    def test_full_newton_tile_matches_docs(self):
+        """docs/simulator-internals.md walks a 204-cycle steady tile."""
+        assert measured_steady_tile_cycles(FULL) == pytest.approx(204, abs=8)
+
+    def test_compute_commands_per_tile(self):
+        layout = make_layout(CFG, 16, 512, interleaved=True)
+        assert (
+            CommandStreamGenerator(CFG, TIMING, FULL, layout).compute_commands_per_tile()
+            == 32
+        )
+        nr_layout = make_layout(CFG, 16, 512, interleaved=False)
+        assert (
+            CommandStreamGenerator(
+                CFG, TIMING, NON_OPT, nr_layout
+            ).compute_commands_per_tile()
+            == 32 * 3 * 16
+        )

@@ -1,0 +1,177 @@
+"""Matrix layouts: Figure 3's interleaving and the no-reuse alternative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.layout import (
+    InterleavedLayout,
+    NoReuseLayout,
+    make_layout,
+    partition_rows,
+)
+from repro.dram.config import DRAMConfig
+from repro.errors import CapacityError, LayoutError
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=1024)
+
+
+class TestPartitionRows:
+    def test_even_split(self):
+        assert partition_rows(8, 2) == [(0, 4), (4, 8)]
+
+    def test_remainder_goes_to_low_channels(self):
+        slices = partition_rows(10, 4)
+        sizes = [hi - lo for lo, hi in slices]
+        assert sizes == [3, 3, 2, 2]
+        assert slices[0] == (0, 3) and slices[-1] == (8, 10)
+
+    def test_more_channels_than_rows(self):
+        slices = partition_rows(2, 4)
+        sizes = [hi - lo for lo, hi in slices]
+        assert sizes == [1, 1, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(LayoutError):
+            partition_rows(0, 4)
+        with pytest.raises(LayoutError):
+            partition_rows(4, 0)
+
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    def test_partition_covers_and_balances(self, m, channels):
+        slices = partition_rows(m, channels)
+        assert slices[0][0] == 0 and slices[-1][1] == m
+        sizes = [hi - lo for lo, hi in slices]
+        assert sum(sizes) == m
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)  # channel 0 is critical
+
+
+class TestInterleavedLayout:
+    def test_figure3_example(self):
+        """16 banks, 1 KB rows: the first 16 matrix rows' first chunks map
+        to the 16 banks at the same DRAM row (Figure 3)."""
+        layout = InterleavedLayout(CFG, m=32, n=1024)
+        assert layout.num_chunks == 2
+        assert layout.tiles == 2
+        rows = layout.tile_matrix_rows(0)
+        assert list(rows) == list(range(16))
+        assert layout.dram_row(0, 0) == 0
+        assert layout.dram_row(0, 1) == 1
+        # Chunk 1 of all matrix rows follows chunk 0 of all matrix rows.
+        assert layout.dram_row(1, 0) == 2
+
+    def test_padding_banks_marked(self):
+        layout = InterleavedLayout(CFG, m=20, n=512)
+        rows = layout.tile_matrix_rows(1)
+        assert list(rows[:4]) == [16, 17, 18, 19]
+        assert all(r == -1 for r in rows[4:])
+
+    def test_place_covers_every_element_once(self):
+        m, n = 20, 700
+        layout = InterleavedLayout(CFG, m, n)
+        matrix = np.arange(m * n, dtype=np.float32).reshape(m, n) % 251
+        writes = layout.place(matrix)
+        seen = {}
+        for bank, row, data in writes:
+            assert data.shape == (512,)
+            key = (bank, row)
+            assert key not in seen
+            seen[key] = data
+        # Each matrix row appears once per chunk.
+        assert len(seen) == m * layout.num_chunks
+
+    def test_capacity_checked(self):
+        small = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4)
+        with pytest.raises(CapacityError):
+            InterleavedLayout(small, m=16 * 5, n=512)
+
+    def test_cols_in_chunk_partial(self):
+        layout = InterleavedLayout(CFG, m=16, n=256)
+        assert layout.cols_in_chunk(0) == 16  # 256 elems = 16 sub-chunks
+        full = InterleavedLayout(CFG, m=16, n=1024)
+        assert full.cols_in_chunk(0) == 32
+        assert full.cols_in_chunk(1) == 32
+
+    def test_vector_padding(self):
+        layout = InterleavedLayout(CFG, m=16, n=700)
+        padded = layout.pad_vector(np.ones(700, dtype=np.float32))
+        assert padded.shape == (1024,)
+        assert np.all(padded[700:] == 0)
+
+    def test_shape_validation(self):
+        layout = InterleavedLayout(CFG, m=16, n=512)
+        with pytest.raises(LayoutError):
+            layout.pad_vector(np.ones(100))
+        with pytest.raises(LayoutError):
+            layout.pad_matrix(np.ones((4, 512)))
+
+    def test_bounds(self):
+        layout = InterleavedLayout(CFG, m=16, n=512)
+        with pytest.raises(LayoutError):
+            layout.dram_row(1, 0)
+        with pytest.raises(LayoutError):
+            layout.dram_row(0, 1)
+
+    @given(
+        st.integers(1, 100),
+        st.integers(1, 2048),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=40)
+    def test_distinct_dram_rows(self, m, n, base):
+        layout = InterleavedLayout(CFG, m, n, base_row=base)
+        rows = {
+            layout.dram_row(c, t)
+            for c in range(layout.num_chunks)
+            for t in range(layout.tiles)
+        }
+        assert len(rows) == layout.num_chunks * layout.tiles
+        assert min(rows) == base
+        assert max(rows) < base + layout.rows_per_bank_used
+
+
+class TestNoReuseLayout:
+    def test_whole_matrix_row_in_one_bank(self):
+        layout = NoReuseLayout(CFG, m=32, n=1024)
+        assert layout.num_chunks == 2
+        assert layout.slots == 2
+        # Matrix row 0: bank 0, slot 0, chunks in contiguous DRAM rows.
+        assert layout.dram_row(0, 0) == 0
+        assert layout.dram_row(0, 1) == 1
+        assert layout.dram_row(1, 0) == 2
+
+    def test_pass_grouping_with_latches(self):
+        layout = NoReuseLayout(CFG, m=16 * 8, n=512, latches_per_bank=4)
+        assert layout.slots == 8
+        assert layout.passes == 2
+        assert list(layout.pass_slots(0)) == [0, 1, 2, 3]
+        assert list(layout.pass_slots(1)) == [4, 5, 6, 7]
+
+    def test_last_pass_partial(self):
+        layout = NoReuseLayout(CFG, m=16 * 5, n=512, latches_per_bank=4)
+        assert layout.passes == 2
+        assert list(layout.pass_slots(1)) == [4]
+
+    def test_place_matches_slot_rows(self):
+        m, n = 18, 600
+        layout = NoReuseLayout(CFG, m, n)
+        matrix = np.random.default_rng(0).standard_normal((m, n)).astype(np.float32)
+        writes = layout.place(matrix)
+        assert len(writes) == m * layout.num_chunks
+
+    def test_slot_matrix_rows_padding(self):
+        layout = NoReuseLayout(CFG, m=18, n=512)
+        rows = layout.slot_matrix_rows(1)
+        assert list(rows[:2]) == [16, 17]
+        assert all(r == -1 for r in rows[2:])
+
+
+class TestMakeLayout:
+    def test_dispatch(self):
+        assert isinstance(make_layout(CFG, 4, 4, interleaved=True), InterleavedLayout)
+        assert isinstance(make_layout(CFG, 4, 4, interleaved=False), NoReuseLayout)
+
+    def test_interleaved_rejects_latches(self):
+        with pytest.raises(LayoutError):
+            make_layout(CFG, 4, 4, interleaved=True, latches_per_bank=4)

@@ -1,0 +1,56 @@
+"""The in-DRAM LUT activation path (Newton-no-reuse variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL
+from repro.dram.config import DRAMConfig
+from repro.numerics.activation import apply_activation
+from repro.numerics.lut import ActivationLUT
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=256)
+NO_REUSE = FULL.evolve(interleaved_reuse=False)
+
+
+class TestLutThroughDevice:
+    def test_lut_applied_in_no_reuse_mode(self, rng):
+        m, n = 32, 512
+        matrix = (rng.standard_normal((m, n)) / 16).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+
+        plain = NewtonDevice(CFG, opt=NO_REUSE, functional=True)
+        raw = plain.gemv(plain.load_matrix(matrix), vector).output
+
+        lut_device = NewtonDevice(
+            CFG, opt=NO_REUSE, functional=True, lut_activation="sigmoid"
+        )
+        activated = lut_device.gemv(lut_device.load_matrix(matrix), vector).output
+
+        expected = ActivationLUT("sigmoid").apply(raw)
+        assert np.array_equal(activated, expected)
+        assert np.all((activated >= 0) & (activated <= 1))
+
+    def test_lut_close_to_exact_activation(self, rng):
+        m, n = 32, 512
+        matrix = (rng.standard_normal((m, n)) / 16).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        device = NewtonDevice(
+            CFG, opt=NO_REUSE, functional=True, lut_activation="tanh"
+        )
+        out = device.gemv(device.load_matrix(matrix), vector).output
+        plain = NewtonDevice(CFG, opt=NO_REUSE, functional=True)
+        raw = plain.gemv(plain.load_matrix(matrix), vector).output
+        assert np.allclose(out, apply_activation("tanh", raw), atol=0.02)
+
+    def test_lut_ignored_in_interleaved_mode(self, rng):
+        """The full-reuse design applies activations on the host, not in
+        the DRAM — the device must not construct a LUT for it."""
+        device = NewtonDevice(CFG, opt=FULL, functional=True, lut_activation="sigmoid")
+        m, n = 16, 512
+        matrix = (rng.standard_normal((m, n)) / 16).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        out = device.gemv(device.load_matrix(matrix), vector).output
+        plain = NewtonDevice(CFG, opt=FULL, functional=True)
+        raw = plain.gemv(plain.load_matrix(matrix), vector).output
+        assert np.array_equal(out, raw)  # untouched by any LUT

@@ -1,0 +1,73 @@
+"""Optimization flags and the Figure 9 ladder."""
+
+import pytest
+
+from repro.core.optimizations import FULL, NON_OPT, OptimizationConfig, figure9_ladder
+from repro.errors import ConfigurationError
+
+
+class TestOptimizationConfig:
+    def test_full_has_everything(self):
+        assert FULL.ganged_compute
+        assert FULL.complex_commands
+        assert FULL.interleaved_reuse
+        assert FULL.four_bank_activation
+        assert FULL.aggressive_tfaw
+        assert FULL.result_latches == 1
+
+    def test_non_opt_has_nothing(self):
+        assert not NON_OPT.ganged_compute
+        assert not NON_OPT.complex_commands
+        assert not NON_OPT.interleaved_reuse
+        assert not NON_OPT.four_bank_activation
+        assert not NON_OPT.aggressive_tfaw
+
+    def test_latches_require_row_major(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(interleaved_reuse=True, result_latches=4)
+        OptimizationConfig(interleaved_reuse=False, result_latches=4)
+
+    def test_at_least_one_latch(self):
+        with pytest.raises(ConfigurationError):
+            OptimizationConfig(interleaved_reuse=False, result_latches=0)
+
+    def test_evolve(self):
+        cfg = NON_OPT.evolve(ganged_compute=True)
+        assert cfg.ganged_compute and not cfg.complex_commands
+
+    def test_labels(self):
+        assert FULL.label == "Newton"
+        assert NON_OPT.label == "Non-opt-Newton"
+        assert "gang" in NON_OPT.evolve(ganged_compute=True).label
+
+
+class TestFigure9Ladder:
+    def test_paper_order(self):
+        names = [name for name, _ in figure9_ladder()]
+        assert names == [
+            "non-opt",
+            "+gang",
+            "+complex",
+            "+reuse",
+            "+four-bank",
+            "+tFAW (Newton)",
+        ]
+
+    def test_endpoints(self):
+        ladder = figure9_ladder()
+        assert ladder[0][1] == NON_OPT
+        assert ladder[-1][1] == FULL
+
+    def test_each_step_adds_exactly_one_flag(self):
+        flags = (
+            "ganged_compute",
+            "complex_commands",
+            "interleaved_reuse",
+            "four_bank_activation",
+            "aggressive_tfaw",
+        )
+        ladder = figure9_ladder()
+        for (_, a), (_, b) in zip(ladder, ladder[1:]):
+            changed = [f for f in flags if getattr(a, f) != getattr(b, f)]
+            assert len(changed) == 1
+            assert getattr(b, changed[0]) is True

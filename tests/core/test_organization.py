@@ -1,0 +1,73 @@
+"""Adder-tree vs column-major MAC organization (Section III-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.organization import MacOrganization, OrganizationModel
+from repro.dram.config import hbm2e_like_config
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def aggressive():
+    """The paper's 'aggressive 16-24 channel' system: 384 total banks."""
+    return OrganizationModel(hbm2e_like_config(num_channels=24))
+
+
+class TestUtilization:
+    def test_grains(self, aggressive):
+        assert aggressive.total_banks == 384
+        assert aggressive.total_lanes == 384 * 16
+
+    def test_tree_saturates_at_512_rows(self, aggressive):
+        """The paper: matrix rows (512+) exceed total banks (256-384),
+        so the tree's unfavourable case does not arise."""
+        util = aggressive.utilization(512, MacOrganization.ADDER_TREE)
+        assert util == pytest.approx(512 / 768)  # 2 waves of 384
+        assert util > 0.6
+
+    def test_column_major_starves_at_512_rows(self, aggressive):
+        """...but 512 rows fill only 512/6144 of the lanes column-major
+        would need — the idle-multiplier problem."""
+        util = aggressive.utilization(512, MacOrganization.COLUMN_MAJOR)
+        assert util == pytest.approx(512 / 6144)
+
+    def test_paper_argument(self, aggressive):
+        assert aggressive.paper_argument_holds(512)
+        assert aggressive.paper_argument_holds(4096)
+
+    def test_perfect_utilization_at_multiples(self, aggressive):
+        assert aggressive.utilization(768, MacOrganization.ADDER_TREE) == 1.0
+        assert aggressive.utilization(6144, MacOrganization.COLUMN_MAJOR) == 1.0
+
+    def test_validation(self, aggressive):
+        with pytest.raises(ConfigurationError):
+            aggressive.utilization(0, MacOrganization.ADDER_TREE)
+
+    @given(st.integers(1, 100_000))
+    def test_tree_never_worse(self, m):
+        """The tree's grain divides column-major's, so its utilization is
+        always at least as high — the Section III-B conclusion."""
+        model = OrganizationModel(hbm2e_like_config(num_channels=24))
+        tree = model.utilization(m, MacOrganization.ADDER_TREE)
+        cm = model.utilization(m, MacOrganization.COLUMN_MAJOR)
+        assert tree >= cm - 1e-12
+
+    @given(st.integers(1, 100_000))
+    def test_utilization_bounds(self, m):
+        model = OrganizationModel(hbm2e_like_config(num_channels=2))
+        for org in MacOrganization:
+            u = model.utilization(m, org)
+            assert 0 < u <= 1.0
+
+
+class TestComparison:
+    def test_compare_bundles_area(self, aggressive):
+        cmp = aggressive.compare(512)
+        assert cmp.tree_wins
+        assert cmp.tree_area.latch_area < cmp.column_major_area.latch_area
+
+    def test_tree_wins_tie_on_area(self, aggressive):
+        cmp = aggressive.compare(6144)  # both at 100% utilization
+        assert cmp.tree_utilization == cmp.column_major_utilization == 1.0
+        assert cmp.tree_wins  # fewer latches break the tie

@@ -1,0 +1,81 @@
+"""Result records and stats snapshots/deltas."""
+
+import numpy as np
+
+from repro.core.result import (
+    ChannelRunResult,
+    GemvRunResult,
+    stats_delta,
+    stats_snapshot,
+)
+from repro.dram.commands import CommandKind
+from repro.dram.controller import ControllerStats
+
+
+class TestSnapshots:
+    def test_snapshot_is_deep_enough(self):
+        stats = ControllerStats()
+        stats.command_counts[CommandKind.COMP] = 1
+        snap = stats_snapshot(stats)
+        stats.command_counts[CommandKind.COMP] = 5
+        assert snap["command_counts"][CommandKind.COMP] == 1
+
+    def test_delta(self):
+        stats = ControllerStats()
+        stats.command_counts[CommandKind.COMP] = 2
+        stats.bank_activations = 4
+        before = stats_snapshot(stats)
+        stats.command_counts[CommandKind.COMP] = 10
+        stats.command_counts[CommandKind.READRES] = 1
+        stats.bank_activations = 9
+        delta = stats_delta(before, stats_snapshot(stats))
+        assert delta["command_counts"] == {
+            CommandKind.COMP: 8,
+            CommandKind.READRES: 1,
+        }
+        assert delta["bank_activations"] == 5
+
+
+def make_channel_result(start=0, end=100, counts=None):
+    return ChannelRunResult(
+        channel_index=0,
+        row_slice=(0, 8),
+        start_cycle=start,
+        end_cycle=end,
+        stats={
+            "command_counts": counts or {CommandKind.COMP: 3},
+            "bank_activations": 0,
+            "bank_column_accesses": 0,
+            "compute_column_accesses": 0,
+            "data_transfers": 0,
+            "refreshes": 0,
+            "refresh_stall_cycles": 7,
+        },
+        output=np.zeros(8, dtype=np.float32),
+    )
+
+
+class TestResults:
+    def test_channel_cycles(self):
+        assert make_channel_result(10, 110).cycles == 100
+
+    def test_command_count(self):
+        assert make_channel_result().command_count(CommandKind.COMP) == 3
+        assert make_channel_result().command_count(CommandKind.ACT) == 0
+
+    def test_gemv_aggregation(self):
+        run = GemvRunResult(
+            cycles=100,
+            channel_results=[
+                make_channel_result(counts={CommandKind.COMP: 3}),
+                make_channel_result(counts={CommandKind.COMP: 4, CommandKind.READRES: 1}),
+            ],
+        )
+        assert run.total_commands == 8
+        assert run.command_count(CommandKind.COMP) == 7
+        assert run.refresh_stall_cycles == 7
+
+    def test_empty_gemv_result(self):
+        run = GemvRunResult(cycles=0)
+        assert run.total_commands == 0
+        assert run.refresh_stall_cycles == 0

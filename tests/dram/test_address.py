@@ -1,0 +1,56 @@
+"""Address mapping round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import DramCoord, coord_to_linear, linear_to_coord, validate_coord
+from repro.dram.config import DRAMConfig
+from repro.errors import LayoutError
+
+CFG = DRAMConfig(num_channels=2, banks_per_channel=8, rows_per_bank=64)
+TOTAL = 2 * 8 * 64 * 32
+
+
+class TestAddressMapping:
+    def test_origin(self):
+        assert linear_to_coord(CFG, 0) == DramCoord(0, 0, 0, 0)
+
+    def test_bank_interleaving_at_row_granularity(self):
+        """Consecutive DRAM rows of a channel walk across banks first."""
+        cols = CFG.cols_per_row
+        assert linear_to_coord(CFG, cols) == DramCoord(0, 1, 0, 0)
+        assert linear_to_coord(CFG, cols * 8) == DramCoord(0, 0, 1, 0)
+
+    def test_channel_boundary(self):
+        per_channel = 8 * 64 * 32
+        assert linear_to_coord(CFG, per_channel).channel == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(LayoutError):
+            linear_to_coord(CFG, TOTAL)
+        with pytest.raises(LayoutError):
+            linear_to_coord(CFG, -1)
+
+    def test_validate_coord(self):
+        with pytest.raises(LayoutError):
+            validate_coord(CFG, DramCoord(0, 8, 0, 0))
+        with pytest.raises(LayoutError):
+            validate_coord(CFG, DramCoord(2, 0, 0, 0))
+        with pytest.raises(LayoutError):
+            validate_coord(CFG, DramCoord(0, 0, 64, 0))
+        with pytest.raises(LayoutError):
+            validate_coord(CFG, DramCoord(0, 0, 0, 32))
+
+    @given(st.integers(0, TOTAL - 1))
+    def test_roundtrip(self, index):
+        assert coord_to_linear(CFG, linear_to_coord(CFG, index)) == index
+
+    @given(
+        st.integers(0, 1),
+        st.integers(0, 7),
+        st.integers(0, 63),
+        st.integers(0, 31),
+    )
+    def test_inverse_roundtrip(self, channel, bank, row, col):
+        coord = DramCoord(channel, bank, row, col)
+        assert linear_to_coord(CFG, coord_to_linear(CFG, coord)) == coord

@@ -1,0 +1,81 @@
+"""The area-budget model and the paper's feasibility claims."""
+
+import pytest
+
+from repro.dram.area import AREA_BUDGET_FRACTION, AreaModel, AreaParams
+from repro.dram.config import hbm2e_like_config
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return AreaModel(hbm2e_like_config())
+
+
+class TestAreaClaims:
+    def test_newton_around_20_percent(self, model):
+        """'even such minimal hardware incurs around 20% area penalty'."""
+        overhead = model.newton().overhead_fraction
+        assert 0.15 <= overhead <= 0.25
+
+    def test_newton_within_budget(self, model):
+        """'no more than 25% area overhead'."""
+        assert model.newton().within_budget
+
+    def test_full_core_pim_blows_budget(self, model):
+        """Prior-work full cores per bank are infeasible — why Newton
+        'makes PIM feasible for the first time'."""
+        report = model.full_core_pim()
+        assert not report.within_budget
+        assert report.overhead_fraction > 4 * AREA_BUDGET_FRACTION
+
+    def test_tree_has_fewer_latches_than_column_major(self, model):
+        """Section III-B: column-major needs 16 accumulator latches per
+        bank, the tree needs one — a modest area advantage."""
+        tree = model.newton()
+        cm = model.column_major()
+        assert tree.latch_area < cm.latch_area
+        assert tree.compute_area < cm.compute_area
+        # Same multipliers and adders in both organizations.
+        assert tree.multiplier_area == cm.multiplier_area
+        assert tree.adder_area == cm.adder_area
+
+    def test_four_latch_variant_costs_more(self, model):
+        one = model.newton(latches_per_bank=1)
+        four = model.newton(latches_per_bank=4)
+        assert four.latch_area == 4 * one.latch_area
+        assert four.compute_area > one.compute_area
+
+    def test_lut_charged_only_when_present(self, model):
+        assert model.newton(with_lut=True).lut_area > 0
+        assert model.newton(with_lut=False).lut_area == 0
+
+    def test_global_buffer_amortized_over_channel(self, model):
+        """The buffer is per channel, not per bank: its share is tiny."""
+        report = model.newton()
+        assert report.buffer_area < 0.02 * report.compute_area * 16
+
+
+class TestValidation:
+    def test_positive_params(self):
+        with pytest.raises(ConfigurationError):
+            AreaParams(multiplier_units=0)
+
+    def test_latch_count_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            model.newton(latches_per_bank=0)
+
+
+class TestFigure6VoltageGenerators:
+    def test_aggressive_tfaw_costs_area(self, model):
+        """Figure 6: 'improving tFAW comes with the cost of higher die
+        area' — the upgraded LDO/pump drivers are charged per channel."""
+        aggressive = model.newton(aggressive_tfaw=True)
+        standard = model.newton(aggressive_tfaw=False)
+        assert aggressive.voltage_generator_area > 0
+        assert standard.voltage_generator_area == 0
+        assert aggressive.compute_area > standard.compute_area
+
+    def test_still_within_budget_with_upgrade(self, model):
+        """The paper justifies the cost: the full design must still fit."""
+        assert model.newton(aggressive_tfaw=True).within_budget

@@ -1,0 +1,63 @@
+"""Bank state machine: tRCD/tRAS/tRP bookkeeping and protocol errors."""
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.errors import TimingViolationError
+
+
+class TestBankState:
+    def test_activate_opens_row(self):
+        bank = BankState(index=0)
+        bank.do_activate(row=7, at=0, t_rcd=14, t_ras=33)
+        assert bank.is_open and bank.open_row == 7
+        assert bank.column_ready == 14
+        assert bank.precharge_ready == 33
+        assert bank.activations == 1
+
+    def test_no_double_buffering(self):
+        """Newton has no row double-buffering: ACT on an open bank is illegal."""
+        bank = BankState(index=0)
+        bank.do_activate(0, 0, 14, 33)
+        with pytest.raises(TimingViolationError, match="not double-buffered"):
+            bank.do_activate(1, 100, 14, 33)
+
+    def test_activate_before_precharge_done(self):
+        bank = BankState(index=0)
+        bank.do_activate(0, 0, 14, 33)
+        bank.do_precharge(40, t_rp=14)
+        with pytest.raises(TimingViolationError):
+            bank.do_activate(1, 50, 14, 33)  # tRP not satisfied until 54
+        bank.do_activate(1, 54, 14, 33)
+
+    def test_column_requires_open_row_and_trcd(self):
+        bank = BankState(index=0)
+        with pytest.raises(TimingViolationError, match="no open row"):
+            bank.do_column(0)
+        bank.do_activate(0, 0, 14, 33)
+        with pytest.raises(TimingViolationError):
+            bank.do_column(10)
+        bank.do_column(14)
+        assert bank.column_accesses == 1
+        assert bank.last_column_issue == 14
+
+    def test_precharge_before_tras(self):
+        bank = BankState(index=0)
+        bank.do_activate(0, 0, 14, 33)
+        with pytest.raises(TimingViolationError):
+            bank.do_precharge(20, t_rp=14)
+
+    def test_write_recovery_extends_precharge(self):
+        bank = BankState(index=0)
+        bank.do_activate(0, 0, 14, 33)
+        bank.do_column(30, write_recovery=12)
+        assert bank.precharge_ready == 42
+
+    def test_refresh_closes_and_blocks(self):
+        bank = BankState(index=0)
+        bank.do_activate(0, 0, 14, 33)
+        bank.do_precharge(33, 14)
+        bank.do_refresh_done(at_done=500)
+        assert not bank.is_open
+        assert bank.ready_for_act == 500
+        assert bank.column_ready == 500

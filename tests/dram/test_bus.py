@@ -1,0 +1,47 @@
+"""Command/data bus occupancy."""
+
+import pytest
+
+from repro.dram.bus import BusTimer
+from repro.errors import ConfigurationError
+
+
+class TestBusTimer:
+    def test_slot_width_positive(self):
+        with pytest.raises(ConfigurationError):
+            BusTimer(0)
+
+    def test_earliest_respects_occupancy(self):
+        bus = BusTimer(4)
+        assert bus.earliest() == 0
+        bus.occupy(0)
+        assert bus.earliest() == 4
+        assert bus.earliest(10) == 10
+
+    def test_occupy_rejects_overlap(self):
+        bus = BusTimer(4)
+        bus.occupy(0)
+        with pytest.raises(ConfigurationError, match="overlaps"):
+            bus.occupy(2)
+
+    def test_custom_width(self):
+        bus = BusTimer(4)
+        bus.occupy(0, cycles=10)
+        assert bus.next_free == 10
+
+    def test_advance_to_only_moves_forward(self):
+        bus = BusTimer(4)
+        bus.occupy(0)
+        bus.advance_to(2)
+        assert bus.next_free == 4
+        bus.advance_to(100)
+        assert bus.next_free == 100
+
+    def test_utilization(self):
+        bus = BusTimer(4)
+        bus.occupy(0)
+        bus.occupy(4)
+        assert bus.utilization(16) == pytest.approx(0.5)
+        assert bus.utilization(0) == 0.0
+        assert bus.slots_used == 2
+        assert bus.busy_cycles == 8

@@ -1,0 +1,55 @@
+"""DRAM geometry validation and derived quantities (Table III)."""
+
+import pytest
+
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.errors import ConfigurationError
+
+
+class TestDRAMConfig:
+    def test_table3_geometry(self):
+        cfg = hbm2e_like_config()
+        assert cfg.banks_per_channel == 16
+        assert cfg.rows_per_bank == 32768
+        assert cfg.cols_per_row == 32
+        assert cfg.col_io_bits == 256
+        assert cfg.mults_per_bank == 16
+
+    def test_derived_chunk_geometry(self):
+        cfg = hbm2e_like_config()
+        assert cfg.elems_per_col == 16  # 256b / 16b
+        assert cfg.elems_per_row == 512  # the DRAM-row-wide chunk
+        assert cfg.row_bytes == 1024  # 1 KB rows
+        assert cfg.col_io_bytes == 32
+        assert cfg.bank_groups == 4
+
+    def test_capacity(self):
+        cfg = hbm2e_like_config()
+        assert cfg.bank_bytes == 32768 * 1024
+        assert cfg.channel_bytes == 16 * 32768 * 1024
+
+    def test_rate_matching_enforced(self):
+        with pytest.raises(ConfigurationError, match="rate-matches"):
+            DRAMConfig(mults_per_bank=8)
+
+    def test_bank_group_divides_banks(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(banks_per_channel=10)
+
+    def test_col_io_whole_elements(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(col_io_bits=100, elem_bits=16, mults_per_bank=6)
+
+    def test_positive_fields(self):
+        with pytest.raises(ConfigurationError):
+            DRAMConfig(num_channels=0)
+
+    def test_bank_sweep_configs_valid(self):
+        for banks in (8, 16, 32):
+            cfg = hbm2e_like_config(banks_per_channel=banks)
+            assert cfg.bank_groups == banks // 4
+
+    def test_with_overrides(self):
+        cfg = hbm2e_like_config().with_overrides(num_channels=24)
+        assert cfg.num_channels == 24
+        assert cfg.banks_per_channel == 16

@@ -1,0 +1,229 @@
+"""The constraint-based controller: per-command timing semantics.
+
+These tests pin the cycle-level behaviour the paper's performance story
+rests on: command-bus serialization, G_ACT's tFAW staggering, COMP
+rate-matching, the adder-tree drain before READRES, auto-precharge, and
+the refresh barrier.
+"""
+
+import pytest
+
+from repro.dram import commands as cmds
+from repro.dram.commands import CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import ChannelController
+from repro.dram.timing import TimingParams
+from repro.errors import TimingViolationError
+
+
+def make_controller(aggressive=True, refresh=False, **overrides):
+    timing = TimingParams().with_overrides(**overrides) if overrides else TimingParams()
+    return ChannelController(
+        DRAMConfig(num_channels=1),
+        timing,
+        aggressive_tfaw=aggressive,
+        refresh_enabled=refresh,
+    )
+
+
+def open_all_banks(ctrl, row=0):
+    records = [ctrl.issue(cmds.g_act(g, row)) for g in range(ctrl.config.bank_groups)]
+    return records
+
+
+class TestCommandBus:
+    def test_inter_command_delay(self):
+        ctrl = make_controller()
+        r1 = ctrl.issue(cmds.g_act(0, 0))
+        r2 = ctrl.issue(cmds.g_act(1, 0))
+        # Bus alone would allow t_cmd; tFAW dominates here.
+        assert r2.issue - r1.issue == max(ctrl.timing.t_cmd, ctrl.timing.t_faw_aim)
+
+    def test_gwrites_pace_at_t_cmd(self):
+        ctrl = make_controller()
+        issues = [ctrl.issue(cmds.gwrite(s)).issue for s in range(8)]
+        gaps = [b - a for a, b in zip(issues, issues[1:])]
+        assert gaps == [ctrl.timing.t_cmd] * 7
+
+
+class TestActivation:
+    def test_g_act_staggering_matches_model(self):
+        """G_ACT groups separated by max(tRRD, tFAW) — Section III-F."""
+        ctrl = make_controller()
+        records = open_all_banks(ctrl)
+        faw = ctrl.timing.t_faw_aim
+        for a, b in zip(records, records[1:]):
+            assert b.issue - a.issue == max(faw, ctrl.timing.t_rrd, ctrl.timing.t_cmd)
+
+    def test_standard_faw_without_aggressive_flag(self):
+        ctrl = make_controller(aggressive=False)
+        records = open_all_banks(ctrl)
+        assert records[1].issue - records[0].issue == ctrl.timing.t_faw
+
+    def test_per_bank_acts_respect_faw_windows(self):
+        ctrl = make_controller(aggressive=False)
+        issues = [ctrl.issue(cmds.act(b, 0)).issue for b in range(16)]
+        for i in range(4, 16):
+            assert issues[i] - issues[i - 4] >= ctrl.timing.t_faw
+
+    def test_act_on_open_bank_rejected(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        with pytest.raises(TimingViolationError):
+            ctrl.issue(cmds.act(0, 1))
+
+    def test_row_reopen_after_precharge_waits_trp(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        pre = ctrl.issue(cmds.pre(0))
+        act2 = ctrl.issue(cmds.act(0, 1))
+        assert act2.issue >= pre.issue + ctrl.timing.t_rp
+
+
+class TestComp:
+    def test_comp_requires_all_banks_open(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.g_act(0, 0))
+        with pytest.raises(TimingViolationError, match="COMP"):
+            ctrl.issue(cmds.comp(0, 0))
+
+    def test_comp_waits_for_last_activation_trcd(self):
+        ctrl = make_controller()
+        records = open_all_banks(ctrl)
+        comp = ctrl.issue(cmds.comp(0, 0))
+        assert comp.issue >= records[-1].issue + ctrl.timing.t_rcd
+
+    def test_comp_rate_matched_to_tccd(self):
+        """Consecutive COMPs pace at tCCD: all internal bandwidth used."""
+        ctrl = make_controller(t_cmd=2, t_ccd=4)
+        open_all_banks(ctrl)
+        issues = [ctrl.issue(cmds.comp(c, c)).issue for c in range(8)]
+        gaps = {b - a for a, b in zip(issues, issues[1:])}
+        assert gaps == {ctrl.timing.t_ccd}
+
+    def test_comp_counts_all_banks(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        ctrl.issue(cmds.comp(0, 0))
+        assert ctrl.stats.compute_column_accesses == 16
+        assert ctrl.stats.data_transfers == 0  # COMP never crosses the PHY
+
+    def test_comp_auto_precharge_closes_banks(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        ctrl.issue(cmds.comp(0, 0, auto_precharge=True))
+        assert all(not b.is_open for b in ctrl.banks)
+
+    def test_comp_bank_touches_one_bank(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        ctrl.issue(cmds.comp_bank(3, 0, 0))
+        assert ctrl.stats.compute_column_accesses == 1
+
+
+class TestReadres:
+    def test_readres_waits_for_tree_drain(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        comp = ctrl.issue(cmds.comp(0, 0))
+        res = ctrl.issue(cmds.readres())
+        assert res.issue >= comp.issue + ctrl.timing.t_tree_drain
+
+    def test_readres_transfers_data(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        ctrl.issue(cmds.comp(0, 0))
+        before = ctrl.stats.data_transfers
+        ctrl.issue(cmds.readres())
+        assert ctrl.stats.data_transfers == before + 1
+
+    def test_readres_bank_drains_too(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        comp = ctrl.issue(cmds.comp_bank(0, 0, 0))
+        res = ctrl.issue(cmds.readres_bank(0))
+        assert res.issue >= comp.issue + ctrl.timing.t_tree_drain
+
+
+class TestReadWrite:
+    def test_rd_needs_open_row(self):
+        ctrl = make_controller()
+        with pytest.raises(TimingViolationError):
+            ctrl.issue(cmds.rd(0, 0))
+
+    def test_rd_data_latency(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        rd = ctrl.issue(cmds.rd(0, 0))
+        assert rd.complete == rd.issue + ctrl.timing.t_aa + ctrl.timing.t_ccd
+
+    def test_wr_extends_precharge_by_recovery(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        wr = ctrl.issue(cmds.wr(0, 0))
+        assert ctrl.banks[0].precharge_ready >= wr.issue + ctrl.timing.t_wr
+
+    def test_reads_serialize_on_data_bus(self):
+        ctrl = make_controller(t_cmd=1, t_ccd=4)
+        ctrl.issue(cmds.act(0, 0))
+        ctrl.issue(cmds.act(1, 0))
+        r1 = ctrl.issue(cmds.rd(0, 0))
+        r2 = ctrl.issue(cmds.rd(1, 0))
+        assert r2.issue - r1.issue >= ctrl.timing.t_ccd
+
+
+class TestRefreshBarrier:
+    def test_barrier_noop_when_far_from_deadline(self):
+        ctrl = make_controller(refresh=True)
+        assert ctrl.refresh_barrier(op_duration=100) == 0
+        assert ctrl.stats.refreshes == 0
+
+    def test_barrier_refreshes_and_closes_banks(self):
+        ctrl = make_controller(refresh=True)
+        open_all_banks(ctrl)
+        ctrl.now = ctrl.timing.t_refi - 10
+        start = ctrl.refresh_barrier(op_duration=100)
+        assert start >= ctrl.timing.t_refi + ctrl.timing.t_rfc
+        assert ctrl.stats.refreshes == 1
+        assert all(not b.is_open for b in ctrl.banks)
+        assert ctrl.stats.count(CommandKind.REF) == 1
+
+    def test_explicit_ref_requires_precharged_banks(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        with pytest.raises(TimingViolationError):
+            ctrl.issue(cmds.ref())
+
+
+class TestStatsAndFinalize:
+    def test_command_counts(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        ctrl.issue(cmds.comp(0, 0))
+        ctrl.issue(cmds.readres())
+        assert ctrl.stats.count(CommandKind.G_ACT) == 4
+        assert ctrl.stats.count(CommandKind.COMP) == 1
+        assert ctrl.stats.count(CommandKind.READRES) == 1
+        assert ctrl.stats.total_commands == 6
+
+    def test_finalize_accounts_open_banks(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, 0))
+        end = ctrl.finalize(1000)
+        assert end == 1000
+        assert ctrl.stats.open_bank_cycles == 1000
+
+    def test_pre_all(self):
+        ctrl = make_controller()
+        open_all_banks(ctrl)
+        # Satisfy tRAS before PRE_ALL.
+        ctrl.issue(cmds.comp(0, 0))
+        ctrl.issue(cmds.comp(1, 1))
+        ctrl.issue(cmds.comp(2, 2))
+        ctrl.issue(cmds.pre_all())
+        assert all(not b.is_open for b in ctrl.banks)
+
+    def test_pre_all_with_nothing_open_rejected(self):
+        ctrl = make_controller()
+        with pytest.raises(TimingViolationError):
+            ctrl.issue(cmds.pre_all())

@@ -1,0 +1,81 @@
+"""Bit-level command encoding round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram import commands as cmds
+from repro.dram.commands import Command, CommandKind
+from repro.dram.encoding import COMMAND_WORD_BITS, decode, encode
+from repro.errors import ProtocolError
+
+
+class TestEncoding:
+    def test_word_width(self):
+        assert COMMAND_WORD_BITS == 36
+
+    def test_known_roundtrips(self):
+        for command in (
+            cmds.act(3, 1000),
+            cmds.g_act(2, 77),
+            cmds.pre(5),
+            cmds.pre_all(),
+            cmds.rd(1, 31, auto_precharge=True),
+            cmds.wr(0, 0),
+            cmds.ref(),
+            cmds.gwrite(17),
+            cmds.comp(9, 9, auto_precharge=True),
+            cmds.comp_bank(4, 2, 2),
+            cmds.buf_read(30),
+            cmds.col_read(15, 31),
+            cmds.mac(8),
+            cmds.col_read_all(6, auto_precharge=True),
+            cmds.mac_all(),
+            cmds.readres(),
+            cmds.readres_bank(12),
+        ):
+            assert decode(encode(command)) == command, command.describe()
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode(cmds.act(64, 0))  # bank field is 6 bits
+        with pytest.raises(ProtocolError):
+            encode(cmds.act(0, 1 << 17))  # row field is 17 bits
+
+    def test_bad_words_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(-1)
+        with pytest.raises(ProtocolError):
+            decode(1 << COMMAND_WORD_BITS)
+        with pytest.raises(ProtocolError):
+            decode(31)  # opcode beyond the known kinds
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 2**17 - 1),
+        st.integers(0, 31),
+        st.booleans(),
+    )
+    def test_property_roundtrip_column_commands(self, bank, row, col, ap):
+        for command in (
+            cmds.act(bank, row),
+            Command(CommandKind.RD, bank=bank, col=col, auto_precharge=ap),
+            cmds.comp(col, col, auto_precharge=ap),
+            cmds.comp_bank(bank, col, col, auto_precharge=ap),
+            cmds.gwrite(col),
+        ):
+            assert decode(encode(command)) == command
+
+    def test_distinct_commands_encode_distinctly(self):
+        words = {
+            encode(c)
+            for c in (
+                cmds.comp(0, 0),
+                cmds.comp(1, 1),
+                cmds.gwrite(0),
+                cmds.gwrite(1),
+                cmds.readres(),
+                cmds.g_act(0, 0),
+                cmds.g_act(1, 0),
+            )
+        }
+        assert len(words) == 7

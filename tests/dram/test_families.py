@@ -1,0 +1,63 @@
+"""DRAM family presets (GDDR6 / DDR4 / LPDDR4-like)."""
+
+import pytest
+
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL
+from repro.dram.families import (
+    FAMILIES,
+    ddr4_family,
+    family_by_name,
+    gddr6_family,
+    hbm2e_family,
+    lpddr4_family,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_four_families(self):
+        assert set(FAMILIES) == {"HBM2E", "GDDR6", "DDR4", "LPDDR4"}
+
+    def test_all_rate_matched(self):
+        """Every preset must keep MACs rate-matched to its column I/O —
+        'number of MACs for rate matching' differs per family."""
+        for builder in FAMILIES.values():
+            preset = builder()
+            cfg = preset.config
+            assert cfg.mults_per_bank == cfg.elems_per_col
+
+    def test_mac_counts_differ_by_family(self):
+        assert hbm2e_family().config.mults_per_bank == 16
+        assert gddr6_family().config.mults_per_bank == 16
+        assert ddr4_family().config.mults_per_bank == 4
+        assert lpddr4_family().config.mults_per_bank == 8
+
+    def test_lookup(self):
+        assert family_by_name("GDDR6").name == "GDDR6"
+        with pytest.raises(ConfigurationError):
+            family_by_name("HBM5")
+
+    def test_lookup_forwards_kwargs(self):
+        assert family_by_name("DDR4", num_channels=2).config.num_channels == 2
+
+
+class TestFunctionalAcrossFamilies:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_gemv_runs_on_every_family(self, name, rng):
+        """The whole stack — layout, command generation, timing,
+        functional datapath — must work unchanged on every geometry."""
+        preset = family_by_name(name, num_channels=1)
+        config = preset.config.with_overrides(rows_per_bank=512)
+        device = NewtonDevice(config, preset.timing, FULL, functional=True)
+        import numpy as np
+
+        m, n = 3 * config.banks_per_channel, config.elems_per_row + 7
+        matrix = (rng.standard_normal((m, n)) / 16).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        handle = device.load_matrix(matrix)
+        result = device.gemv(handle, vector)
+        exact = matrix.astype(np.float64) @ vector.astype(np.float64)
+        scale = abs(matrix).astype(np.float64) @ abs(vector).astype(np.float64)
+        assert result.cycles > 0
+        assert np.all(np.abs(result.output - exact) <= scale * 0.03 + 1e-3)

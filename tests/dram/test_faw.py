@@ -1,0 +1,79 @@
+"""tRRD / tFAW window tracking, including G_ACT's four-at-once batches."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.faw import ActivationWindow
+from repro.errors import TimingViolationError
+
+
+class TestActivationWindow:
+    def test_trrd_between_single_acts(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        w.record(0, 1)
+        assert w.earliest(1) == 4
+
+    def test_tfaw_binds_fifth_activation(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        for i in range(4):
+            w.record(i * 4, 1)
+        # The 5th activation must be >= first + tFAW = 32, not 12 + 4.
+        assert w.earliest(1) == 32
+
+    def test_ganged_batch_consumes_whole_window(self):
+        """One G_ACT (4 activations) forces the next G_ACT a full tFAW away
+        — the Section III-F max(tRRD, tFAW)*(n/4-1) term."""
+        w = ActivationWindow(t_rrd=4, t_faw=16)
+        w.record(100, 4)
+        assert w.earliest(4) == 116
+
+    def test_batch_larger_than_window_rejected(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        with pytest.raises(TimingViolationError):
+            w.earliest(5)
+
+    def test_zero_batch_rejected(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        with pytest.raises(TimingViolationError):
+            w.earliest(0)
+
+    def test_record_validates_earliest(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        w.record(0, 4)
+        with pytest.raises(TimingViolationError):
+            w.record(10, 4)
+
+    def test_set_faw_switches_window(self):
+        w = ActivationWindow(t_rrd=4, t_faw=32)
+        w.record(0, 4)
+        w.set_faw(16)
+        assert w.earliest(4) == 16
+
+    def test_mixed_batch_sizes(self):
+        w = ActivationWindow(t_rrd=4, t_faw=20)
+        w.record(0, 2)
+        # Two more at +4 fills the window of 4.
+        w.record(4, 2)
+        # A single further act: its 4-back anchor is the act at t=0.
+        assert w.earliest(1) == 20
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 4), st.integers(0, 50)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_any_schedule_respects_tfaw(self, batches):
+        """Property: recording at earliest() always yields legal schedules:
+        any 5 consecutive activations span at least tFAW."""
+        w = ActivationWindow(t_rrd=3, t_faw=17)
+        history = []
+        for count, slack in batches:
+            at = w.earliest(count) + slack
+            w.record(at, count)
+            history.extend([at] * count)
+        for i in range(4, len(history)):
+            assert history[i] - history[i - 4] >= 17
+        for a, b in zip(history, history[1:]):
+            assert b == a or b - a >= 3

@@ -1,0 +1,71 @@
+"""The normalized power model and its published anchors."""
+
+import pytest
+
+from repro.dram import commands as cmds
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import ChannelController
+from repro.dram.power import PowerModel, PowerParams, PowerReport
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model(config, timing):
+    return PowerModel(config, timing)
+
+
+class TestPowerModel:
+    def test_invalid_multiplier(self, config, timing):
+        with pytest.raises(ConfigurationError):
+            PowerModel(config, timing, PowerParams(comp_power_multiplier=0))
+
+    def test_conventional_streaming_power_above_one(self, model):
+        """Streaming reads burn the bus (1.0) plus activation/background."""
+        power = model.conventional_streaming_power()
+        assert 1.0 < power < 1.5
+
+    def test_all_bank_comp_burns_4x_anchor(self, config, timing, model):
+        """A saturated COMP stream must average ~4x conventional power —
+        the paper's published anchor."""
+        ctrl = ChannelController(config, timing, refresh_enabled=False)
+        for g in range(config.bank_groups):
+            ctrl.issue(cmds.g_act(g, 0))
+        records = [ctrl.issue(cmds.comp(c, c)) for c in range(config.cols_per_row)]
+        # Only count the compute interval (steady-state COMP phase).
+        first, last = records[0].issue, records[-1].issue + timing.t_ccd
+        report = model.report(ctrl.stats, last)
+        compute_only = report.compute_energy / (last - first)
+        assert compute_only == pytest.approx(
+            PowerParams().comp_power_multiplier * model.conventional_streaming_power(),
+            rel=0.05,
+        )
+
+    def test_report_components_sum(self, model):
+        report = PowerReport(
+            elapsed_cycles=100,
+            compute_energy=10,
+            transfer_energy=5,
+            activation_energy=2,
+            open_bank_energy=1,
+            refresh_energy=3,
+            idle_energy=4,
+        )
+        assert report.total_energy == 25
+        assert report.average_power == 0.25
+
+    def test_zero_elapsed(self):
+        report = PowerReport(0, 0, 0, 0, 0, 0, 0)
+        assert report.average_power == 0.0
+
+    def test_newton_avoids_matrix_transfer_energy(self, config, timing, model):
+        """COMP contributes zero transfer energy (the matrix never crosses
+        the PHY) — the paper's energy-efficiency argument."""
+        ctrl = ChannelController(config, timing, refresh_enabled=False)
+        for g in range(config.bank_groups):
+            ctrl.issue(cmds.g_act(g, 0))
+        for c in range(4):
+            ctrl.issue(cmds.comp(c, c))
+        report = model.report(ctrl.stats, ctrl.finalize())
+        assert report.transfer_energy == 0.0
+        assert report.compute_energy > 0.0

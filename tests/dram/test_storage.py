@@ -1,0 +1,57 @@
+"""Functional bank storage."""
+
+import numpy as np
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.dram.storage import BankStorage
+from repro.errors import LayoutError
+
+
+@pytest.fixture
+def storage():
+    return BankStorage(DRAMConfig(num_channels=1, rows_per_bank=64), bank_index=3)
+
+
+class TestBankStorage:
+    def test_unwritten_rows_read_zero(self, storage):
+        assert np.all(storage.read_row(5) == 0)
+
+    def test_lazy_allocation(self, storage):
+        assert storage.allocated_rows == 0
+        storage.read_row(1)
+        storage.write_row(2, np.ones(512, dtype=np.uint16))
+        assert storage.allocated_rows == 2
+
+    def test_row_roundtrip(self, storage, rng):
+        data = rng.integers(0, 2**16, size=512).astype(np.uint16)
+        storage.write_row(9, data)
+        assert np.array_equal(storage.read_row(9), data)
+
+    def test_write_row_copies(self, storage):
+        data = np.zeros(512, dtype=np.uint16)
+        storage.write_row(0, data)
+        data[0] = 7
+        assert storage.read_row(0)[0] == 0
+
+    def test_col_addressing(self, storage, rng):
+        data = rng.integers(0, 2**16, size=512).astype(np.uint16)
+        storage.write_row(4, data)
+        for col in (0, 1, 31):
+            assert np.array_equal(storage.read_col(4, col), data[col * 16 : col * 16 + 16])
+
+    def test_write_col(self, storage):
+        sub = np.arange(16, dtype=np.uint16)
+        storage.write_col(2, 5, sub)
+        assert np.array_equal(storage.read_col(2, 5), sub)
+        assert np.all(storage.read_col(2, 4) == 0)
+
+    def test_bounds_checks(self, storage):
+        with pytest.raises(LayoutError):
+            storage.read_row(64)
+        with pytest.raises(LayoutError):
+            storage.read_col(0, 32)
+        with pytest.raises(LayoutError):
+            storage.write_row(0, np.zeros(100, dtype=np.uint16))
+        with pytest.raises(LayoutError):
+            storage.write_col(0, 0, np.zeros(8, dtype=np.uint16))

@@ -1,0 +1,52 @@
+"""Timing parameter validation and presets."""
+
+import pytest
+
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import ConfigurationError
+
+
+class TestTimingParams:
+    def test_preset_matches_table3_published_values(self):
+        t = hbm2e_like_timing()
+        assert t.t_rp == 14
+        assert t.t_rcd == 14
+        assert t.t_ras == 33
+        assert 22 <= t.t_aa <= 29  # Table III publishes a range
+
+    def test_t_rc_derived(self):
+        t = TimingParams()
+        assert t.t_rc == t.t_ras + t.t_rp
+
+    def test_faw_window_selection(self):
+        t = TimingParams()
+        assert t.faw_window(aggressive=True) == t.t_faw_aim
+        assert t.faw_window(aggressive=False) == t.t_faw
+        assert t.t_faw_aim < t.t_faw
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_rcd=0)
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_ccd=-1)
+
+    def test_aggressive_faw_cannot_exceed_standard(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_faw=16, t_faw_aim=32)
+
+    def test_tree_drain_exceeds_ccd(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_tree_drain=4, t_ccd=4)
+
+    def test_refi_exceeds_rfc(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_refi=300, t_rfc=350)
+
+    def test_ras_covers_rcd(self):
+        with pytest.raises(ConfigurationError):
+            TimingParams(t_ras=10, t_rcd=14)
+
+    def test_with_overrides(self):
+        t = TimingParams().with_overrides(t_faw=40)
+        assert t.t_faw == 40
+        assert t.t_rcd == TimingParams().t_rcd

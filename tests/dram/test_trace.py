@@ -1,0 +1,78 @@
+"""Command trace recording."""
+
+import pytest
+
+from repro.dram import commands as cmds
+from repro.dram.commands import CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import ChannelController
+from repro.dram.timing import TimingParams
+from repro.dram.trace import CommandTrace
+from repro.errors import ConfigurationError
+
+
+def traced_controller(capacity=1000):
+    ctrl = ChannelController(
+        DRAMConfig(num_channels=1), TimingParams(), aggressive_tfaw=True,
+        refresh_enabled=False,
+    )
+    ctrl.trace = CommandTrace(capacity=capacity)
+    return ctrl
+
+
+class TestCommandTrace:
+    def test_records_issued_commands(self):
+        ctrl = traced_controller()
+        for g in range(4):
+            ctrl.issue(cmds.g_act(g, 0))
+        ctrl.issue(cmds.comp(0, 0))
+        assert len(ctrl.trace) == 5
+        assert ctrl.trace.total_recorded == 5
+        assert not ctrl.trace.truncated
+
+    def test_capacity_ring(self):
+        ctrl = traced_controller(capacity=3)
+        for s in range(10):
+            ctrl.issue(cmds.gwrite(s))
+        assert len(ctrl.trace) == 3
+        assert ctrl.trace.truncated
+        assert [r.command.subchunk for r in ctrl.trace.records()] == [7, 8, 9]
+
+    def test_kind_filter(self):
+        ctrl = traced_controller()
+        for g in range(4):
+            ctrl.issue(cmds.g_act(g, 0))
+        for c in range(4):
+            ctrl.issue(cmds.comp(c, c))
+        comps = ctrl.trace.records(kinds=[CommandKind.COMP])
+        assert len(comps) == 4
+
+    def test_since_and_predicate_filters(self):
+        ctrl = traced_controller()
+        records = [ctrl.issue(cmds.gwrite(s)) for s in range(6)]
+        cutoff = records[3].issue
+        late = ctrl.trace.records(since=cutoff)
+        assert len(late) == 3
+        even = ctrl.trace.records(predicate=lambda r: r.command.subchunk % 2 == 0)
+        assert len(even) == 3
+
+    def test_gaps_reproduce_figure7_annotations(self):
+        """G_ACTs spaced by tFAW; COMPs by tCCD — the Figure 7 timing."""
+        ctrl = traced_controller()
+        for g in range(4):
+            ctrl.issue(cmds.g_act(g, 0))
+        for c in range(8):
+            ctrl.issue(cmds.comp(c, c))
+        t = ctrl.timing
+        assert ctrl.trace.gaps(CommandKind.G_ACT) == [t.t_faw_aim] * 3
+        assert ctrl.trace.gaps(CommandKind.COMP) == [t.t_ccd] * 7
+
+    def test_render(self):
+        ctrl = traced_controller()
+        ctrl.issue(cmds.g_act(0, 5))
+        text = ctrl.trace.render()
+        assert "G_ACT" in text and "row=5" in text
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            CommandTrace(capacity=0)

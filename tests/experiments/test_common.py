@@ -1,0 +1,49 @@
+"""The shared experiment plumbing."""
+
+import pytest
+
+from repro.baselines.gpu import GpuModel
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.optimizations import FULL
+from repro.experiments import common
+from repro.workloads.catalog import layer_by_name
+
+
+class TestEvalConfig:
+    def test_paper_defaults(self):
+        config = common.eval_config()
+        assert config.num_channels == 24
+        assert config.banks_per_channel == 16
+
+    def test_sweep_parameters(self):
+        config = common.eval_config(banks=8, channels=4)
+        assert config.banks_per_channel == 8
+        assert config.num_channels == 4
+
+    def test_timing_preset(self):
+        assert common.eval_timing().t_rcd == 14
+
+
+class TestHelpers:
+    def test_make_device_defaults_timing_only(self):
+        device = common.make_device(FULL, channels=2)
+        assert device.functional is False
+        assert device.config.num_channels == 2
+
+    def test_make_baselines_types(self):
+        ideal, gpu = common.make_baselines(channels=2)
+        assert isinstance(ideal, IdealNonPim)
+        assert isinstance(gpu, GpuModel)
+        assert ideal.config.num_channels == 2
+
+    def test_newton_layer_cycles_fresh_device_each_call(self):
+        layer = layer_by_name("DLRMs1")
+        a = common.newton_layer_cycles(layer, FULL, channels=2)
+        b = common.newton_layer_cycles(layer, FULL, channels=2)
+        assert a == b  # no cross-call state
+
+    def test_more_channels_faster(self):
+        layer = layer_by_name("GNMTs1")
+        few = common.newton_layer_cycles(layer, FULL, channels=2)
+        many = common.newton_layer_cycles(layer, FULL, channels=8)
+        assert many < few

@@ -1,0 +1,160 @@
+"""The per-figure harnesses: structure and qualitative claims.
+
+These run at reduced channel counts (the per-channel physics is
+identical; channels only multiply bandwidth on both sides of every
+ratio) to keep the suite fast. The full 24-channel numbers live in the
+benchmark harness and the integration tests.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig9_ablation,
+    fig10_banks,
+    fig11_batch_ideal,
+    fig12_batch_gpu,
+    fig13_power,
+    latch_variant,
+    model_validation,
+)
+
+CHANNELS = 4
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9_ablation.run(channels=CHANNELS)
+
+    def test_ladder_has_six_steps(self, result):
+        assert len(result.rows) == 6
+        assert result.rows[0].step == "non-opt"
+        assert result.rows[-1].step == "+tFAW (Newton)"
+
+    def test_every_optimization_helps(self, result):
+        assert result.monotonically_improves()
+
+    def test_gang_is_largest_jump(self, result):
+        """The paper: ganged computation yields the largest improvement."""
+        speeds = [r.gmean_speedup for r in result.rows]
+        jumps = [b / a for a, b in zip(speeds, speeds[1:])]
+        assert jumps[0] == max(jumps)
+
+    def test_full_design_much_faster_than_non_opt(self, result):
+        assert result.rows[-1].gmean_speedup > 20 * result.rows[0].gmean_speedup
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Figure 9" in text and "+gang" in text
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10_banks.run(channels=CHANNELS)
+
+    def test_three_bank_counts(self, result):
+        assert sorted(result.speedups) == [8, 16, 32]
+
+    def test_speedup_grows_sublinearly(self, result):
+        """The paper's Amdahl effect from activation overheads."""
+        assert result.sublinear()
+
+    def test_render(self, result):
+        assert "32 banks" in result.render()
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_batch_ideal.run(channels=CHANNELS)
+
+    def test_newton_performance_flat_across_batches(self, result):
+        for row in result.rows:
+            vals = list(row.newton.values())
+            assert max(vals) == pytest.approx(min(vals))
+
+    def test_ideal_scales_linearly_with_batch(self, result):
+        for row in result.rows:
+            assert row.ideal[16] == pytest.approx(16 * row.ideal[1], rel=1e-6)
+
+    def test_ideal_overtakes_newton_by_batch_16(self, result):
+        """The paper's crossover: Ideal Non-PIM ~1.6x faster at k=16."""
+        for row in result.rows:
+            assert row.ideal[16] > row.newton[16]
+            assert row.ideal[1] < row.newton[1]
+
+    def test_crossover_near_paper_point(self, result):
+        k = result.crossover_batch("GNMTs1")
+        assert k in (8, 16)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_batch_gpu.run(channels=CHANNELS)
+
+    def test_newton_wins_all_edge_batches(self, result):
+        """The paper's argument: Newton dominates at batch <= 8."""
+        for row in result.rows:
+            assert result.newton_wins_small_batches(row.layer, up_to=8)
+
+    def test_gpu_needs_batch_about_64(self, result):
+        """A large batch (~64) is needed for the GPU to overtake."""
+        crossovers = [result.crossover_batch(r.layer) for r in result.rows]
+        assert all(32 <= k <= 128 for k in crossovers if k)
+        assert any(k >= 64 for k in crossovers)
+
+    def test_gpu_improves_monotonically(self, result):
+        for row in result.rows:
+            vals = [row.gpu[k] for k in result.batches]
+            assert all(b > a for a, b in zip(vals, vals[1:]))
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_power.run(channels=CHANNELS)
+
+    def test_mean_near_paper_2_8x(self, result):
+        assert 2.2 <= result.mean_power <= 3.2
+
+    def test_every_benchmark_above_conventional(self, result):
+        for row in result.rows:
+            assert row.normalized_power > 1.5
+
+    def test_small_layer_lower_power(self, result):
+        """DLRM's activation-heavy profile burns less than the mean."""
+        dlrm = next(r for r in result.rows if r.layer == "DLRMs1")
+        assert dlrm.normalized_power < result.mean_power
+
+
+class TestModelValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return model_validation.run(channels=CHANNELS)
+
+    def test_paper_2pct_claim_on_steady_state_layers(self, result):
+        """The model should be within a few % of the (refresh-free)
+        simulation — the paper's 'within 2%' check."""
+        for row in result.rows:
+            assert row.error < 0.08, row.layer
+
+    def test_per_row_prediction_near_10x(self, result):
+        assert result.predicted_gmean == pytest.approx(10.0, rel=0.05)
+
+
+class TestLatchVariant:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return latch_variant.run(channels=CHANNELS)
+
+    def test_four_latch_performs_virtually_similarly(self, result):
+        """Section III-C: the four-latch option buys almost nothing over
+        full reuse — which is why the paper drops it."""
+        for row in result.rows:
+            assert row.four_latch_ratio < 1.35
+
+    def test_no_reuse_clearly_worse(self, result):
+        for row in result.rows:
+            assert row.no_reuse > row.full_reuse

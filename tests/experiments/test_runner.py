@@ -1,0 +1,78 @@
+"""The run-all CLI (the ``newton-repro`` console script)."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_all_figures_registered(self):
+        """Every evaluation figure and extension study is runnable."""
+        expected = {
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "model-validation",
+            "latch-variant",
+            "area-budget",
+            "organization",
+            "scrub-overhead",
+            "mixed-traffic",
+            "sensitivity",
+            "families",
+            "energy",
+            "serving",
+            "chunk-width",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["area-budget"]) == 0
+        out = capsys.readouterr().out
+        assert "=== area-budget" in out
+        assert "Area feasibility" in out
+
+    def test_deduplicates_selection(self, capsys):
+        assert main(["area-budget", "area-budget"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("=== area-budget") == 1
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(["organization", "--out", str(target)]) == 0
+        capsys.readouterr()
+        text = target.read_text()
+        assert "multiplier utilization" in text
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        capsys.readouterr()
+
+    def test_bare_invocation_selects_everything(self, capsys, monkeypatch):
+        """Regression: argparse's nargs='*' + choices rejects a list
+        default, so the bare `newton-repro` must default in code."""
+
+        class _Stub:
+            def render(self) -> str:
+                return "stub"
+
+        ran = []
+
+        def make(name):
+            def _run():
+                ran.append(name)
+                return _Stub()
+
+            return _run
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS",
+            {name: make(name) for name in EXPERIMENTS},
+        )
+        assert main([]) == 0
+        capsys.readouterr()
+        assert set(ran) == set(EXPERIMENTS)

@@ -1,0 +1,48 @@
+"""Host-side partial accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.host.accumulator import HostAccumulator
+
+
+class TestHostAccumulator:
+    def test_basic_accumulation(self):
+        acc = HostAccumulator(4)
+        acc.add_partials(np.array([0, 1]), np.array([1.5, 2.5]))
+        acc.add_partials(np.array([0, 3]), np.array([0.5, 7.0]))
+        assert np.array_equal(acc.output, [2.0, 2.5, 0.0, 7.0])
+        assert acc.partials_received == 4
+
+    def test_padding_rows_ignored(self):
+        acc = HostAccumulator(2)
+        acc.add_partials(np.array([0, -1, -1]), np.array([1.0, 99.0, 99.0]))
+        assert np.array_equal(acc.output, [1.0, 0.0])
+        assert acc.partials_received == 1
+
+    def test_row_beyond_output_rejected(self):
+        acc = HostAccumulator(2)
+        with pytest.raises(ProtocolError):
+            acc.add_partials(np.array([2]), np.array([1.0]))
+
+    def test_length_mismatch_rejected(self):
+        acc = HostAccumulator(4)
+        with pytest.raises(ProtocolError):
+            acc.add_partials(np.array([0, 1]), np.array([1.0]))
+
+    def test_positive_length_required(self):
+        with pytest.raises(ProtocolError):
+            HostAccumulator(0)
+
+    def test_output_is_a_copy(self):
+        acc = HostAccumulator(2)
+        out = acc.output
+        out[0] = 42.0
+        assert acc.output[0] == 0.0
+
+    def test_duplicate_rows_in_one_payload(self):
+        """np.add.at semantics: repeated rows accumulate, not overwrite."""
+        acc = HostAccumulator(1)
+        acc.add_partials(np.array([0, 0, 0]), np.array([1.0, 2.0, 3.0]))
+        assert acc.output[0] == 6.0

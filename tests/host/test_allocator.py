@@ -1,0 +1,98 @@
+"""Superpage allocation and the AiM/non-AiM row-sharing rule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.config import DRAMConfig
+from repro.errors import CapacityError, ConfigurationError, LayoutError
+from repro.host.allocator import RowAllocator, Superpage
+
+SMALL = DRAMConfig(num_channels=1, banks_per_channel=8, rows_per_bank=32)
+
+
+@pytest.fixture
+def allocator():
+    return RowAllocator(SMALL)
+
+
+class TestSuperpages:
+    def test_contiguous_allocation(self, allocator):
+        page = allocator.allocate_superpage(8)
+        assert page.base_row == 0 and page.rows == 8
+        page2 = allocator.allocate_superpage(4)
+        assert page2.base_row == 8
+
+    def test_contiguity_around_fragmentation(self, allocator):
+        """Ordinary pages fragment the space; superpages must still be
+        contiguous (the reason the paper uses them)."""
+        allocator.allocate_superpage(4)  # rows 0-3
+        row = allocator.allocate_non_aim_row()  # row 4
+        page = allocator.allocate_superpage(8)
+        assert page.base_row == 5  # skipped the fragmenting row
+        assert all(not (page.base_row <= row < page.end_row) for row in [4])
+
+    def test_capacity_errors(self, allocator):
+        with pytest.raises(CapacityError):
+            allocator.allocate_superpage(33)
+        allocator.allocate_superpage(30)
+        allocator.allocate_non_aim_row()
+        allocator.allocate_non_aim_row()
+        with pytest.raises(CapacityError):
+            allocator.allocate_superpage(2)
+
+    def test_free_and_reuse(self, allocator):
+        page = allocator.allocate_superpage(32)
+        allocator.free_superpage(page)
+        assert allocator.rows_free() == 32
+        allocator.allocate_superpage(32)
+
+    def test_double_free_rejected(self, allocator):
+        page = allocator.allocate_superpage(4)
+        allocator.free_superpage(page)
+        with pytest.raises(LayoutError):
+            allocator.free_superpage(page)
+
+    def test_validation(self, allocator):
+        with pytest.raises(ConfigurationError):
+            allocator.allocate_superpage(0)
+
+
+class TestRowSharingRule:
+    def test_non_aim_never_lands_in_aim_rows(self, allocator):
+        page = allocator.allocate_superpage(16)
+        rows = [allocator.allocate_non_aim_row() for _ in range(16)]
+        for row in rows:
+            assert not (page.base_row <= row < page.end_row)
+            assert not allocator.is_aim_row(row)
+
+    def test_is_aim_row(self, allocator):
+        page = allocator.allocate_superpage(4)
+        assert allocator.is_aim_row(page.base_row)
+        assert not allocator.is_aim_row(page.end_row)
+
+    def test_free_non_aim(self, allocator):
+        row = allocator.allocate_non_aim_row()
+        allocator.free_non_aim_row(row)
+        with pytest.raises(LayoutError):
+            allocator.free_non_aim_row(row)
+
+    @given(st.lists(st.sampled_from(["sp", "row"]), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlap_ever(self, ops):
+        """Property: no row is ever owned by two allocations."""
+        alloc = RowAllocator(SMALL)
+        pages, rows = [], []
+        for op in ops:
+            try:
+                if op == "sp":
+                    pages.append(alloc.allocate_superpage(3))
+                else:
+                    rows.append(alloc.allocate_non_aim_row())
+            except CapacityError:
+                break
+        owned = []
+        for page in pages:
+            owned.extend(range(page.base_row, page.end_row))
+        owned.extend(rows)
+        assert len(owned) == len(set(owned))
+        assert alloc.rows_free() == SMALL.rows_per_bank - len(owned)

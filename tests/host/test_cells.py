@@ -1,0 +1,137 @@
+"""The LSTM cell update and its runtime integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.host.cells import LSTMCell
+from repro.numerics.activation import sigmoid, tanh_fn
+
+
+class TestLSTMCell:
+    def test_matches_manual_update(self, rng):
+        hidden = 8
+        cell = LSTMCell(hidden)
+        gates = rng.standard_normal(4 * hidden).astype(np.float32)
+        h = cell.step(gates)
+        i, f, g, o = np.split(gates, 4)
+        c_expected = sigmoid(f) * 0.0 + sigmoid(i) * tanh_fn(g)
+        h_expected = sigmoid(o) * tanh_fn(c_expected)
+        assert np.allclose(h, h_expected, atol=1e-7)
+        assert np.allclose(cell.c, c_expected, atol=1e-7)
+
+    def test_state_carries_across_steps(self, rng):
+        cell = LSTMCell(4)
+        gates = rng.standard_normal(16).astype(np.float32)
+        h1 = cell.step(gates)
+        h2 = cell.step(gates)  # same gates, different c -> different h
+        assert not np.array_equal(h1, h2)
+        assert cell.steps == 2
+
+    def test_forget_gate_saturation_preserves_cell(self):
+        """With f -> +inf and i -> -inf the cell state is preserved."""
+        hidden = 2
+        cell = LSTMCell(hidden)
+        cell.c = np.array([0.5, -0.25], dtype=np.float32)
+        gates = np.concatenate(
+            [
+                np.full(hidden, -50.0),  # i: closed
+                np.full(hidden, 50.0),  # f: open
+                np.zeros(hidden),  # g
+                np.full(hidden, 50.0),  # o: open
+            ]
+        ).astype(np.float32)
+        cell.step(gates)
+        assert np.allclose(cell.c, [0.5, -0.25], atol=1e-5)
+
+    def test_hidden_bounded(self, rng):
+        cell = LSTMCell(16)
+        for _ in range(10):
+            h = cell.step(rng.standard_normal(64).astype(np.float32) * 10)
+        assert np.all(np.abs(h) <= 1.0)
+
+    def test_reset(self, rng):
+        cell = LSTMCell(4)
+        cell.step(rng.standard_normal(16).astype(np.float32))
+        cell.reset()
+        assert np.all(cell.h == 0) and np.all(cell.c == 0)
+        assert cell.steps == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LSTMCell(0)
+        with pytest.raises(ProtocolError):
+            LSTMCell(4).step(np.zeros(15, dtype=np.float32))
+
+
+class TestSequenceRuntime:
+    @pytest.fixture
+    def runtime(self):
+        from repro.baselines.gpu import titan_v_like
+        from repro.core.device import NewtonDevice
+        from repro.dram.config import DRAMConfig
+        from repro.dram.timing import TimingParams
+        from repro.host.runtime import NewtonRuntime
+
+        cfg = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4096)
+        timing = TimingParams()
+        return NewtonRuntime(
+            NewtonDevice(cfg, timing, functional=True),
+            titan_v_like(cfg, timing),
+        )
+
+    @pytest.fixture
+    def tiny_lstm(self):
+        from repro.workloads.spec import LayerSpec, ModelSpec
+
+        return ModelSpec(
+            name="tiny-lstm",
+            layers=(
+                LayerSpec("l0", m=64, n=32, output_transform="lstm_cell"),
+                LayerSpec("l1", m=64, n=16, output_transform="lstm_cell"),
+            ),
+        )
+
+    def test_sequence_evolves_state(self, runtime, tiny_lstm):
+        loaded = runtime.load_model(tiny_lstm)
+        runs = runtime.run_sequence(loaded, steps=3, seed=1)
+        assert len(runs) == 3
+        outputs = [r.output for r in runs]
+        assert not np.array_equal(outputs[0], outputs[1])
+        assert all(np.all(np.abs(o) <= 1.0) for o in outputs)
+        assert all(np.any(o != 0.0) for o in outputs)
+        assert loaded.cells["l0"].steps == 3
+
+    def test_sequence_resets_state_at_start(self, runtime, tiny_lstm):
+        loaded = runtime.load_model(tiny_lstm)
+        first = runtime.run_sequence(loaded, steps=2, seed=1)
+        second = runtime.run_sequence(loaded, steps=2, seed=1)
+        assert np.array_equal(first[0].output, second[0].output)
+        assert np.array_equal(first[1].output, second[1].output)
+
+    def test_recurrent_input_concatenation(self, runtime):
+        """A 2-hidden-wide LSTM layer consumes [feed | previous h]."""
+        from repro.workloads.spec import LayerSpec, ModelSpec
+
+        spec = ModelSpec(
+            name="wide",
+            layers=(LayerSpec("l0", m=64, n=32, output_transform="lstm_cell"),),
+        )
+        loaded = runtime.load_model(spec)
+        runs = runtime.run_sequence(loaded, steps=2, seed=0)
+        # Step 2's input includes step 1's hidden state: outputs differ
+        # even though the fed token is a pure function of the seed chain.
+        assert not np.array_equal(runs[0].output, runs[1].output)
+
+    def test_sequence_validation(self, runtime, tiny_lstm):
+        from repro.errors import ProtocolError
+
+        loaded = runtime.load_model(tiny_lstm)
+        with pytest.raises(ProtocolError):
+            runtime.run_sequence(loaded, steps=0)
+
+    def test_gnmt_model_uses_cells(self, runtime):
+        from repro.workloads.models import gnmt_model
+
+        spec = gnmt_model()
+        assert all(l.output_transform == "lstm_cell" for l in spec.layers)

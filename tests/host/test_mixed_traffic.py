@@ -1,0 +1,147 @@
+"""Interleaving non-AiM traffic with AiM operations (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import NewtonChannelEngine
+from repro.core.optimizations import FULL
+from repro.dram.commands import CommandKind
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError, LayoutError
+from repro.host.mixed_traffic import NonAimRequest, NonAimTrafficSource
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=512)
+
+
+def make_engine(functional=False):
+    return NewtonChannelEngine(
+        CFG, TimingParams(), FULL, functional=functional, refresh_enabled=False
+    )
+
+
+class TestNonAimRequest:
+    def test_read_commands(self):
+        commands = NonAimRequest(bank=2, row=100, col=5).to_commands()
+        assert [c.kind for c in commands] == [CommandKind.ACT, CommandKind.RD]
+        assert commands[1].auto_precharge
+
+    def test_write_commands(self):
+        commands = NonAimRequest(bank=0, row=1, col=0, is_write=True).to_commands()
+        assert commands[1].kind is CommandKind.WR
+
+
+class TestTrafficSource:
+    def test_serves_in_order_with_mixing_ratio(self):
+        reqs = [NonAimRequest(bank=b, row=400, col=0) for b in range(4)]
+        src = NonAimTrafficSource(reqs, per_boundary=2)
+        first = src.commands_for_boundary(0)
+        assert len(first) == 4  # 2 requests x (ACT + RD)
+        assert src.pending == 2
+        src.commands_for_boundary(1)
+        assert src.pending == 0
+        assert src.commands_for_boundary(2) == []
+        assert src.issued == 4
+
+    def test_rejects_requests_into_aim_rows(self):
+        """Rule 1: AiM and non-AiM data never share a DRAM row."""
+        with pytest.raises(LayoutError, match="never a DRAM row"):
+            NonAimTrafficSource(
+                [NonAimRequest(bank=0, row=10, col=0)],
+                aim_rows=[range(0, 64)],
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NonAimTrafficSource([], per_boundary=0)
+
+
+class TestInterleavedExecution:
+    def test_gemv_with_traffic_still_correct(self, rng):
+        """Non-AiM interleaving must not perturb AiM results."""
+        engine = make_engine(functional=True)
+        m, n = 48, 512
+        matrix = (rng.standard_normal((m, n)) / 16).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        layout = engine.add_matrix(m, n, matrix)
+        clean_engine = make_engine(functional=True)
+        clean_layout = clean_engine.add_matrix(m, n, matrix)
+        clean = clean_engine.run_gemv(clean_layout, vector).output
+
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=b % 16, row=400 + b, col=b % 32) for b in range(6)],
+            per_boundary=2,
+            aim_rows=[range(0, layout.rows_per_bank_used)],
+        )
+        mixed = engine.run_gemv(layout, vector, background=traffic).output
+        assert np.array_equal(mixed, clean)
+        assert traffic.pending == 0  # 3 tile boundaries x 2 per boundary
+
+    def test_traffic_slows_aim_down(self):
+        """Interleaved ordinary accesses consume command slots and bank
+        time: the AiM run must get slower, not silently free."""
+        quiet = make_engine()
+        t_quiet = quiet.run_gemv(quiet.add_matrix(64, 512)).cycles
+        busy = make_engine()
+        layout = busy.add_matrix(64, 512)
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=b % 16, row=300 + b, col=0) for b in range(16)],
+            per_boundary=4,
+        )
+        t_busy = busy.run_gemv(layout, background=traffic).cycles
+        assert t_busy > t_quiet
+
+    def test_traffic_commands_counted(self):
+        engine = make_engine()
+        layout = engine.add_matrix(64, 512)
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=0, row=300, col=0)], per_boundary=1
+        )
+        result = engine.run_gemv(layout, background=traffic)
+        assert result.command_count(CommandKind.ACT) == 1
+        assert result.command_count(CommandKind.RD) == 1
+
+
+class TestNonAimLatency:
+    def test_latencies_recorded(self):
+        engine = make_engine()
+        layout = engine.add_matrix(64, 512)
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=b % 16, row=300 + b, col=0, arrival=0) for b in range(4)],
+            per_boundary=1,
+        )
+        engine.run_gemv(layout, background=traffic)
+        assert len(traffic.latencies) == 4
+        # Latency includes queueing behind AiM tiles: strictly more than
+        # the raw ACT + tRCD + tAA + tCCD device latency.
+        t = engine.timing
+        device_floor = t.t_rcd + t.t_aa + t.t_ccd
+        assert all(lat > device_floor for lat in traffic.latencies)
+
+    def test_later_arrivals_wait(self):
+        """A request cannot be served before the host generates it."""
+        engine = make_engine()
+        layout = engine.add_matrix(64, 512)
+        far_future = 10**7
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=0, row=300, col=0, arrival=far_future)],
+            per_boundary=1,
+        )
+        engine.run_gemv(layout, background=traffic)
+        assert traffic.issued == 0
+        assert traffic.pending == 1
+
+    def test_queueing_latency_grows_with_aim_load(self):
+        """Requests arriving together drain one per tile boundary: each
+        successive request queues behind more AiM compute."""
+        engine = make_engine()
+        layout = engine.add_matrix(16 * 8, 512)
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=b, row=400, col=0, arrival=0) for b in range(6)],
+            per_boundary=1,
+        )
+        engine.run_gemv(layout, background=traffic)
+        lats = traffic.latencies
+        assert len(lats) == 6
+        assert lats == sorted(lats)
+        assert lats[-1] > lats[0] + 4 * 200  # ~a tile of queueing per step

@@ -1,0 +1,75 @@
+"""Multi-model channel partitioning (Section III-D, issue (4))."""
+
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.errors import ConfigurationError
+from repro.host.multi_model import MultiModelScheduler
+from repro.workloads.models import dlrm_model, gnmt_model
+from repro.workloads.spec import LayerSpec, ModelSpec
+
+CFG = DRAMConfig(num_channels=8, banks_per_channel=16, rows_per_bank=4096)
+
+
+def small_model(name="small", m=64, n=512):
+    return ModelSpec(
+        name=name, layers=(LayerSpec("fc", m=m, n=n, activation="relu"),)
+    )
+
+
+class TestPlacement:
+    def test_disjoint_channel_sets(self):
+        sched = MultiModelScheduler(CFG)
+        p1 = sched.place(small_model("a"), channels=4)
+        p2 = sched.place(small_model("b"), channels=4)
+        assert p1.channels == (0, 1, 2, 3)
+        assert p2.channels == (4, 5, 6, 7)
+        assert not set(p1.channels) & set(p2.channels)
+
+    def test_over_subscription_rejected(self):
+        sched = MultiModelScheduler(CFG)
+        sched.place(small_model("a"), channels=6)
+        with pytest.raises(ConfigurationError, match="different channels"):
+            sched.place(small_model("b"), channels=4)
+
+    def test_channel_count_validated(self):
+        sched = MultiModelScheduler(CFG)
+        with pytest.raises(ConfigurationError):
+            sched.place(small_model(), channels=0)
+
+    def test_run_without_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiModelScheduler(CFG).run_all()
+
+
+class TestConcurrency:
+    def test_concurrent_wall_is_max_not_sum(self):
+        sched = MultiModelScheduler(CFG)
+        sched.place(dlrm_model(mlp_layers=4), channels=4)
+        sched.place(small_model("tiny"), channels=4)
+        result = sched.run_all()
+        assert len(result.runs) == 2
+        assert result.wall_cycles == max(
+            r.total_cycles for r in result.runs.values()
+        )
+        assert result.wall_cycles < result.serial_cycles
+
+    def test_fewer_channels_slower_per_model(self):
+        """Splitting channels between models costs each model bandwidth."""
+        whole = MultiModelScheduler(CFG)
+        whole.place(gnmt_model(), channels=8)
+        t_whole = whole.run_all().wall_cycles
+
+        shared = MultiModelScheduler(CFG)
+        shared.place(gnmt_model(), channels=4)
+        t_shared = shared.run_all().wall_cycles
+        assert t_shared > t_whole
+
+    def test_functional_partitions_produce_outputs(self):
+        sched = MultiModelScheduler(CFG, functional=True)
+        sched.place(small_model("f1"), channels=2)
+        sched.place(small_model("f2", m=32), channels=2)
+        result = sched.run_all()
+        assert result.runs["f1"].output is not None
+        assert result.runs["f1"].output.shape == (64,)
+        assert result.runs["f2"].output.shape == (32,)

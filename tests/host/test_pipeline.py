@@ -1,0 +1,42 @@
+"""Activation/batch-norm overlap accounting (Section III-C)."""
+
+import pytest
+
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError
+from repro.host.pipeline import PipelineModel
+
+
+@pytest.fixture
+def pipeline(config, timing):
+    return PipelineModel(config, timing)
+
+
+class TestPipelineModel:
+    def test_activation_fully_hidden(self, pipeline):
+        """Activation functions apply as elements stream out: zero exposed."""
+        assert pipeline.activation_exposed_cycles() == 0
+        assert pipeline.exposed_cycles(batchnorm=False) == 0
+
+    def test_batchnorm_exposes_first_tile_only(self, pipeline, config):
+        exposed = pipeline.batchnorm_exposed_cycles()
+        # One tile produces one element per bank (x channels).
+        assert exposed == round(
+            config.banks_per_channel * pipeline.normalize_cycles_per_element
+        )
+        assert pipeline.exposed_cycles(batchnorm=True) == exposed
+
+    def test_exposure_scales_with_channels(self, timing):
+        one = PipelineModel(DRAMConfig(num_channels=1), timing)
+        many = PipelineModel(DRAMConfig(num_channels=4), timing)
+        assert many.batchnorm_exposed_cycles() == 4 * one.batchnorm_exposed_cycles()
+
+    def test_exposure_small_vs_layer_time(self, pipeline, timing, config):
+        """The point of the scheme: exposure is tiny next to a layer."""
+        layer_cycles = config.cols_per_row * timing.t_ccd * 10  # ~10 tiles
+        assert pipeline.batchnorm_exposed_cycles() < layer_cycles * 0.1
+
+    def test_rate_validated(self, config, timing):
+        with pytest.raises(ConfigurationError):
+            PipelineModel(config, timing, normalize_cycles_per_element=0)

@@ -1,0 +1,112 @@
+"""End-to-end model execution on the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import titan_v_like
+from repro.core.device import NewtonDevice
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+from repro.host.runtime import NewtonRuntime
+from repro.workloads.spec import LayerSpec, ModelSpec
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=2048)
+
+
+def tiny_model(batchnorm=False):
+    return ModelSpec(
+        name="tiny",
+        layers=(
+            LayerSpec("fc1", m=32, n=512, activation="relu"),
+            LayerSpec("host_glue", on_newton=False, host_flops=1000, host_bytes=100),
+            LayerSpec("fc2", m=16, n=512, activation="tanh", batchnorm=batchnorm),
+        ),
+    )
+
+
+def make_runtime(functional=True):
+    timing = TimingParams()
+    device = NewtonDevice(CFG, timing, functional=functional)
+    return NewtonRuntime(device, titan_v_like(CFG, timing))
+
+
+class TestRuntime:
+    def test_functional_run_produces_output(self):
+        runtime = make_runtime()
+        loaded = runtime.load_model(tiny_model())
+        run = runtime.run(loaded)
+        assert run.output is not None
+        assert run.output.shape == (16,)
+        assert np.all(np.isfinite(run.output))
+        # fc2 applies tanh: output bounded.
+        assert np.all(np.abs(run.output) <= 1.0)
+
+    def test_layer_accounting(self):
+        runtime = make_runtime()
+        run = runtime.run(runtime.load_model(tiny_model()))
+        assert [r.name for r in run.layer_runs] == ["fc1", "host_glue", "fc2"]
+        assert run.newton_cycles > 0
+        assert run.host_cycles > 0
+        assert run.total_cycles == pytest.approx(
+            run.newton_cycles + run.host_cycles + run.exposed_pipeline_cycles
+        )
+
+    def test_batchnorm_exposure_counted(self):
+        runtime = make_runtime()
+        with_bn = runtime.run(runtime.load_model(tiny_model(batchnorm=True)))
+        assert with_bn.exposed_pipeline_cycles > 0
+        runtime2 = make_runtime()
+        without = runtime2.run(runtime2.load_model(tiny_model(batchnorm=False)))
+        assert without.exposed_pipeline_cycles == 0
+
+    def test_timing_only_mode(self):
+        runtime = make_runtime(functional=False)
+        run = runtime.run(runtime.load_model(tiny_model()))
+        assert run.output is None
+        assert run.newton_cycles > 0
+
+    def test_deterministic_given_seed(self):
+        runtime1 = make_runtime()
+        r1 = runtime1.run(runtime1.load_model(tiny_model(), seed=7), seed=3)
+        runtime2 = make_runtime()
+        r2 = runtime2.run(runtime2.load_model(tiny_model(), seed=7), seed=3)
+        assert np.array_equal(r1.output, r2.output)
+
+    def test_model_without_newton_layers_rejected(self):
+        runtime = make_runtime()
+        spec = ModelSpec(
+            name="hostonly",
+            layers=(LayerSpec("x", on_newton=False, host_flops=10, host_bytes=1),),
+        )
+        loaded = runtime.load_model(spec)
+        with pytest.raises(ProtocolError):
+            runtime.run(loaded)
+
+    def test_explicit_input_vector(self, rng):
+        runtime = make_runtime()
+        loaded = runtime.load_model(tiny_model())
+        v = rng.standard_normal(512).astype(np.float32)
+        r1 = runtime.run(loaded, input_vector=v)
+        r2 = runtime.run(loaded, input_vector=v)
+        assert np.array_equal(r1.output, r2.output)
+
+
+class TestFitVector:
+    def test_identity(self):
+        x = np.arange(4, dtype=np.float32)
+        assert NewtonRuntime._fit_vector(x, 4) is x
+
+    def test_fold_groups(self):
+        x = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.float32)
+        out = NewtonRuntime._fit_vector(x, 4)
+        assert np.array_equal(out, [3.0, 4.0, 5.0, 6.0])  # mean of halves
+
+    def test_tile_up(self):
+        x = np.array([1, 2], dtype=np.float32)
+        assert np.array_equal(NewtonRuntime._fit_vector(x, 6), [1, 2, 1, 2, 1, 2])
+
+    def test_pad_truncate(self):
+        x = np.array([1, 2, 3], dtype=np.float32)
+        out = NewtonRuntime._fit_vector(x, 5)
+        assert np.array_equal(out, [1, 2, 3, 0, 0])

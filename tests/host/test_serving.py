@@ -1,0 +1,112 @@
+"""The FIFO serving simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host.serving import ServingSimulator
+
+
+class TestServingSimulator:
+    def test_latency_at_least_service_time(self):
+        sim = ServingSimulator(service_cycles=100.0, seed=1)
+        result = sim.simulate(offered_load=0.3, requests=500)
+        assert result.p50 >= 100.0
+        assert result.mean >= 100.0
+
+    def test_light_load_latency_is_service_time(self):
+        sim = ServingSimulator(service_cycles=100.0, seed=1)
+        result = sim.simulate(offered_load=0.001, requests=500)
+        assert result.p99 == pytest.approx(100.0, rel=0.01)
+        assert result.max_queue == 0
+
+    def test_latency_grows_with_load(self):
+        sim = ServingSimulator(service_cycles=100.0, seed=1)
+        tails = [sim.simulate(load, requests=1500).p99 for load in (0.2, 0.5, 0.8)]
+        assert tails[0] < tails[1] < tails[2]
+
+    def test_overload_is_unstable(self):
+        sim = ServingSimulator(service_cycles=100.0, seed=1)
+        result = sim.simulate(offered_load=1.5, requests=1500)
+        assert not result.stable
+        # Backlog latency grows with position: far beyond service time.
+        assert result.p99 > 20 * 100.0
+
+    def test_deterministic_by_seed(self):
+        a = ServingSimulator(100.0, seed=3).simulate(0.5, requests=400)
+        b = ServingSimulator(100.0, seed=3).simulate(0.5, requests=400)
+        assert a.p99 == b.p99
+        c = ServingSimulator(100.0, seed=4).simulate(0.5, requests=400)
+        assert a.p99 != c.p99
+
+    def test_md1_mean_waiting_time(self):
+        """Sanity vs M/D/1 theory: W = rho*S / (2(1-rho)) + S."""
+        rho, service = 0.6, 100.0
+        sim = ServingSimulator(service, seed=11)
+        result = sim.simulate(rho, requests=20_000)
+        theory = rho * service / (2 * (1 - rho)) + service
+        assert result.mean == pytest.approx(theory, rel=0.15)
+
+    def test_max_stable_load(self):
+        sim = ServingSimulator(100.0, seed=2)
+        load = sim.max_stable_load(latency_budget=300.0, requests=1500)
+        assert 0.0 < load < 1.0
+        assert sim.simulate(load, requests=1500).p99 <= 300.0
+        # An impossible budget (below the service time) admits nothing.
+        assert sim.max_stable_load(latency_budget=50.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(0.0)
+        sim = ServingSimulator(10.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(0.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate(0.5, requests=0)
+
+
+class TestBatchedServing:
+    def test_batching_trades_latency_for_throughput(self):
+        """At a load the batch-1 server cannot sustain, the batching
+        server keeps up — but its p99 includes the window wait."""
+        service = 100.0
+        sim = ServingSimulator(service, seed=5)
+        batched = sim.simulate_batched(
+            offered_load=4.0,  # 4x over batch-1 capacity
+            window_cycles=200.0,
+            batch_service=lambda k: service * (1 + 0.2 * k),  # strong reuse
+            requests=1500,
+        )
+        unbatched = sim.simulate(offered_load=4.0, requests=1500)
+        assert batched.p99 < unbatched.p99  # batching rescues throughput
+        assert batched.p50 > service  # ...at a latency premium
+
+    def test_light_load_batching_just_adds_window(self):
+        service = 100.0
+        sim = ServingSimulator(service, seed=5)
+        result = sim.simulate_batched(
+            offered_load=0.001,
+            window_cycles=50.0,
+            batch_service=lambda k: service,
+            requests=300,
+        )
+        assert result.p50 == pytest.approx(service + 50.0, rel=0.02)
+
+    def test_batched_validation(self):
+        sim = ServingSimulator(10.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate_batched(0.0, 10.0, lambda k: 10.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate_batched(0.5, 0.0, lambda k: 10.0)
+        with pytest.raises(ConfigurationError):
+            sim.simulate_batched(0.5, 10.0, lambda k: 10.0, requests=0)
+
+    def test_max_batch_cap(self):
+        sim = ServingSimulator(100.0, seed=3)
+        result = sim.simulate_batched(
+            offered_load=10.0,
+            window_cycles=1000.0,
+            batch_service=lambda k: 100.0,
+            requests=800,
+            max_batch=16,
+        )
+        assert result.max_queue <= 16

@@ -1,0 +1,83 @@
+"""Cross-validation: three independent models of the same quantities.
+
+The repository contains three ways to compute most headline numbers —
+the cycle-accurate simulator, the Section III-F analytical model, and
+(for the baseline) a simulated streaming host. These tests triangulate
+them against each other at configurations none of them was calibrated
+on, which is the strongest internal-consistency evidence available
+without the authors' testbed.
+"""
+
+import pytest
+
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.baselines.streaming_sim import StreamingSimulator
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+
+
+class TestTriangulation:
+    @pytest.mark.parametrize("banks", [8, 16, 32])
+    def test_model_tracks_simulator_across_bank_counts(self, banks):
+        """The analytical model was calibrated at 16 banks only; it must
+        still track the simulator at 8 and 32."""
+        config = hbm2e_like_config(num_channels=1, banks_per_channel=banks)
+        timing = hbm2e_like_timing()
+        model = AnalyticalModel(config, timing)
+        device = NewtonDevice(config, timing, FULL, functional=False, refresh_enabled=False)
+        m = banks * 12
+        handle = device.load_matrix(m=m, n=512)
+        measured = device.gemv(handle).cycles
+        predicted = model.predicted_layer_cycles(m, 512)
+        assert predicted == pytest.approx(measured, rel=0.06)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"t_faw_aim": 24},
+            {"t_rcd": 18, "t_rp": 18},
+            {"t_ccd": 6},
+            {"t_cmd": 2},
+        ],
+        ids=lambda o: ",".join(f"{k}={v}" for k, v in o.items()),
+    )
+    def test_model_tracks_simulator_across_timing_perturbations(self, overrides):
+        """Perturb withheld timing values: model and simulator must move
+        together (they share no code path for the prediction)."""
+        config = hbm2e_like_config(num_channels=1)
+        timing = TimingParams().with_overrides(**overrides)
+        model = AnalyticalModel(config, timing)
+        device = NewtonDevice(config, timing, FULL, functional=False, refresh_enabled=False)
+        handle = device.load_matrix(m=16 * 12, n=512)
+        measured = device.gemv(handle).cycles
+        predicted = model.predicted_layer_cycles(16 * 12, 512)
+        assert predicted == pytest.approx(measured, rel=0.08)
+
+    def test_streaming_sim_brackets_analytic_baseline(self):
+        """analytic bound >= simulated stream >= 90% of the bound."""
+        config = hbm2e_like_config(num_channels=1)
+        timing = hbm2e_like_timing()
+        analytic = IdealNonPim(config, timing)
+        simulated = StreamingSimulator(config, timing)
+        m, n = 256, 1024
+        bound = analytic.gemv_cycles(m, n)
+        sim_cycles = simulated.gemv_cycles(m, n)
+        assert bound <= sim_cycles <= bound / 0.9
+
+    def test_speedup_consistent_through_either_baseline(self):
+        """Newton's speedup lands in the same place whether the baseline
+        is the analytic bound or the simulated stream."""
+        config = hbm2e_like_config(num_channels=1)
+        timing = hbm2e_like_timing()
+        device = NewtonDevice(config, timing, FULL, functional=False)
+        handle = device.load_matrix(m=16 * 20, n=1024)
+        newton = device.gemv(handle).cycles
+        analytic = IdealNonPim(config, timing).gemv_cycles(16 * 20, 1024)
+        streamed = StreamingSimulator(config, timing).gemv_cycles(16 * 20, 1024)
+        s1 = analytic / newton
+        s2 = streamed / newton
+        assert s2 == pytest.approx(s1, rel=0.12)
+        assert s2 >= s1  # the realistic stream is slower than the bound

@@ -1,0 +1,71 @@
+"""Host activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.activation import (
+    ACTIVATIONS,
+    apply_activation,
+    gelu,
+    relu,
+    sigmoid,
+    tanh_fn,
+)
+
+xs = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=32
+)
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        out = relu(np.array([-1.0, 0.0, 2.5]))
+        assert np.array_equal(out, [0.0, 0.0, 2.5])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-30, 30, 101, dtype=np.float32)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-x), 1.0, atol=1e-6)
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        s = sigmoid(np.array([-1e4, 1e4], dtype=np.float32))
+        assert np.all(np.isfinite(s))
+        assert s[0] == pytest.approx(0.0, abs=1e-6)
+        assert s[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_tanh_odd(self):
+        x = np.linspace(-5, 5, 41, dtype=np.float32)
+        assert np.allclose(tanh_fn(x), -tanh_fn(-x), atol=1e-7)
+
+    def test_gelu_known_points(self):
+        out = gelu(np.array([0.0], dtype=np.float32))
+        assert out[0] == 0.0
+        assert gelu(np.array([10.0], dtype=np.float32))[0] == pytest.approx(10.0, rel=1e-4)
+        assert gelu(np.array([-10.0], dtype=np.float32))[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_apply_activation_dispatch(self):
+        x = np.array([-2.0, 3.0], dtype=np.float32)
+        for name in ACTIVATIONS:
+            out = apply_activation(name, x)
+            assert out.shape == x.shape
+
+    def test_apply_activation_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            apply_activation("softmax", np.zeros(3))
+
+    @given(xs)
+    def test_all_activations_finite_and_float32(self, values):
+        x = np.array(values, dtype=np.float32)
+        for name in ACTIVATIONS:
+            out = apply_activation(name, x)
+            assert out.dtype == np.float32
+            assert np.all(np.isfinite(out))
+
+    @given(xs)
+    def test_monotone_activations(self, values):
+        x = np.sort(np.array(values, dtype=np.float32))
+        for name in ("identity", "relu", "sigmoid", "tanh"):
+            out = apply_activation(name, x)
+            assert np.all(np.diff(out) >= -1e-6)

@@ -1,0 +1,82 @@
+"""Adder tree reduction and result-latch semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.numerics.adder_tree import AdderTree, adder_tree_reduce
+from repro.numerics.bfloat16 import quantize_bf16
+
+small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestTreeReduce:
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            adder_tree_reduce(np.ones(12, dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            adder_tree_reduce(np.zeros(0, dtype=np.float32))
+
+    def test_single_element(self):
+        assert adder_tree_reduce(np.array([3.5], dtype=np.float32)) == 3.5
+
+    def test_exact_integer_sums(self):
+        prods = np.arange(16, dtype=np.float32)  # sums stay exactly representable
+        assert adder_tree_reduce(prods) == float(prods.sum())
+
+    def test_matches_pairwise_manual_reduction(self):
+        rng = np.random.default_rng(7)
+        prods = quantize_bf16(rng.standard_normal(16).astype(np.float32))
+        level = prods
+        from repro.numerics.bfloat16 import bf16_add
+
+        while level.shape[0] > 1:
+            level = bf16_add(level[0::2], level[1::2])
+        assert adder_tree_reduce(prods) == float(level[0])
+
+    @given(st.lists(small_floats, min_size=16, max_size=16))
+    def test_reduction_close_to_exact_sum(self, values):
+        prods = quantize_bf16(np.array(values, dtype=np.float32))
+        tree = adder_tree_reduce(prods)
+        exact = float(np.sum(prods, dtype=np.float64))
+        scale = float(np.sum(np.abs(prods), dtype=np.float64)) + 1e-9
+        # 4 rounding stages, each within eps/2 of the running magnitude.
+        assert abs(tree - exact) <= scale * (2.0**-7) * 4
+
+    @given(st.lists(small_floats, min_size=16, max_size=16))
+    def test_reduction_permutation_of_pairs_is_order_sensitive_but_finite(self, values):
+        prods = np.array(values, dtype=np.float32)
+        assert np.isfinite(adder_tree_reduce(prods))
+
+
+class TestAdderTreeLatch:
+    def test_pipeline_depth(self):
+        assert AdderTree(16).pipeline_depth == 5  # 4 tree stages + accumulate
+
+    def test_feed_accumulates(self):
+        tree = AdderTree(4)
+        tree.feed([1.0, 2.0, 3.0, 4.0])
+        assert tree.latch == 10.0
+        tree.feed([1.0, 1.0, 1.0, 1.0])
+        assert tree.latch == 14.0
+
+    def test_read_and_clear(self):
+        tree = AdderTree(4)
+        tree.feed([1.0, 0.0, 0.0, 0.0])
+        assert tree.dirty
+        assert tree.read_and_clear() == 1.0
+        assert tree.latch == 0.0
+        assert not tree.dirty
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdderTree(0)
+        with pytest.raises(ConfigurationError):
+            AdderTree(12)
+
+    def test_accumulation_is_bf16_rounded(self):
+        tree = AdderTree(4)
+        tree.feed([256.0, 0.0, 0.0, 0.0])
+        tree.feed([0.5, 0.0, 0.0, 0.0])  # below resolution at 256
+        assert tree.latch == 256.0

@@ -1,0 +1,123 @@
+"""bfloat16 conversion and arithmetic semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.numerics.bfloat16 import (
+    BF16_EPS,
+    bf16_add,
+    bf16_bits_to_float,
+    bf16_mul,
+    float_to_bf16_bits,
+    quantize_bf16,
+)
+
+finite_floats = st.floats(
+    min_value=-3.0e38, max_value=3.0e38, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConversion:
+    def test_exact_values_roundtrip(self):
+        exact = np.array([0.0, 1.0, -1.0, 0.5, 2.0, 1.5, -0.375, 256.0], dtype=np.float32)
+        assert np.array_equal(quantize_bf16(exact), exact)
+
+    def test_bits_roundtrip_is_identity(self):
+        bits = np.arange(0, 0x7F80, 7, dtype=np.uint16)  # positive finite patterns
+        assert np.array_equal(float_to_bf16_bits(bf16_bits_to_float(bits)), bits)
+
+    def test_rounding_is_to_nearest(self):
+        # 1.0 + eps/4 rounds down to 1.0; 1.0 + 3*eps/4 rounds up.
+        low = np.float32(1.0 + BF16_EPS / 4)
+        high = np.float32(1.0 + 3 * BF16_EPS / 4)
+        assert quantize_bf16(np.array([low]))[0] == np.float32(1.0)
+        assert quantize_bf16(np.array([high]))[0] == np.float32(1.0 + BF16_EPS)
+
+    def test_ties_round_to_even(self):
+        # 1.0 + eps/2 is exactly halfway; even mantissa (1.0) wins.
+        tie = np.float32(1.0) + np.float32(BF16_EPS) / 2
+        assert quantize_bf16(np.array([tie]))[0] == np.float32(1.0)
+        # 1.0 + 1.5*eps is halfway between 1+eps (odd) and 1+2eps (even).
+        tie2 = np.float32(1.0 + 1.5 * BF16_EPS)
+        assert quantize_bf16(np.array([tie2]))[0] == np.float32(1.0 + 2 * BF16_EPS)
+
+    def test_infinities_preserved(self):
+        vals = np.array([np.inf, -np.inf], dtype=np.float32)
+        assert np.array_equal(quantize_bf16(vals), vals)
+
+    def test_nan_quietened(self):
+        out = float_to_bf16_bits(np.array([np.nan], dtype=np.float32))
+        assert out[0] == 0x7FC0
+        assert np.isnan(bf16_bits_to_float(out))[0]
+
+    def test_signed_zero_preserved(self):
+        bits = float_to_bf16_bits(np.array([-0.0], dtype=np.float32))
+        assert bits[0] == 0x8000
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 5), dtype=np.float32)
+        assert quantize_bf16(x).shape == (3, 5)
+        assert float_to_bf16_bits(x).shape == (3, 5)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=64))
+    def test_quantize_is_idempotent(self, values):
+        x = np.array(values, dtype=np.float32)
+        once = quantize_bf16(x)
+        assert np.array_equal(quantize_bf16(once), once)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=64))
+    def test_quantize_error_bounded(self, values):
+        x = np.array(values, dtype=np.float32)
+        q = quantize_bf16(x)
+        finite = np.isfinite(q)
+        err = np.abs(q[finite] - x[finite])
+        # Relative half-ulp for normals; absolute half-spacing (2**-134)
+        # covers the bfloat16 subnormal range.
+        bound = np.maximum(np.abs(x[finite]) * BF16_EPS / 2, 2.0**-134)
+        assert np.all(err <= bound * 1.0000001)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=64))
+    def test_quantize_monotone_sign(self, values):
+        x = np.array(values, dtype=np.float32)
+        q = quantize_bf16(x)
+        assert np.all(np.sign(q) * np.sign(x) >= 0)
+
+
+class TestArithmetic:
+    def test_mul_exact_on_small_mantissas(self):
+        a = np.array([1.5, -2.0, 0.25], dtype=np.float32)
+        b = np.array([2.0, 3.0, 4.0], dtype=np.float32)
+        assert np.array_equal(bf16_mul(a, b), a * b)
+
+    def test_add_exact_on_representable_sums(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = np.array([0.5, -1.0], dtype=np.float32)
+        assert np.array_equal(bf16_add(a, b), a + b)
+
+    def test_add_rounds_small_addend_away(self):
+        # 256 + 0.5 is below bf16 resolution at that exponent.
+        out = bf16_add(np.float32(256.0), np.float32(0.5))
+        assert out == np.float32(256.0)
+
+    @given(finite_floats, finite_floats)
+    def test_mul_commutes(self, a, b):
+        x, y = np.float32(a), np.float32(b)
+        lhs, rhs = bf16_mul(x, y), bf16_mul(y, x)
+        assert (lhs == rhs) or (np.isnan(lhs) and np.isnan(rhs))
+
+    @given(finite_floats, finite_floats)
+    def test_add_commutes(self, a, b):
+        x, y = np.float32(a), np.float32(b)
+        lhs, rhs = bf16_add(x, y), bf16_add(y, x)
+        assert (lhs == rhs) or (np.isnan(lhs) and np.isnan(rhs))
+
+    @given(finite_floats)
+    def test_mul_identity(self, a):
+        x = np.float32(a)
+        assert bf16_mul(x, np.float32(1.0)) == quantize_bf16(x)
+
+    @given(finite_floats)
+    def test_add_identity(self, a):
+        x = np.float32(a)
+        assert bf16_add(x, np.float32(0.0)) == quantize_bf16(x)

@@ -1,0 +1,41 @@
+"""The exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    LayoutError,
+    ProtocolError,
+    ReproError,
+    TimingViolationError,
+)
+
+ALL_ERRORS = (
+    ConfigurationError,
+    TimingViolationError,
+    LayoutError,
+    CapacityError,
+    ProtocolError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_base_catches_all(self):
+        for exc in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_distinct_classes(self):
+        assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+
+    def test_library_raises_only_repro_errors_for_bad_config(self):
+        from repro.dram.config import DRAMConfig
+
+        with pytest.raises(ReproError):
+            DRAMConfig(num_channels=-1)

@@ -1,0 +1,83 @@
+"""Stats, table rendering, and unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import geometric_mean, harmonic_mean, summarize
+from repro.utils.tables import render_table
+from repro.utils.units import bytes_per_cycle_to_gbps, cycles_to_ns, cycles_to_us, ns_to_cycles
+
+positives = st.lists(
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False), min_size=1, max_size=20
+)
+
+
+class TestStats:
+    def test_geomean_known(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_known(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 4.0])
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == 2.5 and s["gmean"] == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(positives)
+    def test_means_ordering(self, values):
+        """AM >= GM >= HM for positive values."""
+        am = sum(values) / len(values)
+        gm = geometric_mean(values)
+        hm = harmonic_mean(values)
+        assert am >= gm * (1 - 1e-9)
+        assert gm >= hm * (1 - 1e-9)
+
+    @given(positives, st.floats(min_value=0.1, max_value=10))
+    def test_geomean_scales(self, values, k):
+        scaled = geometric_mean([v * k for v in values])
+        assert scaled == pytest.approx(geometric_mean(values) * k, rel=1e-6)
+
+
+class TestTables:
+    def test_renders_headers_and_rows(self):
+        text = render_table(["a", "bb"], [["x", 1.5], ["y", 2.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "1.50" in text and "2.00" in text
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_float_digits(self):
+        text = render_table(["v"], [[1.23456]], float_digits=4)
+        assert "1.2346" in text
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["name", "val"], [["a", 1.0], ["bbbb", 100.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1.00")
+        assert rows[1].endswith("100.00")
+
+
+class TestUnits:
+    def test_cycles_ns_identity_at_1ghz(self):
+        assert cycles_to_ns(14) == 14.0
+        assert cycles_to_us(2000) == 2.0
+        assert ns_to_cycles(13.2) == 14  # rounds up
+
+    def test_bandwidth(self):
+        assert bytes_per_cycle_to_gbps(8.0) == 8.0

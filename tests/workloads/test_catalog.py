@@ -1,0 +1,46 @@
+"""Table II catalog fidelity."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    KEY_TARGET_WORKLOADS,
+    TABLE_II_LAYERS,
+    layer_by_name,
+)
+
+
+class TestTableII:
+    def test_exact_paper_dimensions(self):
+        """Table II, verbatim."""
+        expected = {
+            "GNMTs1": (4096, 1024),
+            "GNMTs2": (4096, 2048),
+            "BERTs1": (1024, 1024),
+            "BERTs2": (1024, 4096),
+            "BERTs3": (4096, 1024),
+            "AlexNetL6": (21632, 2048),
+            "AlexNetL7": (2048, 2048),
+            "DLRMs1": (512, 256),
+        }
+        assert {l.name: l.matrix_shape for l in TABLE_II_LAYERS} == expected
+
+    def test_eight_benchmarks(self):
+        assert len(TABLE_II_LAYERS) == 8
+
+    def test_vector_length_matches_matrix_columns(self):
+        for layer in TABLE_II_LAYERS:
+            assert layer.n == layer.matrix_shape[1]
+
+    def test_lookup(self):
+        assert layer_by_name("DLRMs1").m == 512
+        with pytest.raises(KeyError, match="Table II"):
+            layer_by_name("ResNet50")
+
+    def test_key_targets_exclude_alexnet(self):
+        assert "AlexNet" not in KEY_TARGET_WORKLOADS
+        assert set(KEY_TARGET_WORKLOADS) == {"GNMT", "BERT", "DLRM"}
+
+    def test_derived_quantities(self):
+        l = layer_by_name("GNMTs1")
+        assert l.matrix_bytes == 4096 * 1024 * 2
+        assert l.flops == 2 * 4096 * 1024

@@ -1,0 +1,71 @@
+"""End-to-end model graphs: shapes match Table II, structure is sane."""
+
+import pytest
+
+from repro.workloads.catalog import TABLE_II_LAYERS
+from repro.workloads.models import (
+    END_TO_END_MODELS,
+    alexnet_model,
+    bert_large_model,
+    dlrm_model,
+    gnmt_model,
+    model_by_name,
+)
+
+
+class TestModelGraphs:
+    def test_all_four_figure8_models(self):
+        assert set(END_TO_END_MODELS) == {"GNMT", "BERT", "AlexNet", "DLRM"}
+
+    def test_lookup(self):
+        assert model_by_name("GNMT").name == "GNMT"
+        with pytest.raises(KeyError):
+            model_by_name("GPT")
+
+    def test_model_fc_shapes_drawn_from_table2(self):
+        """Every Newton layer in the model graphs uses a Table II shape
+        (the paper identified the models' MV dimensions there)."""
+        table_shapes = {(l.m, l.n) for l in TABLE_II_LAYERS}
+        for spec in END_TO_END_MODELS.values():
+            for layer in spec.newton_layers:
+                assert (layer.m, layer.n) in table_shapes, (spec.name, layer.name)
+
+    def test_gnmt_is_eight_lstm_layers(self):
+        spec = gnmt_model()
+        assert len(spec.layers) == 8
+        assert all(l.on_newton for l in spec.layers)
+        assert all(l.m == 4096 for l in spec.layers)
+
+    def test_bert_large_structure(self):
+        spec = bert_large_model()
+        # 24 blocks x 6 FC layers (QKV, attention out, FFN up/down).
+        assert len(spec.newton_layers) == 24 * 6
+        host = [l for l in spec.layers if not l.on_newton]
+        assert len(host) == 24  # attention glue per block
+        assert any(l.batchnorm for l in spec.layers)  # LayerNorm exposure
+        assert any(l.activation == "gelu" for l in spec.layers)
+
+    def test_bert_blocks_parameterizable(self):
+        assert len(bert_large_model(blocks=2).newton_layers) == 12
+
+    def test_alexnet_conv_bound(self):
+        """The conv stack must dominate AlexNet (the paper's 1.2x story)."""
+        spec = alexnet_model()
+        conv = spec.layers[0]
+        assert not conv.on_newton
+        assert conv.host_flops > 10 * spec.total_fc_bytes  # compute-heavy
+
+    def test_dlrm_crosses_refresh_interval(self):
+        """The DLRM MLP stack must be long enough that an end-to-end run
+        spans at least one tREFI (the 70x -> 47x effect)."""
+        spec = dlrm_model()
+        assert len(spec.newton_layers) >= 8
+        assert spec.layers[0].on_newton is False  # embedding gathers
+
+    def test_fc_layers_dominate_nlp_models(self):
+        """FC accounts for >99% of GNMT/BERT runtime (Section IV): the
+        host-side flops must be negligible next to FC traffic."""
+        for name in ("GNMT", "BERT"):
+            spec = END_TO_END_MODELS[name]
+            host_flops = sum(l.host_flops for l in spec.layers if not l.on_newton)
+            assert host_flops < 0.01 * spec.total_fc_bytes

@@ -1,0 +1,50 @@
+"""Layer/model specification validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import BenchmarkLayer, LayerSpec, ModelSpec
+
+
+class TestBenchmarkLayer:
+    def test_positive_dims(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkLayer("x", "w", m=0, n=4)
+
+
+class TestLayerSpec:
+    def test_newton_layer_needs_dims(self):
+        with pytest.raises(ConfigurationError):
+            LayerSpec("fc", m=0, n=4)
+
+    def test_host_layer_needs_work(self):
+        with pytest.raises(ConfigurationError):
+            LayerSpec("conv", on_newton=False)
+        LayerSpec("conv", on_newton=False, host_flops=100)
+
+    def test_activation_validated(self):
+        with pytest.raises(ConfigurationError, match="activation"):
+            LayerSpec("fc", m=4, n=4, activation="swish")
+
+    def test_defaults(self):
+        layer = LayerSpec("fc", m=4, n=4)
+        assert layer.on_newton and not layer.batchnorm
+        assert layer.activation == "identity"
+
+
+class TestModelSpec:
+    def test_needs_layers(self):
+        with pytest.raises(ConfigurationError):
+            ModelSpec(name="empty")
+
+    def test_newton_layers_filter(self):
+        spec = ModelSpec(
+            name="m",
+            layers=(
+                LayerSpec("a", m=4, n=4),
+                LayerSpec("b", on_newton=False, host_flops=1),
+                LayerSpec("c", m=8, n=4),
+            ),
+        )
+        assert [l.name for l in spec.newton_layers] == ["a", "c"]
+        assert spec.total_fc_bytes == 2 * (4 * 4 + 8 * 4)
