@@ -1,0 +1,117 @@
+"""Simulator throughput: the steady-state fast path vs per-command issue.
+
+Measures simulated-commands/second and wall time for a representative
+Table II layer (AlexNetL7: 2048x2048, one full channel's slice, refresh
+enabled, full Newton optimizations) with the tile-schedule fast path on
+and off, and writes ``BENCH_sim_throughput.json`` at the repository root
+so the perf trajectory is tracked PR over PR.
+
+Run standalone (``python benchmarks/bench_sim_throughput.py``) or under
+pytest-benchmark (``pytest benchmarks/bench_sim_throughput.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.engine import NewtonChannelEngine
+from repro.core.optimizations import FULL
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
+
+LAYER_NAME = "AlexNetL7"
+M, N = 2048, 2048
+STEADY_RUNS = 3
+"""Timed back-to-back GEMVs after one untimed warm-up run."""
+
+
+def _make_engine(fast: bool) -> "tuple[NewtonChannelEngine, object]":
+    engine = NewtonChannelEngine(
+        hbm2e_like_config(),
+        hbm2e_like_timing(),
+        FULL,
+        functional=False,
+        refresh_enabled=True,
+        fast=fast,
+    )
+    return engine, engine.add_matrix(M, N)
+
+
+def _measure_mode(fast: bool) -> dict:
+    """Wall time and command throughput for one engine mode.
+
+    The cold run covers stream lowering plus (for the fast path) delta
+    recording; the steady-state runs are the regime batch sweeps and the
+    serving study live in.
+    """
+    engine, layout = _make_engine(fast)
+    t0 = time.perf_counter()
+    first = engine.run_gemv(layout)
+    cold_wall = time.perf_counter() - t0
+    commands_per_run = sum(first.stats["command_counts"].values())
+
+    t0 = time.perf_counter()
+    for _ in range(STEADY_RUNS):
+        result = engine.run_gemv(layout)
+    steady_wall = (time.perf_counter() - t0) / STEADY_RUNS
+    return {
+        "fast": fast,
+        "commands_per_run": commands_per_run,
+        "end_cycle": result.end_cycle,
+        "cold_wall_s": round(cold_wall, 6),
+        "steady_wall_s": round(steady_wall, 6),
+        "cold_commands_per_s": round(commands_per_run / cold_wall),
+        "steady_commands_per_s": round(commands_per_run / steady_wall),
+    }
+
+
+def measure() -> dict:
+    """The full benchmark record (both modes plus derived speedups)."""
+    slow = _measure_mode(fast=False)
+    fast = _measure_mode(fast=True)
+    assert slow["end_cycle"] == fast["end_cycle"], (
+        "fast path diverged from the slow path: "
+        f"{fast['end_cycle']} vs {slow['end_cycle']} cycles"
+    )
+    return {
+        "benchmark": "sim_throughput",
+        "layer": LAYER_NAME,
+        "m": M,
+        "n": N,
+        "refresh_enabled": True,
+        "opt": "FULL",
+        "steady_runs": STEADY_RUNS,
+        "slow": slow,
+        "fast": fast,
+        "steady_speedup": round(slow["steady_wall_s"] / fast["steady_wall_s"], 2),
+        "cold_speedup": round(slow["cold_wall_s"] / fast["cold_wall_s"], 2),
+    }
+
+
+def write_result(record: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def test_sim_throughput(once):
+    record = once(measure)
+    write_result(record)
+    print()
+    print(json.dumps(record, indent=2))
+    assert record["steady_speedup"] >= 5.0
+
+
+def main() -> int:
+    record = measure()
+    write_result(record)
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,10 +15,19 @@ Two modes:
   channel 0 and refresh is identical across channels, so channel 0 is
   the critical path and its cycle count is the device's wall clock.
   This keeps 24-channel benchmark sweeps fast.
+
+Channels are fully independent, so functional multi-channel ``gemv``
+can execute them concurrently: pass ``channel_workers >= 2`` to fan the
+per-channel runs out over a thread pool. This pays off in functional
+mode, where the vectorized tile math releases the GIL; timing-only
+devices simulate a single channel and gain nothing. Results are
+gathered in channel order, so outputs and statistics are deterministic
+regardless of scheduling.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -58,11 +67,15 @@ class NewtonDevice:
         refresh_enabled: bool = True,
         power_params: PowerParams = PowerParams(),
         lut_activation: Optional[str] = None,
+        fast: bool = True,
+        channel_workers: int = 0,
     ):
         self.config = config if config is not None else hbm2e_like_config()
         self.timing = timing if timing is not None else hbm2e_like_timing()
         self.opt = opt
         self.functional = functional
+        self.channel_workers = channel_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
         lut = (
             ActivationLUT(lut_activation)
             if (lut_activation is not None and not opt.interleaved_reuse)
@@ -79,6 +92,7 @@ class NewtonDevice:
                 refresh_enabled=refresh_enabled,
                 power_params=power_params,
                 lut=lut,
+                fast=fast,
             )
             for ch in range(active_channels)
         ]
@@ -123,16 +137,41 @@ class NewtonDevice:
             handle.placements.append((channel, (lo, hi), layout))
         return handle
 
+    def _channel_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The shared channel pool, created lazily when it pays off."""
+        if self.channel_workers < 2 or not self.functional:
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.channel_workers, len(self.engines)),
+                thread_name_prefix="newton-channel",
+            )
+        return self._executor
+
     def gemv(self, handle: MatrixHandle, vector: Optional[np.ndarray] = None) -> GemvRunResult:
         """One matrix-vector product; channels execute in parallel."""
         if not handle.placements:
             raise ProtocolError("the matrix handle has no placements")
-        channel_results: List[ChannelRunResult] = []
+        executor = (
+            self._channel_executor() if len(handle.placements) > 1 else None
+        )
+        if executor is not None:
+            # Each engine is touched by exactly one task; results are
+            # gathered in placement order, so the run is deterministic.
+            channel_results = list(
+                executor.map(
+                    lambda p: self.engines[p[0]].run_gemv(p[2], vector),
+                    handle.placements,
+                )
+            )
+        else:
+            channel_results = [
+                self.engines[channel].run_gemv(layout, vector)
+                for channel, _, layout in handle.placements
+            ]
         output = np.zeros(handle.m, dtype=np.float32) if self.functional else None
-        for channel, (lo, hi), layout in handle.placements:
-            result = self.engines[channel].run_gemv(layout, vector)
+        for result, (_, (lo, hi), _) in zip(channel_results, handle.placements):
             result.row_slice = (lo, hi)
-            channel_results.append(result)
             if output is not None and result.output is not None:
                 output[lo:hi] = result.output
         start = min(r.start_cycle for r in channel_results)
@@ -211,3 +250,9 @@ class NewtonDevice:
     def conventional_dram_power(self) -> float:
         """The Figure 13 normalization denominator."""
         return self.engines[0].channel.power_model.conventional_streaming_power()
+
+    def close(self) -> None:
+        """Release the channel thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None

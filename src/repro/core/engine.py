@@ -11,10 +11,26 @@ A single engine persists across runs: successive layers (or batch inputs)
 execute back-to-back on the same controller clock, so refresh interference
 accumulates across an end-to-end model exactly as it would on hardware —
 the effect behind DLRM's end-to-end vs single-layer gap in Figure 8.
+
+Two caches make steady-state simulation fast without giving up a cycle
+of exactness (see :mod:`repro.core.schedule_cache`):
+
+* the **stream cache** materializes each layout's lowered step stream
+  once, so ``gemm``/``gemv_batch``/serving re-runs skip Algorithm 1's
+  lowering entirely;
+* the **schedule cache** replays recorded per-tile timing deltas when a
+  tile starts from a controller state already seen (same relative
+  bus/bank/FAW phase), fast-forwarding the controller in O(1) per tile.
+  Refresh barriers are always executed exactly, and tracing or mixed
+  background traffic disables replay for the run.
+
+Set ``fast=False`` (or the ``NEWTON_NO_FASTPATH=1`` environment
+variable) to force per-command issue everywhere.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -25,6 +41,13 @@ from repro.core.layout import Layout, make_layout
 from repro.core.mac_unit import tile_compute
 from repro.core.optimizations import OptimizationConfig
 from repro.core.result import ChannelRunResult, stats_delta, stats_snapshot
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    SegmentedStream,
+    StreamCache,
+    segment_stream,
+)
+from repro.dram import fastpath
 from repro.dram.channel import Channel
 from repro.dram.config import DRAMConfig
 from repro.dram.power import PowerParams, PowerReport
@@ -32,6 +55,11 @@ from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
 from repro.numerics.bfloat16 import bf16_bits_to_float
 from repro.numerics.lut import ActivationLUT
+
+
+def fastpath_env_disabled() -> bool:
+    """True when ``NEWTON_NO_FASTPATH`` requests the slow path."""
+    return os.environ.get("NEWTON_NO_FASTPATH", "0") not in ("", "0")
 
 
 class NewtonChannelEngine:
@@ -48,6 +76,7 @@ class NewtonChannelEngine:
         refresh_enabled: bool = True,
         power_params: PowerParams = PowerParams(),
         lut: Optional[ActivationLUT] = None,
+        fast: bool = True,
     ):
         self.config = config
         self.timing = timing
@@ -55,6 +84,7 @@ class NewtonChannelEngine:
         self.channel_index = channel_index
         self.functional = functional
         self.lut = lut
+        self.fast = fast and not fastpath_env_disabled()
         self.channel = Channel(
             config,
             timing,
@@ -68,6 +98,8 @@ class NewtonChannelEngine:
         )
         self._next_free_row = 0
         self._row_cache: Optional[tuple] = None
+        self.schedule_cache = ScheduleCache()
+        self._stream_cache = StreamCache()
 
     # ------------------------------------------------------------------
     # matrix residency
@@ -140,6 +172,23 @@ class NewtonChannelEngine:
             return (emit.matrix_rows, values)
         return None
 
+    def _segments_for(self, layout: Layout) -> SegmentedStream:
+        """The layout's lowered, segmented command stream (memoized)."""
+        stream = self._stream_cache.get(layout)
+        if stream is None:
+            generator = CommandStreamGenerator(
+                self.config, self.timing, self.opt, layout
+            )
+            stream = segment_stream(generator, self.schedule_cache)
+            self._stream_cache.put(layout, stream)
+        return stream
+
+    def _accumulate(self, output: np.ndarray, emitted: tuple) -> None:
+        rows, values = emitted
+        mask = rows >= 0
+        # fp32 host-side reduction of per-chunk partials.
+        np.add.at(output, rows[mask], values[mask])
+
     def run_gemv(
         self,
         layout: Layout,
@@ -157,10 +206,12 @@ class NewtonChannelEngine:
                 its commands are interleaved at tile boundaries, where
                 every bank is precharged — honouring Section III-D's rule
                 that non-AiM commands access a different row and never
-                interfere with in-flight AiM row operations.
+                interfere with in-flight AiM row operations. Background
+                traffic (like tracing) disables the steady-state fast
+                path for the run.
         """
         controller = self.channel.controller
-        generator = CommandStreamGenerator(self.config, self.timing, self.opt, layout)
+        stream = self._segments_for(layout)
         if self.functional:
             if vector is None:
                 raise ProtocolError("functional mode requires an input vector")
@@ -168,6 +219,10 @@ class NewtonChannelEngine:
         else:
             padded = np.zeros(0, dtype=np.float32)
         self._row_cache = None
+        use_fast = (
+            self.fast and background is None and controller.trace is None
+        )
+        cache = self.schedule_cache
 
         before = stats_snapshot(controller.stats)
         start = controller.now
@@ -176,8 +231,8 @@ class NewtonChannelEngine:
             np.zeros(layout.m, dtype=np.float32) if self.functional else None
         )
         boundary = 0
-        for step in generator.gemv_steps():
-            if step.barrier_cycles:
+        for segment in stream.segments:
+            if segment.barrier_cycles:
                 if background is not None:
                     for command in background.commands_for_boundary(
                         boundary, controller.now
@@ -188,18 +243,48 @@ class NewtonChannelEngine:
                         if notify is not None:
                             notify(command, record)
                 boundary += 1
-                controller.refresh_barrier(step.barrier_cycles)
+                controller.refresh_barrier(segment.barrier_cycles)
+            if not segment.commands and not segment.functional_steps:
                 continue
-            if step.command is not None:
-                record = controller.issue(step.command)
-                end = max(end, record.complete)
-            if self.functional:
-                emitted = self._handle_functional(step, padded, layout)
-                if emitted is not None and output is not None:
-                    rows, values = emitted
-                    mask = rows >= 0
-                    # fp32 host-side reduction of per-chunk partials.
-                    np.add.at(output, rows[mask], values[mask])
+
+            signature = (
+                fastpath.relative_signature(controller) if use_fast else None
+            )
+            if signature is not None:
+                base = controller.now
+                delta = cache.lookup(segment.key_id, signature)
+                if delta is not None:
+                    # Steady state: replay the recorded schedule in O(1).
+                    fastpath.apply_delta(controller, delta, base)
+                    cache.replayed_commands += len(segment.commands)
+                    if delta.max_complete is not None:
+                        end = max(end, base + delta.max_complete)
+                else:
+                    counters_before = fastpath.counters(controller)
+                    segment_complete: Optional[int] = None
+                    for command in segment.commands:
+                        record = controller.issue(command)
+                        if (
+                            segment_complete is None
+                            or record.complete > segment_complete
+                        ):
+                            segment_complete = record.complete
+                    if segment_complete is not None:
+                        end = max(end, segment_complete)
+                    delta = fastpath.capture_delta(
+                        controller, base, counters_before, segment_complete
+                    )
+                    if delta is not None:
+                        cache.store(segment.key_id, signature, delta)
+            else:
+                for command in segment.commands:
+                    record = controller.issue(command)
+                    end = max(end, record.complete)
+            if output is not None:
+                for step in segment.functional_steps:
+                    emitted = self._handle_functional(step, padded, layout)
+                    if emitted is not None:
+                        self._accumulate(output, emitted)
         after = stats_snapshot(controller.stats)
         return ChannelRunResult(
             channel_index=self.channel_index,

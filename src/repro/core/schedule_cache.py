@@ -1,0 +1,200 @@
+"""Tile-schedule memoization: segmented streams and the replay cache.
+
+The engine's command streams decompose into *segments* at refresh
+barriers: the prologue (the first chunk's GWRITEs) and then one segment
+per tile (activations + computes + result reads, plus the next chunk's
+GWRITEs when a chunk boundary falls inside). Within a run the segments
+are overwhelmingly identical — the same command kinds against the same
+bank/column operands, differing only in the DRAM row they open, which
+never affects timing.
+
+:class:`ScheduleCache` keys recorded
+:class:`~repro.dram.fastpath.ControllerDelta` segment effects by
+``(segment command identity, relative controller signature)``. The
+signature check is what makes replay *exact* rather than heuristic: a
+hit proves the controller is in the same steady-state phase (same
+open-row offsets, bus/FAW/tCCD offsets, adder-tree anchor relative to
+the segment's first issue opportunity) the recording started from, so
+the recorded schedule is the true schedule shifted rigidly in time.
+Refresh breaks phase — the engine executes every barrier exactly, and a
+post-refresh state simply forms its own signature (which itself recurs
+periodically and becomes cacheable).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.command_gen import CommandStreamGenerator, Step
+from repro.dram.fastpath import ControllerDelta, Signature
+
+MAX_DELTA_ENTRIES = 8192
+"""Replay-cache size backstop; real workloads use a handful of entries."""
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """A barrier-delimited run of steps with a row-blind identity key.
+
+    The timing side (``commands``) and the functional side
+    (``functional_steps``) are stored separately: the controller and the
+    datapath are independent state machines, so a segment's functional
+    effects depend only on the order of its payload-carrying steps, not
+    on how they interleave with pure command issue. Dropping the ~3x
+    ``Step`` wrapper overhead matters for the no-reuse streams, whose
+    materialized form runs to hundreds of thousands of steps.
+    """
+
+    barrier_cycles: int
+    """Refresh-barrier window preceding the steps (0: no barrier)."""
+    commands: Tuple  # Tuple[Command, ...]
+    key_id: int
+    """Engine-interned id of the command-identity key."""
+    functional_steps: Tuple[Step, ...]
+    """The subset of steps carrying a functional payload, in order."""
+
+
+@dataclass
+class SegmentedStream:
+    """One layout's full command stream, lowered and segmented once."""
+
+    segments: List[StreamSegment] = field(default_factory=list)
+
+    @property
+    def total_commands(self) -> int:
+        return sum(len(s.commands) for s in self.segments)
+
+
+def _command_key(command) -> tuple:
+    """The timing-relevant identity of a command.
+
+    The DRAM row is deliberately excluded: which row an activation opens
+    never affects the schedule, and it is the one operand that differs
+    tile to tile in an otherwise periodic stream.
+    """
+    return (
+        command.kind,
+        command.bank,
+        command.group,
+        command.col,
+        command.subchunk,
+        command.auto_precharge,
+    )
+
+
+def _has_payload(step: Step) -> bool:
+    return (
+        step.new_chunk is not None
+        or step.load is not None
+        or step.compute is not None
+        or step.emit is not None
+    )
+
+
+class ScheduleCache:
+    """Interns segment keys and stores recorded segment deltas."""
+
+    def __init__(self, max_entries: int = MAX_DELTA_ENTRIES):
+        self._key_ids: Dict[tuple, int] = {}
+        self._deltas: Dict[Tuple[int, Signature], ControllerDelta] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.replayed_commands = 0
+
+    def intern_key(self, key: tuple) -> int:
+        """Map a segment command-identity key to a small stable id."""
+        return self._key_ids.setdefault(key, len(self._key_ids))
+
+    def lookup(
+        self, key_id: int, signature: Signature
+    ) -> Optional[ControllerDelta]:
+        delta = self._deltas.get((key_id, signature))
+        if delta is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return delta
+
+    def store(
+        self, key_id: int, signature: Signature, delta: ControllerDelta
+    ) -> None:
+        if len(self._deltas) >= self.max_entries:
+            # Pathological (non-periodic) streams only; a full reset is
+            # cheaper and simpler than eviction bookkeeping.
+            self._deltas.clear()
+        self._deltas[(key_id, signature)] = delta
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+
+def segment_stream(
+    generator: CommandStreamGenerator, cache: ScheduleCache
+) -> SegmentedStream:
+    """Lower a generator's step stream into barrier-delimited segments."""
+    stream = SegmentedStream()
+    barrier = 0
+    commands: List = []
+    functional: List[Step] = []
+
+    def flush() -> None:
+        nonlocal barrier
+        if commands or functional or barrier:
+            key = tuple(_command_key(c) for c in commands)
+            stream.segments.append(
+                StreamSegment(
+                    barrier_cycles=barrier,
+                    commands=tuple(commands),
+                    key_id=cache.intern_key(key),
+                    functional_steps=tuple(functional),
+                )
+            )
+        barrier = 0
+        commands.clear()
+        functional.clear()
+
+    for step in generator.gemv_steps():
+        if step.barrier_cycles:
+            flush()
+            barrier = step.barrier_cycles
+            continue
+        if step.command is not None:
+            commands.append(step.command)
+        if _has_payload(step):
+            functional.append(step)
+    flush()
+    return stream
+
+
+class StreamCache:
+    """Per-layout memo of segmented streams (LRU, identity-keyed).
+
+    Lowering Algorithm 1 costs as much as several tiles of simulation;
+    ``gemm``, ``gemv_batch``, and the serving study re-run the same
+    layout hundreds of times, so the step list is materialized once per
+    (layout, engine) and reused. The key is the layout *object*: layouts
+    are immutable after construction and one engine only ever sees the
+    layouts its own ``add_matrix`` produced.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        self._streams: "OrderedDict[object, SegmentedStream]" = OrderedDict()
+        self.max_entries = max_entries
+
+    def get(self, layout: object) -> Optional[SegmentedStream]:
+        stream = self._streams.get(layout)
+        if stream is not None:
+            self._streams.move_to_end(layout)
+        return stream
+
+    def put(self, layout: object, stream: SegmentedStream) -> None:
+        self._streams[layout] = stream
+        self._streams.move_to_end(layout)
+        while len(self._streams) > self.max_entries:
+            self._streams.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._streams)

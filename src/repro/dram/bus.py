@@ -54,6 +54,21 @@ class BusTimer:
         """Fast-forward the bus's free time (used across refresh stalls)."""
         self._next_free = max(self._next_free, cycle)
 
+    def fastforward(self, next_free: int, slots: int, busy: int) -> None:
+        """Jump to a known future state (steady-state schedule replay).
+
+        ``next_free`` must not move backwards: replay only ever advances
+        the clock past work whose schedule is already known.
+        """
+        if next_free < self._next_free:
+            raise ConfigurationError(
+                f"{self.name}: fastforward to {next_free} behind current "
+                f"free time {self._next_free}"
+            )
+        self._next_free = next_free
+        self.slots_used += slots
+        self.busy_cycles += busy
+
     def utilization(self, elapsed: int) -> float:
         """Fraction of ``elapsed`` cycles the bus was occupied."""
         if elapsed <= 0:

@@ -1,0 +1,242 @@
+"""Steady-state fast-forwarding of the channel controller.
+
+Newton's command streams are periodic by construction (Figure 7): every
+DRAM row repeats the same GWRITE/G_ACT/COMP/READRES tile pattern. The
+constraint solver in :class:`~repro.dram.controller.ChannelController`
+is *time-shift invariant*: every issue cycle is a max over state time
+fields plus timing constants, and every state update adds a constant to
+the issue cycle. So if two tile boundaries present the same *relative*
+timing state (every time field expressed as an offset from ``now``) and
+the same command sequence follows, the second tile's schedule is the
+first one's shifted rigidly in time — and the controller can jump
+straight to the end state in O(1) instead of re-running the solver per
+command.
+
+This module provides the three primitives that make that sound:
+
+* :func:`relative_signature` — a hashable snapshot of the relative
+  timing state at a candidate replay point (``None`` when the state is
+  not replayable, i.e. a bank holds an open row whose identity is
+  row-specific);
+* :func:`capture_delta` — after executing a command segment normally,
+  record its effect as a :class:`ControllerDelta`: relative end state
+  plus statistics deltas;
+* :func:`apply_delta` — replay a recorded delta from a new base cycle,
+  fast-forwarding ``now``, bank state, bus timers, the activation
+  window, the adder-tree drain anchor, and all statistics.
+
+Refresh is deliberately **excluded**: the refresh scheduler works on
+absolute deadlines, so the engine runs every refresh barrier exactly and
+only consults the cache afterwards — refresh interference stays exact.
+
+Sentinel time fields (``NEG_INF`` markers for "never happened") are
+preserved as ``None`` offsets so a replayed controller is bit-identical
+to one that executed the segment command by command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dram.bank import NEG_INF
+from repro.dram.commands import CommandKind
+from repro.dram.controller import ChannelController
+
+_REL_FLOOR = -(10**17)
+"""Offsets below this are sentinel ("never happened") values."""
+
+_STAT_FIELDS = (
+    "bank_activations",
+    "bank_column_accesses",
+    "compute_column_accesses",
+    "data_transfers",
+    "open_bank_cycles",
+    "refreshes",
+    "refresh_stall_cycles",
+)
+
+
+def _rel(value: int, base: int) -> Optional[int]:
+    """Offset from ``base``, or ``None`` for a sentinel value."""
+    return None if value < _REL_FLOOR else value - base
+
+
+def _abs(offset: Optional[int], base: int) -> int:
+    """Inverse of :func:`_rel`."""
+    return NEG_INF if offset is None else base + offset
+
+
+@dataclass(frozen=True)
+class ControllerDelta:
+    """One command segment's effect, relative to its start cycle."""
+
+    dt_now: int
+    """``now`` advance over the segment."""
+    max_complete: Optional[int]
+    """Latest command-completion offset (``None``: no commands issued)."""
+    banks: Tuple[Tuple[int, int, int, Optional[int]], ...]
+    """Per bank: (ready_for_act, column_ready, precharge_ready,
+    last_column_issue) offsets; every bank ends precharged."""
+    cmd_next_free: int
+    data_next_free: int
+    window_recent: Tuple[int, ...]
+    window_last_act: Optional[int]
+    last_tree_feed: Optional[int]
+    command_counts: Tuple[Tuple[CommandKind, int], ...]
+    stat_deltas: Tuple[int, ...]
+    """Deltas of ``_STAT_FIELDS``, in order."""
+    bank_counters: Tuple[Tuple[int, int], ...]
+    """Per bank: (activations, column_accesses) deltas."""
+    cmd_bus_counters: Tuple[int, int]
+    """(slots_used, busy_cycles) deltas."""
+    data_bus_counters: Tuple[int, int]
+    window_activations: int
+
+
+Signature = Tuple
+"""Opaque hashable relative-state signature."""
+
+
+def relative_signature(controller: ChannelController) -> Optional[Signature]:
+    """The controller's timing state as offsets from ``now``.
+
+    Two controller states with equal signatures schedule any identical
+    command sequence identically (up to a rigid time shift). Returns
+    ``None`` when the state cannot be summarized shift-invariantly: a
+    bank holding an open row (the row identity is data, not timing, and
+    differs tile to tile).
+    """
+    now = controller.now
+    banks = []
+    for bank in controller.banks:
+        if bank.open_row is not None:
+            return None
+        banks.append(
+            (
+                bank.ready_for_act - now,
+                bank.column_ready - now,
+                bank.precharge_ready - now,
+                _rel(bank.last_column_issue, now),
+            )
+        )
+    recent, last_act = controller.window.history()
+    return (
+        tuple(banks),
+        controller.cmd_bus.next_free - now,
+        controller.data_bus.next_free - now,
+        tuple(t - now for t in recent),
+        _rel(last_act, now),
+        _rel(controller._last_tree_feed, now),
+    )
+
+
+def counters(controller: ChannelController) -> tuple:
+    """Snapshot of every monotone counter a segment can advance."""
+    stats = controller.stats
+    return (
+        dict(stats.command_counts),
+        tuple(getattr(stats, name) for name in _STAT_FIELDS),
+        tuple((b.activations, b.column_accesses) for b in controller.banks),
+        (controller.cmd_bus.slots_used, controller.cmd_bus.busy_cycles),
+        (controller.data_bus.slots_used, controller.data_bus.busy_cycles),
+        controller.window.total_activations,
+    )
+
+
+def capture_delta(
+    controller: ChannelController,
+    base: int,
+    before: tuple,
+    max_complete: Optional[int],
+) -> Optional[ControllerDelta]:
+    """Record a just-executed segment as a replayable delta.
+
+    ``base`` is the controller's ``now`` when the segment started and
+    ``before`` the :func:`counters` snapshot taken then. Returns ``None``
+    when the end state is not replayable (an open row would pin the
+    recorded row identity into every replay).
+    """
+    for bank in controller.banks:
+        if bank.open_row is not None:
+            return None
+    counts_before: Dict[CommandKind, int] = before[0]
+    count_deltas = tuple(
+        (kind, count - counts_before.get(kind, 0))
+        for kind, count in controller.stats.command_counts.items()
+        if count - counts_before.get(kind, 0)
+    )
+    after_fields = tuple(getattr(controller.stats, name) for name in _STAT_FIELDS)
+    recent, last_act = controller.window.history()
+    return ControllerDelta(
+        dt_now=controller.now - base,
+        max_complete=None if max_complete is None else max_complete - base,
+        banks=tuple(
+            (
+                b.ready_for_act - base,
+                b.column_ready - base,
+                b.precharge_ready - base,
+                _rel(b.last_column_issue, base),
+            )
+            for b in controller.banks
+        ),
+        cmd_next_free=controller.cmd_bus.next_free - base,
+        data_next_free=controller.data_bus.next_free - base,
+        window_recent=tuple(t - base for t in recent),
+        window_last_act=_rel(last_act, base),
+        last_tree_feed=_rel(controller._last_tree_feed, base),
+        command_counts=count_deltas,
+        stat_deltas=tuple(a - b for a, b in zip(after_fields, before[1])),
+        bank_counters=tuple(
+            (b.activations - a, b.column_accesses - c)
+            for b, (a, c) in zip(controller.banks, before[2])
+        ),
+        cmd_bus_counters=(
+            controller.cmd_bus.slots_used - before[3][0],
+            controller.cmd_bus.busy_cycles - before[3][1],
+        ),
+        data_bus_counters=(
+            controller.data_bus.slots_used - before[4][0],
+            controller.data_bus.busy_cycles - before[4][1],
+        ),
+        window_activations=controller.window.total_activations - before[5],
+    )
+
+
+def apply_delta(
+    controller: ChannelController, delta: ControllerDelta, base: int
+) -> None:
+    """Fast-forward the controller past a segment recorded earlier.
+
+    ``base`` is the current ``now``; the controller must be in a state
+    whose :func:`relative_signature` matches the one the delta was
+    recorded under (the cache key guarantees this).
+    """
+    for bank, (ra, cr, pr, lci), (da, dc) in zip(
+        controller.banks, delta.banks, delta.bank_counters
+    ):
+        bank.open_row = None
+        bank.ready_for_act = base + ra
+        bank.column_ready = base + cr
+        bank.precharge_ready = base + pr
+        bank.last_column_issue = _abs(lci, base)
+        bank.activations += da
+        bank.column_accesses += dc
+    controller.cmd_bus.fastforward(
+        base + delta.cmd_next_free, *delta.cmd_bus_counters
+    )
+    controller.data_bus.fastforward(
+        base + delta.data_next_free, *delta.data_bus_counters
+    )
+    controller.window.fastforward(
+        tuple(base + t for t in delta.window_recent),
+        _abs(delta.window_last_act, base),
+        delta.window_activations,
+    )
+    controller._last_tree_feed = _abs(delta.last_tree_feed, base)
+    stats = controller.stats
+    for kind, count in delta.command_counts:
+        stats.command_counts[kind] = stats.command_counts.get(kind, 0) + count
+    for name, d in zip(_STAT_FIELDS, delta.stat_deltas):
+        setattr(stats, name, getattr(stats, name) + d)
+    controller.now = base + delta.dt_now

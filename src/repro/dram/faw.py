@@ -67,6 +67,18 @@ class ActivationWindow:
             bound = max(bound, anchor + self.t_faw)
         return bound
 
+    def history(self) -> "tuple[tuple[int, ...], int]":
+        """The recent-activation times and the last activation cycle."""
+        return tuple(self._recent), self._last_act
+
+    def fastforward(
+        self, recent: "tuple[int, ...]", last_act: int, activations: int
+    ) -> None:
+        """Jump to a known future history (steady-state schedule replay)."""
+        self._recent = deque(recent, maxlen=self.WINDOW)
+        self._last_act = last_act
+        self.total_activations += activations
+
     def record(self, at: int, count: int) -> None:
         """Record ``count`` activations issued at cycle ``at``."""
         if at < self.earliest(count):

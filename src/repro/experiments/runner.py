@@ -5,7 +5,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     area_budget,
@@ -48,6 +51,50 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
+@dataclass
+class ExperimentOutcome:
+    """One experiment's rendered result (or its failure)."""
+
+    name: str
+    elapsed: float
+    body: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def render(self) -> str:
+        header = (
+            f"=== {self.name} ({self.elapsed:.1f}s"
+            + (", FAILED" if self.failed else "")
+            + ") "
+            + "=" * max(0, 50 - len(self.name))
+        )
+        body = self.body if self.body is not None else self.error
+        return header + "\n" + (body or "")
+
+
+def run_experiment(name: str) -> ExperimentOutcome:
+    """Run one experiment, capturing any failure instead of raising.
+
+    A single broken figure must not abort a multi-hour ``newton-repro
+    all`` sweep: the failure is rendered (with its traceback) in the
+    experiment's slot and surfaced through the exit code instead.
+
+    Module-level by design so ``--jobs`` can ship it to worker processes.
+    """
+    started = time.time()
+    try:
+        result = EXPERIMENTS[name]()
+        body = result.render()
+    except Exception:  # noqa: BLE001 - the whole point is to keep going
+        return ExperimentOutcome(
+            name=name, elapsed=time.time() - started, error=traceback.format_exc()
+        )
+    return ExperimentOutcome(name=name, elapsed=time.time() - started, body=body)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the requested experiments (default: all) and print the tables."""
     parser = argparse.ArgumentParser(
@@ -69,7 +116,18 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="also append the rendered tables to this file",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel worker processes "
+        "(results are always printed in selection order)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     requested = args.experiments or ["all"]
     unknown = [name for name in requested if name not in EXPERIMENTS and name != "all"]
     if unknown:
@@ -82,21 +140,34 @@ def main(argv: "list[str] | None" = None) -> int:
         if "all" in requested
         else list(dict.fromkeys(requested))
     )
+
+    if args.jobs > 1 and len(selected) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(args.jobs, len(selected))
+        ) as pool:
+            # submit everything up front, then drain in selection order:
+            # scheduling is parallel, output is deterministic.
+            futures = [pool.submit(run_experiment, name) for name in selected]
+            outcomes = [future.result() for future in futures]
+    else:
+        outcomes = [run_experiment(name) for name in selected]
+
     sections = []
-    for name in selected:
-        started = time.time()
-        result = EXPERIMENTS[name]()
-        elapsed = time.time() - started
-        header = f"=== {name} ({elapsed:.1f}s) " + "=" * max(0, 50 - len(name))
-        body = result.render()
-        print(header)
-        print(body)
+    for outcome in outcomes:
+        section = outcome.render()
+        print(section)
         print()
-        sections.append(header + "\n" + body + "\n")
+        sections.append(section + "\n")
+    failures = [outcome.name for outcome in outcomes if outcome.failed]
+    if failures:
+        print(
+            f"{len(failures)} experiment(s) failed: {', '.join(failures)}",
+            file=sys.stderr,
+        )
     if args.out:
         with open(args.out, "a", encoding="utf-8") as f:
             f.write("\n".join(sections))
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

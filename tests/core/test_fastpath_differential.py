@@ -1,0 +1,232 @@
+"""Differential validation: steady-state fast path vs per-command issue.
+
+The fast path must be invisible: cycle-identical timing, identical
+``ControllerStats``, bit-identical functional outputs, and a final
+controller state indistinguishable from the slow path's — across every
+optimization combination, refresh on/off, and arbitrary shapes. Same
+rigor as the ticksim cross-check (``tests/dram/test_ticksim.py``), but
+against the production engine's own slow path.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import NewtonChannelEngine
+from repro.core.optimizations import FULL, OptimizationConfig
+from repro.dram import commands as cmds
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.dram.trace import CommandTrace
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=512)
+TIMING = TimingParams()
+
+FLAGS = (
+    "ganged_compute",
+    "complex_commands",
+    "interleaved_reuse",
+    "four_bank_activation",
+    "aggressive_tfaw",
+)
+
+
+def make_engine(fast, opt, *, refresh=True, functional=False):
+    return NewtonChannelEngine(
+        CFG,
+        TIMING,
+        opt,
+        functional=functional,
+        refresh_enabled=refresh,
+        fast=fast,
+    )
+
+
+def controller_fingerprint(controller):
+    """Everything observable about a controller's final state.
+
+    ``_bank_opened_at`` is excluded by design: it is scratch the next
+    activation overwrites before any read, and replay does not maintain
+    it (the open-bank cycle accounting it feeds is carried in the
+    recorded stats delta instead).
+    """
+    stats = controller.stats
+    return (
+        controller.now,
+        tuple(
+            (
+                b.open_row,
+                b.ready_for_act,
+                b.column_ready,
+                b.precharge_ready,
+                b.last_column_issue,
+                b.activations,
+                b.column_accesses,
+            )
+            for b in controller.banks
+        ),
+        (
+            controller.cmd_bus.next_free,
+            controller.cmd_bus.slots_used,
+            controller.cmd_bus.busy_cycles,
+        ),
+        (
+            controller.data_bus.next_free,
+            controller.data_bus.slots_used,
+            controller.data_bus.busy_cycles,
+        ),
+        controller.window.history(),
+        controller.window.total_activations,
+        controller._last_tree_feed,
+        dict(stats.command_counts),
+        stats.bank_activations,
+        stats.bank_column_accesses,
+        stats.compute_column_accesses,
+        stats.data_transfers,
+        stats.open_bank_cycles,
+        stats.refreshes,
+        stats.refresh_stall_cycles,
+        (controller.refresh.refreshes_issued, controller.refresh.next_due),
+    )
+
+
+def run_pair(opt, m, n, *, refresh=True, runs=1):
+    """Run identical GEMV sequences on a fast and a slow engine."""
+    slow = make_engine(False, opt, refresh=refresh)
+    fast = make_engine(True, opt, refresh=refresh)
+    layout_slow = slow.add_matrix(m, n)
+    layout_fast = fast.add_matrix(m, n)
+    for _ in range(runs):
+        a = slow.run_gemv(layout_slow)
+        b = fast.run_gemv(layout_fast)
+        assert (a.start_cycle, a.end_cycle) == (b.start_cycle, b.end_cycle)
+        assert a.stats == b.stats
+    assert controller_fingerprint(
+        slow.channel.controller
+    ) == controller_fingerprint(fast.channel.controller)
+    return slow, fast
+
+
+class TestAllCombinations:
+    @pytest.mark.parametrize("refresh", [True, False], ids=["ref", "noref"])
+    @pytest.mark.parametrize(
+        "bits",
+        list(itertools.product((False, True), repeat=5)),
+        ids=lambda b: "".join("X" if x else "." for x in b),
+    )
+    def test_cycle_and_stats_identical(self, bits, refresh):
+        opt = OptimizationConfig(**dict(zip(FLAGS, bits)))
+        run_pair(opt, m=40, n=700, refresh=refresh)
+
+    def test_four_latch_variant(self):
+        opt = FULL.evolve(interleaved_reuse=False, result_latches=4)
+        run_pair(opt, m=16 * 6, n=1024)
+
+    def test_batch_stays_exact_across_refresh_phases(self):
+        """Back-to-back runs replay whole streams; refresh keeps moving."""
+        _, fast = run_pair(FULL, m=64, n=1024, runs=5)
+        cache = fast.schedule_cache
+        assert cache.hits > 0
+        assert cache.replayed_commands > 0
+
+
+class TestPropertyDifferential:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        bits=st.tuples(*([st.booleans()] * 5)),
+        refresh=st.booleans(),
+        m=st.integers(min_value=1, max_value=80),
+        n=st.integers(min_value=1, max_value=1600),
+    )
+    def test_timing_and_stats(self, bits, refresh, m, n):
+        opt = OptimizationConfig(**dict(zip(FLAGS, bits)))
+        run_pair(opt, m=m, n=n, refresh=refresh)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        interleaved=st.booleans(),
+        m=st.integers(min_value=1, max_value=48),
+        n=st.integers(min_value=1, max_value=1100),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_functional_outputs_bit_identical(self, interleaved, m, n, seed):
+        opt = FULL.evolve(interleaved_reuse=interleaved)
+        rng = np.random.default_rng(seed)
+        matrix = rng.standard_normal((m, n)).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        slow = make_engine(False, opt, functional=True)
+        fast = make_engine(True, opt, functional=True)
+        a = slow.run_gemv(slow.add_matrix(m, n, matrix), vector)
+        b = fast.run_gemv(fast.add_matrix(m, n, matrix), vector)
+        assert a.end_cycle == b.end_cycle
+        assert a.stats == b.stats
+        assert np.array_equal(a.output, b.output)
+
+
+class _BoundaryTraffic:
+    """Minimal background source: a non-AiM row hit every few barriers."""
+
+    def __init__(self):
+        self.completions = 0
+
+    def commands_for_boundary(self, index, now):
+        if index % 3 != 0:
+            return []
+        return [
+            cmds.act(0, 500),
+            cmds.rd(0, 0, auto_precharge=True),
+        ]
+
+    def record_completion(self, command, record):
+        self.completions += 1
+
+
+class TestFastPathGuardrails:
+    def test_trace_disables_replay_and_stays_exact(self):
+        slow = make_engine(False, FULL)
+        fast = make_engine(True, FULL)
+        trace = CommandTrace()
+        fast.channel.controller.trace = trace
+        a = slow.run_gemv(slow.add_matrix(64, 1024))
+        b = fast.run_gemv(fast.add_matrix(64, 1024))
+        assert (a.end_cycle, a.stats) == (b.end_cycle, b.stats)
+        assert trace.total_recorded == sum(a.stats["command_counts"].values())
+        assert fast.schedule_cache.hits == 0
+
+    def test_background_traffic_disables_replay_and_stays_exact(self):
+        slow = make_engine(False, FULL)
+        fast = make_engine(True, FULL)
+        a = slow.run_gemv(slow.add_matrix(64, 1024), background=_BoundaryTraffic())
+        traffic = _BoundaryTraffic()
+        b = fast.run_gemv(fast.add_matrix(64, 1024), background=traffic)
+        assert (a.end_cycle, a.stats) == (b.end_cycle, b.stats)
+        assert traffic.completions > 0
+        assert fast.schedule_cache.hits == 0
+
+    def test_fast_false_disables_replay(self):
+        engine = make_engine(False, FULL)
+        engine.run_gemv(engine.add_matrix(64, 1024))
+        assert engine.schedule_cache.hits == 0
+        assert engine.schedule_cache.misses == 0
+
+    def test_env_override_disables_fastpath(self, monkeypatch):
+        monkeypatch.setenv("NEWTON_NO_FASTPATH", "1")
+        engine = make_engine(True, FULL)
+        assert engine.fast is False
+        engine.run_gemv(engine.add_matrix(32, 512))
+        assert engine.schedule_cache.hits == 0
+
+    def test_env_zero_keeps_fastpath(self, monkeypatch):
+        monkeypatch.setenv("NEWTON_NO_FASTPATH", "0")
+        assert make_engine(True, FULL).fast is True

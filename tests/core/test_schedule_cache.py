@@ -1,0 +1,113 @@
+"""Unit tests for stream segmentation and the schedule/stream caches."""
+
+import numpy as np
+import pytest
+
+from repro.core.command_gen import CommandStreamGenerator
+from repro.core.engine import NewtonChannelEngine
+from repro.core.layout import make_layout
+from repro.core.optimizations import FULL, NON_OPT
+from repro.core.schedule_cache import (
+    ScheduleCache,
+    StreamCache,
+    segment_stream,
+)
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=512)
+TIMING = TimingParams()
+
+
+def make_stream(opt, m, n):
+    layout = make_layout(
+        CFG,
+        m,
+        n,
+        interleaved=opt.interleaved_reuse,
+        latches_per_bank=opt.result_latches,
+    )
+    generator = CommandStreamGenerator(CFG, TIMING, opt, layout)
+    return generator, layout
+
+
+class TestSegmentation:
+    @pytest.mark.parametrize("opt", [FULL, NON_OPT], ids=["full", "non_opt"])
+    def test_segments_preserve_the_step_stream(self, opt):
+        generator, _ = make_stream(opt, m=40, n=700)
+        steps = list(generator.gemv_steps())
+        stream = segment_stream(generator, ScheduleCache())
+
+        commands = [c for seg in stream.segments for c in seg.commands]
+        assert commands == [s.command for s in steps if s.command is not None]
+        assert stream.total_commands == len(commands)
+
+        barriers = [
+            seg.barrier_cycles
+            for seg in stream.segments
+            if seg.barrier_cycles
+        ]
+        assert barriers == [s.barrier_cycles for s in steps if s.barrier_cycles]
+
+    def test_identical_tiles_share_one_key(self):
+        """Same command shape (row aside) must intern to the same key."""
+        generator, _ = make_stream(FULL, m=512, n=2048)
+        stream = segment_stream(generator, ScheduleCache())
+        keys = {
+            seg.key_id for seg in stream.segments if seg.commands
+        }
+        # A steady GEMV has few distinct tile shapes, many tiles.
+        payload_segments = sum(1 for s in stream.segments if s.commands)
+        assert payload_segments > 10
+        assert len(keys) < payload_segments / 2
+
+    def test_key_ignores_dram_row(self):
+        cache = ScheduleCache()
+        generator, _ = make_stream(FULL, m=512, n=2048)
+        segments = [
+            s for s in segment_stream(generator, cache).segments if s.commands
+        ]
+        a, b = segments[1], segments[2]
+        rows_a = {c.row for c in a.commands if c.row is not None}
+        rows_b = {c.row for c in b.commands if c.row is not None}
+        assert rows_a != rows_b  # different tiles touch different rows...
+        assert a.key_id == b.key_id  # ...but replay under the same key
+
+
+class TestScheduleCacheCounters:
+    def test_hits_and_misses_accumulate(self):
+        engine = NewtonChannelEngine(
+            CFG, TIMING, FULL, functional=False, refresh_enabled=False
+        )
+        layout = engine.add_matrix(512, 2048)
+        engine.run_gemv(layout)
+        cache = engine.schedule_cache
+        assert cache.misses >= 1
+        assert cache.hits > cache.misses  # steady state dominates
+        hits_first = cache.hits
+        engine.run_gemv(layout)
+        assert cache.hits > hits_first
+        assert cache.replayed_commands > 0
+
+
+class TestStreamCache:
+    def test_lowering_happens_once_per_layout(self):
+        engine = NewtonChannelEngine(
+            CFG, TIMING, FULL, functional=False, refresh_enabled=False
+        )
+        layout = engine.add_matrix(40, 700)
+        first = engine._segments_for(layout)
+        assert engine._segments_for(layout) is first
+
+    def test_lru_eviction_bound(self):
+        cache = StreamCache(max_entries=2)
+        streams = [object(), object(), object()]
+        keys = [
+            make_layout(CFG, 8, 128, interleaved=True, base_row=i)
+            for i in range(3)
+        ]
+        for key, stream in zip(keys, streams):
+            cache.put(key, stream)
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[1]) is streams[1]
+        assert cache.get(keys[2]) is streams[2]

@@ -76,3 +76,89 @@ class TestRunner:
         assert main([]) == 0
         capsys.readouterr()
         assert set(ran) == set(EXPERIMENTS)
+
+
+def _boom():
+    raise RuntimeError("synthetic experiment failure")
+
+
+class _Stub:
+    def __init__(self, text):
+        self.text = text
+
+    def render(self):
+        return self.text
+
+
+class TestFailureRobustness:
+    def test_one_failure_does_not_abort_the_run(self, capsys, monkeypatch):
+        ran = []
+
+        def ok(name):
+            def _run():
+                ran.append(name)
+                return _Stub(f"{name} body")
+
+            return _run
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS",
+            {"first": ok("first"), "broken": _boom, "last": ok("last")},
+        )
+        assert main(["first", "broken", "last"]) == 1
+        captured = capsys.readouterr()
+        # everything after the failure still ran, in order
+        assert ran == ["first", "last"]
+        assert captured.out.index("=== first") < captured.out.index(
+            "=== broken"
+        ) < captured.out.index("=== last")
+        # the failed slot carries the traceback and is flagged
+        assert ", FAILED" in captured.out
+        assert "synthetic experiment failure" in captured.out
+        assert "RuntimeError" in captured.out
+        assert "1 experiment(s) failed: broken" in captured.err
+
+    def test_all_green_keeps_exit_zero(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS",
+            {"only": lambda: _Stub("fine")},
+        )
+        assert main(["only"]) == 0
+        assert "FAILED" not in capsys.readouterr().out
+
+
+class TestParallelJobs:
+    def test_jobs_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["area-budget", "--jobs", "0"])
+        capsys.readouterr()
+
+    def test_jobs_output_matches_serial(self, capsys):
+        """-j2 must print the same sections in the same (selection) order."""
+        selection = ["organization", "area-budget"]
+        assert main(selection) == 0
+        serial = capsys.readouterr().out
+        assert main([*selection, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_timings(text):
+            import re
+
+            return re.sub(r"\(\d+\.\d+s", "(", text)
+
+        assert strip_timings(parallel) == strip_timings(serial)
+        assert parallel.index("=== organization") < parallel.index(
+            "=== area-budget"
+        )
+
+    def test_jobs_propagates_failures(self, capsys, monkeypatch):
+        # fork start method inherits the monkeypatched registry
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS",
+            {"good": lambda: _Stub("ok"), "bad": _boom},
+        )
+        assert main(["good", "bad", "--jobs", "2"]) == 1
+        captured = capsys.readouterr()
+        assert "=== good" in captured.out
+        assert ", FAILED" in captured.out
+        assert "bad" in captured.err
