@@ -6,12 +6,19 @@ enabled, full Newton optimizations) with the tile-schedule fast path on
 and off, and writes ``BENCH_sim_throughput.json`` at the repository root
 so the perf trajectory is tracked PR over PR.
 
+The record also carries the **telemetry overhead**: the slow-path
+steady-state cost of cycle attribution, measured against an engine
+built with ``telemetry=False``. CI runs ``--quick --check-overhead``
+(a smaller layer, gate at 5%) and uploads the ``--metrics`` JSON as an
+artifact.
+
 Run standalone (``python benchmarks/bench_sim_throughput.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_sim_throughput.py -s``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -26,11 +33,21 @@ RESULT_PATH = REPO_ROOT / "BENCH_sim_throughput.json"
 
 LAYER_NAME = "AlexNetL7"
 M, N = 2048, 2048
+QUICK_M, QUICK_N = 512, 1024
 STEADY_RUNS = 3
 """Timed back-to-back GEMVs after one untimed warm-up run."""
 
+OVERHEAD_BUDGET_PCT = 5.0
+"""Telemetry must cost less than this on slow-path steady state."""
 
-def _make_engine(fast: bool) -> "tuple[NewtonChannelEngine, object]":
+OVERHEAD_TRIALS = 3
+"""Interleaved on/off trials; the minimum ratio is reported (noise only
+ever inflates a trial, so the minimum is the fairest point estimate)."""
+
+
+def _make_engine(
+    fast: bool, m: int = M, n: int = N, *, telemetry: bool = True
+) -> "tuple[NewtonChannelEngine, object]":
     engine = NewtonChannelEngine(
         hbm2e_like_config(),
         hbm2e_like_timing(),
@@ -38,27 +55,28 @@ def _make_engine(fast: bool) -> "tuple[NewtonChannelEngine, object]":
         functional=False,
         refresh_enabled=True,
         fast=fast,
+        telemetry=telemetry,
     )
-    return engine, engine.add_matrix(M, N)
+    return engine, engine.add_matrix(m, n)
 
 
-def _measure_mode(fast: bool) -> dict:
+def _measure_mode(fast: bool, m: int = M, n: int = N, runs: int = STEADY_RUNS) -> dict:
     """Wall time and command throughput for one engine mode.
 
     The cold run covers stream lowering plus (for the fast path) delta
     recording; the steady-state runs are the regime batch sweeps and the
     serving study live in.
     """
-    engine, layout = _make_engine(fast)
+    engine, layout = _make_engine(fast, m, n)
     t0 = time.perf_counter()
     first = engine.run_gemv(layout)
     cold_wall = time.perf_counter() - t0
     commands_per_run = sum(first.stats["command_counts"].values())
 
     t0 = time.perf_counter()
-    for _ in range(STEADY_RUNS):
+    for _ in range(runs):
         result = engine.run_gemv(layout)
-    steady_wall = (time.perf_counter() - t0) / STEADY_RUNS
+    steady_wall = (time.perf_counter() - t0) / runs
     return {
         "fast": fast,
         "commands_per_run": commands_per_run,
@@ -70,31 +88,87 @@ def _measure_mode(fast: bool) -> dict:
     }
 
 
-def measure() -> dict:
+def _steady_wall(telemetry: bool, m: int, n: int, runs: int) -> float:
+    """Slow-path steady wall time per GEMV with telemetry on or off."""
+    engine, layout = _make_engine(False, m, n, telemetry=telemetry)
+    engine.run_gemv(layout)  # warm-up: stream lowering
+    t0 = time.perf_counter()
+    for _ in range(runs):
+        engine.run_gemv(layout)
+    return (time.perf_counter() - t0) / runs
+
+
+def measure_telemetry_overhead(
+    m: int = M, n: int = N, runs: int = STEADY_RUNS, trials: int = OVERHEAD_TRIALS
+) -> dict:
+    """Cycle-attribution cost on the per-command (slow) path.
+
+    The fast path replays attribution deltas in O(1) per tile, so the
+    slow path is where the accounting could hurt; this interleaves
+    telemetry-on/off engines and reports the minimum ratio over
+    ``trials`` (scheduler noise only ever inflates a single trial).
+    """
+    best_pct = float("inf")
+    for _ in range(trials):
+        off = _steady_wall(False, m, n, runs)
+        on = _steady_wall(True, m, n, runs)
+        best_pct = min(best_pct, (on / off - 1.0) * 100.0)
+    return {
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "overhead_pct": round(best_pct, 2),
+        "within_budget": best_pct <= OVERHEAD_BUDGET_PCT,
+    }
+
+
+def measure(quick: bool = False) -> dict:
     """The full benchmark record (both modes plus derived speedups)."""
-    slow = _measure_mode(fast=False)
-    fast = _measure_mode(fast=True)
+    m, n = (QUICK_M, QUICK_N) if quick else (M, N)
+    slow = _measure_mode(fast=False, m=m, n=n)
+    fast = _measure_mode(fast=True, m=m, n=n)
     assert slow["end_cycle"] == fast["end_cycle"], (
         "fast path diverged from the slow path: "
         f"{fast['end_cycle']} vs {slow['end_cycle']} cycles"
     )
     return {
         "benchmark": "sim_throughput",
-        "layer": LAYER_NAME,
-        "m": M,
-        "n": N,
+        "layer": LAYER_NAME if not quick else f"quick-{QUICK_M}x{QUICK_N}",
+        "m": m,
+        "n": n,
         "refresh_enabled": True,
         "opt": "FULL",
         "steady_runs": STEADY_RUNS,
+        "quick": quick,
         "slow": slow,
         "fast": fast,
         "steady_speedup": round(slow["steady_wall_s"] / fast["steady_wall_s"], 2),
         "cold_speedup": round(slow["cold_wall_s"] / fast["cold_wall_s"], 2),
+        "telemetry": measure_telemetry_overhead(m, n),
     }
 
 
 def write_result(record: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+
+def export_metrics(record: dict, path: Path) -> None:
+    """Registry-shaped telemetry JSON: bench gauges + a probe breakdown."""
+    from repro.telemetry import MetricsRegistry, validate_metrics
+
+    registry = MetricsRegistry()
+    registry.gauge("bench.steady_speedup").set(record["steady_speedup"])
+    registry.gauge("bench.cold_speedup").set(record["cold_speedup"])
+    registry.gauge("bench.telemetry_overhead_pct").set(
+        record["telemetry"]["overhead_pct"]
+    )
+    registry.counter("bench.commands_per_run").inc(
+        record["slow"]["commands_per_run"]
+    )
+    engine, layout = _make_engine(True, record["m"], record["n"])
+    result = engine.run_gemv(layout)
+    registry.section(
+        "probe", validate_metrics(engine.collect_metrics(end=result.end_cycle))
+    )
+    registry.write_json(path)
 
 
 def test_sim_throughput(once):
@@ -103,13 +177,51 @@ def test_sim_throughput(once):
     print()
     print(json.dumps(record, indent=2))
     assert record["steady_speedup"] >= 5.0
+    assert record["telemetry"]["within_budget"], (
+        "telemetry overhead "
+        f"{record['telemetry']['overhead_pct']}% exceeds the "
+        f"{OVERHEAD_BUDGET_PCT}% budget"
+    )
 
 
-def main() -> int:
-    record = measure()
-    write_result(record)
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fast-path throughput + telemetry overhead benchmark."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI mode: {QUICK_M}x{QUICK_N} layer; skips the canonical "
+        "BENCH_sim_throughput.json update",
+    )
+    parser.add_argument(
+        "--check-overhead",
+        action="store_true",
+        help="exit 1 when telemetry overhead exceeds "
+        f"{OVERHEAD_BUDGET_PCT}%% of slow-path steady-state time",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also write a newton-telemetry/v1 JSON export here",
+    )
+    args = parser.parse_args(argv)
+    record = measure(quick=args.quick)
+    if not args.quick:
+        write_result(record)
     print(json.dumps(record, indent=2))
-    print(f"\nwrote {RESULT_PATH}")
+    if not args.quick:
+        print(f"\nwrote {RESULT_PATH}")
+    if args.metrics:
+        export_metrics(record, Path(args.metrics))
+        print(f"wrote metrics to {args.metrics}")
+    if args.check_overhead and not record["telemetry"]["within_budget"]:
+        print(
+            f"FAIL: telemetry overhead {record['telemetry']['overhead_pct']}% "
+            f"> {OVERHEAD_BUDGET_PCT}% budget"
+        )
+        return 1
     return 0
 
 

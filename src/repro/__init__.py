@@ -32,8 +32,10 @@ from repro.errors import (
     LayoutError,
     ProtocolError,
     ReproError,
+    TelemetryError,
     TimingViolationError,
 )
+from repro.telemetry import MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -60,5 +62,7 @@ __all__ = [
     "LayoutError",
     "CapacityError",
     "ProtocolError",
+    "TelemetryError",
+    "MetricsRegistry",
     "__version__",
 ]

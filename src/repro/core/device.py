@@ -69,6 +69,7 @@ class NewtonDevice:
         lut_activation: Optional[str] = None,
         fast: bool = True,
         channel_workers: int = 0,
+        telemetry: bool = True,
     ):
         self.config = config if config is not None else hbm2e_like_config()
         self.timing = timing if timing is not None else hbm2e_like_timing()
@@ -93,6 +94,7 @@ class NewtonDevice:
                 power_params=power_params,
                 lut=lut,
                 fast=fast,
+                telemetry=telemetry,
             )
             for ch in range(active_channels)
         ]
@@ -250,6 +252,12 @@ class NewtonDevice:
     def conventional_dram_power(self) -> float:
         """The Figure 13 normalization denominator."""
         return self.engines[0].channel.power_model.conventional_streaming_power()
+
+    def collect_metrics(self) -> dict:
+        """Per-channel telemetry breakdowns (see :mod:`repro.telemetry`)."""
+        from repro.telemetry import device_metrics
+
+        return device_metrics(self)
 
     def close(self) -> None:
         """Release the channel thread pool (idempotent)."""

@@ -30,7 +30,6 @@ variable) to force per-command issue everywhere.
 
 from __future__ import annotations
 
-import os
 from typing import Optional
 
 import numpy as np
@@ -55,11 +54,29 @@ from repro.dram.timing import TimingParams
 from repro.errors import ProtocolError
 from repro.numerics.bfloat16 import bf16_bits_to_float
 from repro.numerics.lut import ActivationLUT
+from repro.utils.envflags import env_flag
 
 
 def fastpath_env_disabled() -> bool:
-    """True when ``NEWTON_NO_FASTPATH`` requests the slow path."""
-    return os.environ.get("NEWTON_NO_FASTPATH", "0") not in ("", "0")
+    """True when ``NEWTON_NO_FASTPATH`` requests the slow path.
+
+    Accepts the repository's standard boolean spellings (see
+    :mod:`repro.utils.envflags`): ``1/true/yes/on`` disable the fast
+    path, ``0/false/no/off`` and the empty string keep it, anything
+    else warns and keeps the default (fast path on).
+    """
+    return env_flag("NEWTON_NO_FASTPATH", default=False)
+
+
+def telemetry_env_enabled() -> bool:
+    """True unless ``NEWTON_TELEMETRY`` requests attribution off.
+
+    Telemetry defaults on; set ``NEWTON_TELEMETRY=0`` (or any falsy
+    spelling) to skip cycle-attribution accounting entirely — the
+    reference point the throughput benchmark's overhead gate measures
+    against.
+    """
+    return env_flag("NEWTON_TELEMETRY", default=True)
 
 
 class NewtonChannelEngine:
@@ -77,6 +94,7 @@ class NewtonChannelEngine:
         power_params: PowerParams = PowerParams(),
         lut: Optional[ActivationLUT] = None,
         fast: bool = True,
+        telemetry: bool = True,
     ):
         self.config = config
         self.timing = timing
@@ -85,12 +103,14 @@ class NewtonChannelEngine:
         self.functional = functional
         self.lut = lut
         self.fast = fast and not fastpath_env_disabled()
+        self.telemetry = telemetry and telemetry_env_enabled()
         self.channel = Channel(
             config,
             timing,
             aggressive_tfaw=opt.aggressive_tfaw,
             refresh_enabled=refresh_enabled,
             power_params=power_params,
+            telemetry=self.telemetry,
         )
         self.buffer = GlobalBuffer(config)
         self._latches = np.zeros(
@@ -298,3 +318,13 @@ class NewtonChannelEngine:
     def power_report(self) -> PowerReport:
         """Normalized power breakdown over everything run so far."""
         return self.channel.power_report()
+
+    def collect_metrics(self, *, end: Optional[int] = None) -> dict:
+        """Schema-validated telemetry breakdown for this channel.
+
+        See :func:`repro.telemetry.engine_metrics`; pass the run's
+        reported ``end_cycle`` so in-flight completions are attributed.
+        """
+        from repro.telemetry import engine_metrics
+
+        return engine_metrics(self, end=end)

@@ -15,6 +15,7 @@ def stats_snapshot(stats: ControllerStats) -> Dict[str, object]:
     """Copy the mutable controller statistics for delta computation."""
     return {
         "command_counts": dict(stats.command_counts),
+        "cycle_attribution": dict(stats.cycle_attribution),
         "bank_activations": stats.bank_activations,
         "bank_column_accesses": stats.bank_column_accesses,
         "compute_column_accesses": stats.compute_column_accesses,
@@ -32,7 +33,16 @@ def stats_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str
         kind: counts_after.get(kind, 0) - counts_before.get(kind, 0)
         for kind in set(counts_before) | set(counts_after)
     }
-    delta = {"command_counts": {k: v for k, v in counts.items() if v}}
+    attr_before: Dict[str, int] = before["cycle_attribution"]  # type: ignore[assignment]
+    attr_after: Dict[str, int] = after["cycle_attribution"]  # type: ignore[assignment]
+    attribution = {
+        category: attr_after.get(category, 0) - attr_before.get(category, 0)
+        for category in set(attr_before) | set(attr_after)
+    }
+    delta = {
+        "command_counts": {k: v for k, v in counts.items() if v},
+        "cycle_attribution": {k: v for k, v in attribution.items() if v},
+    }
     for key in (
         "bank_activations",
         "bank_column_accesses",

@@ -74,3 +74,11 @@ class BusTimer:
         if elapsed <= 0:
             return 0.0
         return min(1.0, self.busy_cycles / elapsed)
+
+    def snapshot(self, elapsed: int) -> "dict[str, object]":
+        """Occupancy counters + utilization for the telemetry export."""
+        return {
+            "slots_used": self.slots_used,
+            "busy_cycles": self.busy_cycles,
+            "utilization": self.utilization(elapsed),
+        }

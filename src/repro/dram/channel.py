@@ -28,6 +28,7 @@ class Channel:
         aggressive_tfaw: bool = False,
         refresh_enabled: bool = True,
         power_params: PowerParams = PowerParams(),
+        telemetry: bool = True,
     ):
         self.config = config
         self.timing = timing
@@ -36,6 +37,7 @@ class Channel:
             timing,
             aggressive_tfaw=aggressive_tfaw,
             refresh_enabled=refresh_enabled,
+            telemetry=telemetry,
         )
         self.storage: List[BankStorage] = [
             BankStorage(config, i) for i in range(config.banks_per_channel)

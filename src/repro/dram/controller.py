@@ -33,6 +33,48 @@ from repro.dram.refresh import RefreshScheduler
 from repro.dram.timing import TimingParams
 from repro.errors import TimingViolationError
 
+# ----------------------------------------------------------------------
+# cycle-attribution categories
+#
+# Every cycle of a run is charged to exactly one bucket: the constraint
+# that *bound* the command issued at the end of the waiting interval
+# (the argmax of the controller's earliest-legal-issue computation).
+# This is the simulator-level form of the paper's Section III-F
+# decomposition: ATTR_ACT_WINDOW + ATTR_BANK is the activation
+# serialization term (tRRD/tFAW and row readiness — the numerator of the
+# overhead ratio ``o``), ATTR_COLUMN is the ``col x tCCD`` compute term,
+# and the rest are the shared-resource and refresh overheads.
+
+ATTR_CMD_BUS = "cmd_bus"
+"""Command-bus serialization (``t_cmd`` between any two commands)."""
+ATTR_ACT_WINDOW = "act_window"
+"""Activation-window stalls: tRRD spacing and the tFAW budget."""
+ATTR_BANK = "bank"
+"""Bank-state readiness: tRCD after ACT, tRAS/tRP row cycling."""
+ATTR_COLUMN = "column"
+"""Per-bank column cadence (one column access per tCCD)."""
+ATTR_DATA_BUS = "data_bus"
+"""Shared data-I/O slot conflicts (RD/WR/GWRITE/READRES only)."""
+ATTR_TREE = "tree_drain"
+"""Adder-tree drain before a result read."""
+ATTR_REFRESH = "refresh"
+"""Refresh stalls under Newton's delay rule."""
+ATTR_TAIL = "tail"
+"""End-of-run drain: cycles between the last command's issue and the
+run's end cycle (in-flight completions), closed out by :meth:`finalize`."""
+
+ATTRIBUTION_CATEGORIES = (
+    ATTR_CMD_BUS,
+    ATTR_ACT_WINDOW,
+    ATTR_BANK,
+    ATTR_COLUMN,
+    ATTR_DATA_BUS,
+    ATTR_TREE,
+    ATTR_REFRESH,
+    ATTR_TAIL,
+)
+"""Every bucket :attr:`ControllerStats.cycle_attribution` may contain."""
+
 
 @dataclass(frozen=True)
 class IssueRecord:
@@ -57,6 +99,11 @@ class ControllerStats:
     open_bank_cycles: int = 0
     refreshes: int = 0
     refresh_stall_cycles: int = 0
+    cycle_attribution: Dict[str, int] = field(default_factory=dict)
+    """Cycles charged per binding constraint (keys from
+    :data:`ATTRIBUTION_CATEGORIES`); empty when telemetry is disabled.
+    After :meth:`ChannelController.finalize` the values sum to the end
+    cycle — the invariant the telemetry JSON schema validates."""
 
     def count(self, kind: CommandKind) -> int:
         """Commands issued of the given kind."""
@@ -66,6 +113,11 @@ class ControllerStats:
     def total_commands(self) -> int:
         """All commands placed on the command bus."""
         return sum(self.command_counts.values())
+
+    @property
+    def attributed_cycles(self) -> int:
+        """Total cycles charged to any attribution bucket."""
+        return sum(self.cycle_attribution.values())
 
 
 class ChannelController:
@@ -78,10 +130,15 @@ class ChannelController:
         *,
         aggressive_tfaw: bool = False,
         refresh_enabled: bool = True,
+        telemetry: bool = True,
     ):
         self.config = config
         self.timing = timing
         self.aggressive_tfaw = aggressive_tfaw
+        self.telemetry = telemetry
+        """When True, every cycle is charged to the constraint that bound
+        it (see :data:`ATTRIBUTION_CATEGORIES`); False skips the
+        accounting entirely (the bench's overhead reference point)."""
         self.banks: List[BankState] = [
             BankState(index=i) for i in range(config.banks_per_channel)
         ]
@@ -99,6 +156,10 @@ class ChannelController:
         """Optional :class:`~repro.dram.trace.CommandTrace` recorder."""
         self._last_tree_feed: int = -(10**18)
         self._bank_opened_at: List[int] = [0] * config.banks_per_channel
+        self._attr_cursor: int = 0
+        """Last cycle already charged to an attribution bucket. Equals
+        ``now`` after every issue/refresh (the fast path relies on this
+        invariant to restore it after a replay)."""
 
     # ------------------------------------------------------------------
     # internals
@@ -130,6 +191,36 @@ class ChannelController:
     def _occupy_cmd(self, earliest: int) -> int:
         at = self.cmd_bus.earliest(earliest)
         self.cmd_bus.occupy(at)
+        return at
+
+    def _charge(self, category: str, until: int) -> None:
+        """Charge the cycles since the attribution cursor to a bucket."""
+        gap = until - self._attr_cursor
+        if gap > 0:
+            attr = self.stats.cycle_attribution
+            attr[category] = attr.get(category, 0) + gap
+            self._attr_cursor = until
+
+    def _issue_after(self, *candidates: "tuple[str, int]") -> int:
+        """Issue at the earliest legal cycle over named constraints.
+
+        Each candidate is ``(attribution category, earliest cycle)``. The
+        binding constraint is the argmax (first wins ties); the command
+        bus binds when its own serialization pushes the issue later than
+        every candidate. With telemetry on, the wait since the previous
+        issue is charged to the binding bucket.
+        """
+        earliest = 0
+        binding = ATTR_CMD_BUS
+        for category, cycle in candidates:
+            if cycle > earliest:
+                earliest = cycle
+                binding = category
+        at = self._occupy_cmd(earliest)
+        if self.telemetry:
+            if at > earliest:
+                binding = ATTR_CMD_BUS
+            self._charge(binding, at)
         return at
 
     def _data_slot_constraint(self, data_offset: int) -> int:
@@ -176,6 +267,8 @@ class ChannelController:
             self.stats.command_counts[CommandKind.REF] = (
                 self.stats.command_counts.get(CommandKind.REF, 0) + issued
             )
+            if self.telemetry:
+                self._charge(ATTR_REFRESH, start)
             self.now = start
         return self.now
 
@@ -191,8 +284,10 @@ class ChannelController:
         bank = self._bank(command.bank)
         if command.row is None:
             raise TimingViolationError("ACT requires a row operand")
-        earliest = max(bank.ready_for_act, self.window.earliest(1))
-        at = self._occupy_cmd(earliest)
+        at = self._issue_after(
+            (ATTR_BANK, bank.ready_for_act),
+            (ATTR_ACT_WINDOW, self.window.earliest(1)),
+        )
         self.window.record(at, 1)
         self._activate_banks([bank], command.row, at)
         return self._record(command, at, at + self.timing.t_rcd)
@@ -201,11 +296,10 @@ class ChannelController:
         banks = self._group_banks(command.group)
         if command.row is None:
             raise TimingViolationError("G_ACT requires a row operand")
-        earliest = max(
-            max(b.ready_for_act for b in banks),
-            self.window.earliest(len(banks)),
+        at = self._issue_after(
+            (ATTR_BANK, max(b.ready_for_act for b in banks)),
+            (ATTR_ACT_WINDOW, self.window.earliest(len(banks))),
         )
-        at = self._occupy_cmd(earliest)
         self.window.record(at, len(banks))
         self._activate_banks(banks, command.row, at)
         return self._record(command, at, at + self.timing.t_rcd)
@@ -214,10 +308,10 @@ class ChannelController:
         bank = self._bank(command.bank)
         if not bank.is_open:
             raise TimingViolationError(f"PRE on closed bank {bank.index}")
-        earliest = max(
-            bank.precharge_ready, bank.last_column_issue + self.timing.t_ccd
+        at = self._issue_after(
+            (ATTR_BANK, bank.precharge_ready),
+            (ATTR_COLUMN, bank.last_column_issue + self.timing.t_ccd),
         )
-        at = self._occupy_cmd(earliest)
         self._close_bank(bank, at)
         return self._record(command, at, at + self.timing.t_rp)
 
@@ -225,23 +319,24 @@ class ChannelController:
         open_banks = [b for b in self.banks if b.is_open]
         if not open_banks:
             raise TimingViolationError("PRE_ALL with no open banks")
-        earliest = max(
-            max(b.precharge_ready for b in open_banks),
-            max(b.last_column_issue for b in open_banks) + self.timing.t_ccd,
+        at = self._issue_after(
+            (ATTR_BANK, max(b.precharge_ready for b in open_banks)),
+            (
+                ATTR_COLUMN,
+                max(b.last_column_issue for b in open_banks) + self.timing.t_ccd,
+            ),
         )
-        at = self._occupy_cmd(earliest)
         for bank in open_banks:
             self._close_bank(bank, at)
         return self._record(command, at, at + self.timing.t_rp)
 
     def _issue_column_transfer(self, command: Command, write: bool) -> IssueRecord:
         bank = self._bank(command.bank)
-        earliest = max(
-            bank.column_ready,
-            bank.last_column_issue + self.timing.t_ccd,
-            self._data_slot_constraint(self.timing.t_aa),
+        at = self._issue_after(
+            (ATTR_BANK, bank.column_ready),
+            (ATTR_COLUMN, bank.last_column_issue + self.timing.t_ccd),
+            (ATTR_DATA_BUS, self._data_slot_constraint(self.timing.t_aa)),
         )
-        at = self._occupy_cmd(earliest)
         bank.do_column(at, write_recovery=self.timing.t_wr if write else 0)
         self.stats.bank_column_accesses += 1
         self.data_bus.occupy(at + self.timing.t_aa)
@@ -259,8 +354,9 @@ class ChannelController:
     def _issue_gwrite(self, command: Command) -> IssueRecord:
         # Loads one sub-chunk into the per-channel global buffer: occupies
         # the command bus and the channel data I/O, touches no bank.
-        earliest = self._data_slot_constraint(self.timing.t_aa)
-        at = self._occupy_cmd(earliest)
+        at = self._issue_after(
+            (ATTR_DATA_BUS, self._data_slot_constraint(self.timing.t_aa))
+        )
         self.data_bus.occupy(at + self.timing.t_aa)
         self.stats.data_transfers += 1
         return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
@@ -273,11 +369,13 @@ class ChannelController:
                     f"COMP with bank {bank.index} closed; all banks must hold "
                     "their tile row"
                 )
-        earliest = max(
-            max(b.column_ready for b in self.banks),
-            max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+        at = self._issue_after(
+            (ATTR_BANK, max(b.column_ready for b in self.banks)),
+            (
+                ATTR_COLUMN,
+                max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+            ),
         )
-        at = self._occupy_cmd(earliest)
         for bank in self.banks:
             bank.do_column(at)
         self.stats.bank_column_accesses += len(self.banks)
@@ -290,10 +388,10 @@ class ChannelController:
 
     def _issue_comp_bank(self, command: Command) -> IssueRecord:
         bank = self._bank(command.bank)
-        earliest = max(
-            bank.column_ready, bank.last_column_issue + self.timing.t_ccd
+        at = self._issue_after(
+            (ATTR_BANK, bank.column_ready),
+            (ATTR_COLUMN, bank.last_column_issue + self.timing.t_ccd),
         )
-        at = self._occupy_cmd(earliest)
         bank.do_column(at)
         self.stats.bank_column_accesses += 1
         self.stats.compute_column_accesses += 1
@@ -303,15 +401,15 @@ class ChannelController:
         return self._record(command, at, at + self.timing.t_ccd)
 
     def _issue_buf_read(self, command: Command) -> IssueRecord:
-        at = self._occupy_cmd(0)
+        at = self._issue_after()
         return self._record(command, at, at + 1)
 
     def _issue_col_read(self, command: Command) -> IssueRecord:
         bank = self._bank(command.bank)
-        earliest = max(
-            bank.column_ready, bank.last_column_issue + self.timing.t_ccd
+        at = self._issue_after(
+            (ATTR_BANK, bank.column_ready),
+            (ATTR_COLUMN, bank.last_column_issue + self.timing.t_ccd),
         )
-        at = self._occupy_cmd(earliest)
         bank.do_column(at)
         self.stats.bank_column_accesses += 1
         self.stats.compute_column_accesses += 1
@@ -320,7 +418,7 @@ class ChannelController:
         return self._record(command, at, at + self.timing.t_ccd)
 
     def _issue_mac(self, command: Command) -> IssueRecord:
-        at = self._occupy_cmd(0)
+        at = self._issue_after()
         self._last_tree_feed = at
         return self._record(command, at, at + self.timing.t_ccd)
 
@@ -330,11 +428,13 @@ class ChannelController:
                 raise TimingViolationError(
                     f"COL_READ_ALL with bank {bank.index} closed"
                 )
-        earliest = max(
-            max(b.column_ready for b in self.banks),
-            max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+        at = self._issue_after(
+            (ATTR_BANK, max(b.column_ready for b in self.banks)),
+            (
+                ATTR_COLUMN,
+                max(b.last_column_issue for b in self.banks) + self.timing.t_ccd,
+            ),
         )
-        at = self._occupy_cmd(earliest)
         for bank in self.banks:
             bank.do_column(at)
         self.stats.bank_column_accesses += len(self.banks)
@@ -345,30 +445,31 @@ class ChannelController:
         return self._record(command, at, at + self.timing.t_ccd)
 
     def _issue_mac_all(self, command: Command) -> IssueRecord:
-        at = self._occupy_cmd(0)
+        at = self._issue_after()
         self._last_tree_feed = at
         return self._record(command, at, at + self.timing.t_ccd)
 
     def _issue_readres(self, command: Command) -> IssueRecord:
         # The host memory controller inserts the adder-tree drain delay
         # before reading the result latches (Section III-D, issue (2)).
-        earliest = max(
-            self._last_tree_feed + self.timing.t_tree_drain,
-            self._data_slot_constraint(self.timing.t_aa),
+        at = self._issue_after(
+            (ATTR_TREE, self._last_tree_feed + self.timing.t_tree_drain),
+            (ATTR_DATA_BUS, self._data_slot_constraint(self.timing.t_aa)),
         )
-        at = self._occupy_cmd(earliest)
         self.data_bus.occupy(at + self.timing.t_aa)
         self.stats.data_transfers += 1
         return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
 
     def _issue_readres_bank(self, command: Command) -> IssueRecord:
         bank = self._bank(command.bank)
-        earliest = max(
-            bank.last_column_issue + self.timing.t_tree_drain,
-            self._last_tree_feed + self.timing.t_tree_drain,
-            self._data_slot_constraint(self.timing.t_aa),
+        at = self._issue_after(
+            (
+                ATTR_TREE,
+                max(bank.last_column_issue, self._last_tree_feed)
+                + self.timing.t_tree_drain,
+            ),
+            (ATTR_DATA_BUS, self._data_slot_constraint(self.timing.t_aa)),
         )
-        at = self._occupy_cmd(earliest)
         self.data_bus.occupy(at + self.timing.t_aa)
         self.stats.data_transfers += 1
         return self._record(command, at, at + self.timing.t_aa + self.timing.t_ccd)
@@ -379,8 +480,9 @@ class ChannelController:
                 raise TimingViolationError(
                     "REF requires all banks precharged; issue PRE_ALL first"
                 )
-        earliest = max(b.ready_for_act for b in self.banks)
-        at = self._occupy_cmd(earliest)
+        at = self._issue_after(
+            (ATTR_BANK, max(b.ready_for_act for b in self.banks))
+        )
         done = at + self.timing.t_rfc
         for bank in self.banks:
             bank.do_refresh_done(done)
@@ -411,7 +513,13 @@ class ChannelController:
     # finalization
 
     def finalize(self, end: Optional[int] = None) -> int:
-        """Close open-bank accounting and return the end-of-run cycle."""
+        """Close open-bank and attribution accounting; return the end cycle.
+
+        With telemetry on, the cycles between the last issued command and
+        ``end`` (in-flight completions draining) are charged to
+        :data:`ATTR_TAIL`, making the attribution buckets sum exactly to
+        the returned end cycle. Idempotent for a fixed ``end``.
+        """
         end_cycle = max(self.now, end if end is not None else self.now)
         for bank in self.banks:
             if bank.is_open:
@@ -419,4 +527,6 @@ class ChannelController:
                     0, end_cycle - self._bank_opened_at[bank.index]
                 )
                 self._bank_opened_at[bank.index] = end_cycle
+        if self.telemetry:
+            self._charge(ATTR_TAIL, end_cycle)
         return end_cycle

@@ -86,6 +86,11 @@ class ControllerDelta:
     command_counts: Tuple[Tuple[CommandKind, int], ...]
     stat_deltas: Tuple[int, ...]
     """Deltas of ``_STAT_FIELDS``, in order."""
+    attribution: Tuple[Tuple[str, int], ...]
+    """Cycle-attribution bucket deltas. Attribution is shift-invariant
+    (gaps between issue cycles and binding-constraint argmaxes survive a
+    rigid time shift), so a replay accumulates the exact counters the
+    per-command path would have."""
     bank_counters: Tuple[Tuple[int, int], ...]
     """Per bank: (activations, column_accesses) deltas."""
     cmd_bus_counters: Tuple[int, int]
@@ -136,6 +141,7 @@ def counters(controller: ChannelController) -> tuple:
     stats = controller.stats
     return (
         dict(stats.command_counts),
+        dict(stats.cycle_attribution),
         tuple(getattr(stats, name) for name in _STAT_FIELDS),
         tuple((b.activations, b.column_accesses) for b in controller.banks),
         (controller.cmd_bus.slots_used, controller.cmd_bus.busy_cycles),
@@ -166,6 +172,12 @@ def capture_delta(
         for kind, count in controller.stats.command_counts.items()
         if count - counts_before.get(kind, 0)
     )
+    attr_before: Dict[str, int] = before[1]
+    attr_deltas = tuple(
+        (category, charged - attr_before.get(category, 0))
+        for category, charged in controller.stats.cycle_attribution.items()
+        if charged - attr_before.get(category, 0)
+    )
     after_fields = tuple(getattr(controller.stats, name) for name in _STAT_FIELDS)
     recent, last_act = controller.window.history()
     return ControllerDelta(
@@ -186,20 +198,21 @@ def capture_delta(
         window_last_act=_rel(last_act, base),
         last_tree_feed=_rel(controller._last_tree_feed, base),
         command_counts=count_deltas,
-        stat_deltas=tuple(a - b for a, b in zip(after_fields, before[1])),
+        attribution=attr_deltas,
+        stat_deltas=tuple(a - b for a, b in zip(after_fields, before[2])),
         bank_counters=tuple(
             (b.activations - a, b.column_accesses - c)
-            for b, (a, c) in zip(controller.banks, before[2])
+            for b, (a, c) in zip(controller.banks, before[3])
         ),
         cmd_bus_counters=(
-            controller.cmd_bus.slots_used - before[3][0],
-            controller.cmd_bus.busy_cycles - before[3][1],
+            controller.cmd_bus.slots_used - before[4][0],
+            controller.cmd_bus.busy_cycles - before[4][1],
         ),
         data_bus_counters=(
-            controller.data_bus.slots_used - before[4][0],
-            controller.data_bus.busy_cycles - before[4][1],
+            controller.data_bus.slots_used - before[5][0],
+            controller.data_bus.busy_cycles - before[5][1],
         ),
-        window_activations=controller.window.total_activations - before[5],
+        window_activations=controller.window.total_activations - before[6],
     )
 
 
@@ -237,6 +250,14 @@ def apply_delta(
     stats = controller.stats
     for kind, count in delta.command_counts:
         stats.command_counts[kind] = stats.command_counts.get(kind, 0) + count
+    for category, charged in delta.attribution:
+        stats.cycle_attribution[category] = (
+            stats.cycle_attribution.get(category, 0) + charged
+        )
     for name, d in zip(_STAT_FIELDS, delta.stat_deltas):
         setattr(stats, name, getattr(stats, name) + d)
     controller.now = base + delta.dt_now
+    # The attribution cursor tracks the last issued command, which is
+    # also where ``now`` lands after any segment — restore the invariant
+    # so the next segment (or refresh barrier) charges from here.
+    controller._attr_cursor = controller.now

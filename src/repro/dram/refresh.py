@@ -54,3 +54,12 @@ class RefreshScheduler:
             self.next_due += self.t_refi
             start = done_at
         return start
+
+    def snapshot(self) -> "dict[str, object]":
+        """Refresh counters for the telemetry export."""
+        return {
+            "enabled": self.enabled,
+            "refreshes_issued": self.refreshes_issued,
+            "stall_cycles": self.stall_cycles,
+            "next_due": self.next_due,
+        }

@@ -38,3 +38,11 @@ class ProtocolError(ReproError):
     Examples: issuing ``COMP`` before the global buffer was loaded, or
     reading a result latch that was never written.
     """
+
+
+class TelemetryError(ReproError):
+    """A metrics record failed schema validation or internal accounting.
+
+    Raised by :func:`repro.telemetry.validate_metrics` when an exported
+    breakdown is malformed — e.g. its attributed cycles do not sum to
+    the run's end cycle."""

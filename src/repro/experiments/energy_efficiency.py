@@ -45,7 +45,9 @@ class EnergyResult:
     @property
     def gmean_gain(self) -> float:
         """Geometric-mean efficiency gain (paper: speedup/power ~ 3.6x)."""
-        return geometric_mean([r.efficiency_gain for r in self.rows])
+        return geometric_mean(
+            [r.efficiency_gain for r in self.rows], empty=float("nan")
+        )
 
     def render(self) -> str:
         """The table."""

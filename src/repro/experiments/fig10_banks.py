@@ -27,7 +27,9 @@ class Fig10Result:
 
     def gmean(self, banks: int) -> float:
         """Geometric-mean speedup at a bank count."""
-        return geometric_mean([s for _, s in self.speedups[banks]])
+        return geometric_mean(
+            [s for _, s in self.speedups[banks]], empty=float("nan")
+        )
 
     def sublinear(self) -> bool:
         """Doubling banks should help, but by less than 2x (Amdahl)."""

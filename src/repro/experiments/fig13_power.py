@@ -37,7 +37,9 @@ class Fig13Result:
     @property
     def mean_power(self) -> float:
         """Mean normalized power across benchmarks (paper: ~2.8x)."""
-        return geometric_mean([r.normalized_power for r in self.rows])
+        return geometric_mean(
+            [r.normalized_power for r in self.rows], empty=float("nan")
+        )
 
     def render(self) -> str:
         """Figure 13 as a paper-style table."""

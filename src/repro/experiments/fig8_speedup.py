@@ -56,17 +56,23 @@ class Fig8Result:
     @property
     def gmean_newton(self) -> float:
         """Per-layer geometric-mean Newton speedup (paper: 54x)."""
-        return geometric_mean([r.newton for r in self.layer_rows])
+        return geometric_mean(
+            [r.newton for r in self.layer_rows], empty=float("nan")
+        )
 
     @property
     def gmean_non_opt(self) -> float:
         """Per-layer geometric-mean Non-opt-Newton speedup (paper: 1.48x)."""
-        return geometric_mean([r.non_opt for r in self.layer_rows])
+        return geometric_mean(
+            [r.non_opt for r in self.layer_rows], empty=float("nan")
+        )
 
     @property
     def gmean_ideal(self) -> float:
         """Per-layer geometric-mean Ideal Non-PIM speedup (paper: 5.4x)."""
-        return geometric_mean([r.ideal for r in self.layer_rows])
+        return geometric_mean(
+            [r.ideal for r in self.layer_rows], empty=float("nan")
+        )
 
     @property
     def newton_over_ideal(self) -> float:
@@ -77,7 +83,7 @@ class Fig8Result:
     def key_target_mean(self) -> float:
         """End-to-end gmean over GNMT/BERT/DLRM (paper: 49x)."""
         vals = [r.newton for r in self.model_rows if r.name in KEY_TARGET_WORKLOADS]
-        return geometric_mean(vals)
+        return geometric_mean(vals, empty=float("nan"))
 
     def render(self) -> str:
         """Figure 8 as two paper-style tables."""

@@ -67,7 +67,7 @@ def run(
         result.rows.append(
             LadderRow(
                 step=step_name,
-                gmean_speedup=geometric_mean(speedups),
+                gmean_speedup=geometric_mean(speedups, empty=float("nan")),
                 per_layer=tuple(speedups),
             )
         )

@@ -46,12 +46,16 @@ class ValidationResult:
     @property
     def measured_gmean(self) -> float:
         """Simulated gmean speedup over Ideal Non-PIM (paper: 10x)."""
-        return geometric_mean([r.measured for r in self.rows])
+        return geometric_mean(
+            [r.measured for r in self.rows], empty=float("nan")
+        )
 
     @property
     def measured_no_refresh_gmean(self) -> float:
         """Simulated gmean with refresh disabled (the model's world)."""
-        return geometric_mean([r.measured_no_refresh for r in self.rows])
+        return geometric_mean(
+            [r.measured_no_refresh for r in self.rows], empty=float("nan")
+        )
 
     def render(self) -> str:
         """The validation table."""

@@ -8,7 +8,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     area_budget,
@@ -95,11 +95,59 @@ def run_experiment(name: str) -> ExperimentOutcome:
     return ExperimentOutcome(name=name, elapsed=time.time() - started, body=body)
 
 
+PROBE_M, PROBE_N = 256, 2048
+"""Shape of the telemetry probe GEMV (one full channel slice, refresh on)."""
+
+
+def _telemetry_probe() -> dict:
+    """One instrumented GEMV whose breakdown anchors the metrics export.
+
+    Experiments run in worker processes and render text tables; the
+    probe gives every ``--metrics`` export a schema-validated
+    cycle-attribution record (full Newton optimizations, refresh on)
+    regardless of which experiments were selected.
+    """
+    from repro.core.engine import NewtonChannelEngine
+    from repro.core.optimizations import FULL
+    from repro.dram.config import hbm2e_like_config
+    from repro.dram.timing import hbm2e_like_timing
+    from repro.telemetry import validate_metrics
+
+    engine = NewtonChannelEngine(
+        hbm2e_like_config(), hbm2e_like_timing(), FULL, functional=False
+    )
+    layout = engine.add_matrix(PROBE_M, PROBE_N)
+    result = engine.run_gemv(layout)
+    record = engine.collect_metrics(end=result.end_cycle)
+    record["probe_shape"] = {"m": PROBE_M, "n": PROBE_N}
+    return validate_metrics(record)
+
+
+def write_metrics(outcomes: "List[ExperimentOutcome]", path: str) -> None:
+    """Export the run's metrics registry (plus the probe) as JSON."""
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for outcome in outcomes:
+        registry.counter("runner.experiments").inc()
+        if outcome.failed:
+            registry.counter("runner.failed").inc()
+        registry.gauge(f"runner.elapsed_s.{outcome.name}").set(outcome.elapsed)
+    registry.section("probe", _telemetry_probe())
+    registry.write_json(path)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the requested experiments (default: all) and print the tables."""
     parser = argparse.ArgumentParser(
         prog="newton-repro",
         description="Regenerate the Newton paper's evaluation tables/figures.",
+        epilog=(
+            "environment toggles (boolean: 1/true/yes/on vs 0/false/no/off, "
+            "case-insensitive): NEWTON_NO_FASTPATH=1 forces per-command "
+            "issue everywhere; NEWTON_TELEMETRY=0 disables cycle-"
+            "attribution accounting."
+        ),
     )
     # NB: argparse rejects an empty nargs="*" positional when `choices`
     # is set (bpo-27227), so validity is checked by hand below.
@@ -124,6 +172,14 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="N",
         help="run up to N experiments in parallel worker processes "
         "(results are always printed in selection order)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a telemetry JSON export (schema newton-telemetry/v1): "
+        "per-experiment timings/failures plus a schema-validated "
+        "cycle-attribution probe (see docs/simulator-internals.md)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -167,6 +223,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.out:
         with open(args.out, "a", encoding="utf-8") as f:
             f.write("\n".join(sections))
+    if args.metrics:
+        write_metrics(outcomes, args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     return 1 if failures else 0
 
 

@@ -14,11 +14,12 @@ load at bounded tails.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -41,13 +42,33 @@ class ServingResult:
 
 
 class ServingSimulator:
-    """FIFO single-server queue with deterministic service."""
+    """FIFO single-server queue with deterministic service.
 
-    def __init__(self, service_cycles: float, seed: int = 0):
+    Pass a :class:`~repro.telemetry.MetricsRegistry` to publish
+    queue-depth and tail-latency gauges (``serving.max_queue``,
+    ``serving.p99``, ...) after every simulated stream.
+    """
+
+    def __init__(
+        self,
+        service_cycles: float,
+        seed: int = 0,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if service_cycles <= 0:
             raise ConfigurationError("service time must be positive")
         self.service_cycles = float(service_cycles)
         self.seed = seed
+        self.metrics = metrics
+
+    def _publish(self, result: "ServingResult", prefix: str) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(f"{prefix}.requests").inc(result.requests)
+        for gauge in ("offered_load", "p50", "p95", "p99", "mean"):
+            self.metrics.gauge(f"{prefix}.{gauge}").set(getattr(result, gauge))
+        self.metrics.gauge(f"{prefix}.max_queue").set(result.max_queue)
 
     def simulate(
         self, offered_load: float, requests: int = 2000
@@ -70,17 +91,24 @@ class ServingSimulator:
         arrivals = np.cumsum(interarrivals)
 
         latencies = np.empty(requests, dtype=np.float64)
+        completions = np.empty(requests, dtype=np.float64)
         completion = 0.0
         max_queue = 0
-        finished: List[float] = []
+        done = 0
         for i in range(requests):
             start = max(arrivals[i], completion)
             completion = start + self.service_cycles
+            completions[i] = completion
             latencies[i] = completion - arrivals[i]
             # Queue depth at this arrival: earlier requests not finished.
-            depth = int(np.sum(latencies[:i] + arrivals[:i] > arrivals[i]))
-            max_queue = max(max_queue, depth)
-        return ServingResult(
+            # Completions are monotone in a FIFO queue, so a single
+            # pointer over them replaces the old O(n^2) per-arrival scan.
+            while done < i and completions[done] <= arrivals[i]:
+                done += 1
+            depth = i - done
+            if depth > max_queue:
+                max_queue = depth
+        result = ServingResult(
             offered_load=offered_load,
             requests=requests,
             p50=float(np.percentile(latencies, 50)),
@@ -89,6 +117,8 @@ class ServingSimulator:
             mean=float(np.mean(latencies)),
             max_queue=max_queue,
         )
+        self._publish(result, "serving")
+        return result
 
     def simulate_batched(
         self,
@@ -140,7 +170,7 @@ class ServingSimulator:
             server_free = completion
             i = j
         lat = np.array(latencies)
-        return ServingResult(
+        result = ServingResult(
             offered_load=offered_load,
             requests=requests,
             p50=float(np.percentile(lat, 50)),
@@ -149,6 +179,8 @@ class ServingSimulator:
             mean=float(np.mean(lat)),
             max_queue=max_queue,
         )
+        self._publish(result, "serving_batched")
+        return result
 
     def max_stable_load(
         self, latency_budget: float, requests: int = 2000

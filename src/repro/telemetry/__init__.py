@@ -1,0 +1,30 @@
+"""``repro.telemetry`` — the metrics & cycle-attribution layer.
+
+Lightweight observability for the whole stack: the controller charges
+every cycle to the timing constraint that bound it (see
+:data:`repro.dram.controller.ATTRIBUTION_CATEGORIES`), the fast path
+replays those charges exactly (pinned by the differential suite), and
+this package collects the result — plus bus/bank utilization, refresh
+accounting, schedule-cache effectiveness, and serving-queue gauges —
+into a :class:`MetricsRegistry` with a schema-validated JSON export
+(``newton-repro --metrics PATH``).
+"""
+
+from repro.telemetry.collect import (
+    controller_metrics,
+    device_metrics,
+    engine_metrics,
+    validate_metrics,
+)
+from repro.telemetry.registry import SCHEMA, Counter, Gauge, MetricsRegistry
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "controller_metrics",
+    "device_metrics",
+    "engine_metrics",
+    "validate_metrics",
+]

@@ -1,0 +1,133 @@
+"""The metrics registry: named counters, gauges, and structured sections.
+
+A :class:`MetricsRegistry` is a process-local bag of metrics with a
+stable JSON export, shared by the CLI runner (``newton-repro --metrics
+PATH``), the benchmark harness, and the serving simulator. It is
+deliberately tiny — three metric shapes cover everything the simulator
+needs:
+
+* **counter** — a monotonically increasing integer (commands issued,
+  requests served, experiments failed);
+* **gauge** — a point-in-time float (p99 latency, queue depth, bus
+  utilization);
+* **section** — a structured breakdown attached wholesale (the
+  controller's cycle-attribution report from
+  :func:`repro.telemetry.collect.controller_metrics`).
+
+Names are dotted paths (``serving.p99``, ``runner.failed``); the export
+groups them flat under their metric shape so downstream tooling never
+has to guess a hierarchy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import TelemetryError
+
+SCHEMA = "newton-telemetry/v1"
+"""Schema identifier stamped into every export."""
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A named point-in-time value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class MetricsRegistry:
+    """Create-or-get access to counters/gauges plus JSON export."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._sections: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # metric access
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        self._check_name(name, self._gauges, "gauge")
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        self._check_name(name, self._counters, "counter")
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def section(self, name: str, payload: dict) -> None:
+        """Attach (or replace) a structured breakdown under ``name``."""
+        if not isinstance(payload, dict):
+            raise TelemetryError(
+                f"section {name!r} payload must be a dict, got "
+                f"{type(payload).__name__}"
+            )
+        self._sections[name] = payload
+
+    def _check_name(self, name: str, other: Dict[str, object], shape: str) -> None:
+        if not name:
+            raise TelemetryError("metric names must be non-empty")
+        if name in other:
+            raise TelemetryError(
+                f"metric {name!r} is already registered as a {shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # export
+
+    def to_dict(self) -> dict:
+        """The registry as a JSON-serializable record."""
+        return {
+            "schema": SCHEMA,
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "sections": dict(sorted(self._sections.items())),
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        """Write the export to ``path`` and return it."""
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return target

@@ -1,0 +1,57 @@
+"""Boolean environment-variable toggles, parsed one way everywhere.
+
+The repository's convention for runtime switches (``NEWTON_NO_FASTPATH``,
+``NEWTON_TELEMETRY``, ...) is a *boolean* environment variable:
+
+* truthy spellings:  ``1``, ``true``, ``yes``, ``on``
+* falsy spellings:   ``0``, ``false``, ``no``, ``off`` and the empty string
+* unset: the toggle's documented default
+* anything else: a :class:`RuntimeWarning` naming the variable, then the
+  documented default (a typo must never silently flip a behaviour)
+
+Spellings are case-insensitive and surrounding whitespace is ignored.
+Historically ``NEWTON_NO_FASTPATH`` treated *any* non-``"0"`` value —
+including ``false`` and ``no`` — as "disable the fast path"; this module
+is the fix, and every future toggle should go through it.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+TRUE_SPELLINGS = frozenset({"1", "true", "yes", "on"})
+FALSE_SPELLINGS = frozenset({"0", "false", "no", "off", ""})
+
+
+def parse_flag(value: Optional[str], *, default: bool, name: str = "flag") -> bool:
+    """Parse one boolean toggle value (see module docstring for spellings).
+
+    ``None`` (the variable is unset) and unrecognized spellings both
+    yield ``default``; the latter also emits a :class:`RuntimeWarning`.
+    """
+    if value is None:
+        return default
+    normalized = value.strip().lower()
+    if normalized in TRUE_SPELLINGS:
+        return True
+    if normalized in FALSE_SPELLINGS:
+        return False
+    warnings.warn(
+        f"{name}={value!r} is not a recognized boolean "
+        f"(use one of {sorted(TRUE_SPELLINGS)} / {sorted(FALSE_SPELLINGS)}); "
+        f"keeping the default {default}",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return default
+
+
+def env_flag(name: str, *, default: bool = False) -> bool:
+    """Read the boolean environment toggle ``name``.
+
+    Returns ``default`` when unset or unparseable (with a warning for
+    the latter); see :func:`parse_flag` for the accepted spellings.
+    """
+    return parse_flag(os.environ.get(name), default=default, name=name)

@@ -2,46 +2,82 @@
 
 The paper reports geometric-mean speedups (Figure 8's "gmean" bars), so the
 geometric mean here is the one statistic results actually depend on.
+
+Empty inputs: a sweep's row filter can legitimately drop every row
+(e.g. a layer subset that excludes a whole family), and one empty
+aggregate must not crash a multi-hour ``newton-repro all`` run. Each
+helper therefore accepts an ``empty=`` sentinel: when given, an empty
+input returns the sentinel after a :class:`RuntimeWarning`; without it
+(the default) empty input raises :class:`ValueError` as before.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, Sequence
 
+_RAISE = object()
+"""Default ``empty=`` marker: raise on empty input."""
 
-def geometric_mean(values: Iterable[float]) -> float:
+
+def _handle_empty(fn_name: str, empty):
+    if empty is _RAISE:
+        raise ValueError(f"{fn_name} of an empty sequence")
+    warnings.warn(
+        f"{fn_name} of an empty sequence (a row filter dropped every "
+        f"value); returning the sentinel {empty!r}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return empty
+
+
+def geometric_mean(values: Iterable[float], *, empty=_RAISE) -> float:
     """Geometric mean of positive values.
 
+    Args:
+        values: the sample; every element must be positive (a
+            non-positive speedup is always a bug upstream).
+        empty: if given, returned (with a warning) for an empty sample
+            instead of raising.
+
     Raises:
-        ValueError: if the sequence is empty or contains a non-positive
-            value (a non-positive speedup is always a bug upstream).
+        ValueError: if the sequence contains a non-positive value, or is
+            empty and no ``empty`` sentinel was supplied.
     """
     vals = list(values)
     if not vals:
-        raise ValueError("geometric_mean of an empty sequence")
+        return _handle_empty("geometric_mean", empty)
     for v in vals:
         if v <= 0.0:
             raise ValueError(f"geometric_mean requires positive values, got {v!r}")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
-def harmonic_mean(values: Iterable[float]) -> float:
-    """Harmonic mean of positive values (used for rate-like aggregates)."""
+def harmonic_mean(values: Iterable[float], *, empty=_RAISE) -> float:
+    """Harmonic mean of positive values (used for rate-like aggregates).
+
+    Accepts the same ``empty=`` sentinel as :func:`geometric_mean`.
+    """
     vals = list(values)
     if not vals:
-        raise ValueError("harmonic_mean of an empty sequence")
+        return _handle_empty("harmonic_mean", empty)
     for v in vals:
         if v <= 0.0:
             raise ValueError(f"harmonic_mean requires positive values, got {v!r}")
     return len(vals) / sum(1.0 / v for v in vals)
 
 
-def summarize(values: Sequence[float]) -> Dict[str, float]:
-    """Return min/max/mean/gmean of a non-empty sequence of positives."""
+def summarize(values: Sequence[float], *, empty=_RAISE) -> Dict[str, float]:
+    """Return min/max/mean/gmean of a sequence of positives.
+
+    Accepts the same ``empty=`` sentinel as :func:`geometric_mean`
+    (returned as-is for an empty sample, typically ``{}`` or ``None``).
+    """
     vals = list(values)
     if not vals:
-        raise ValueError("summarize of an empty sequence")
+        return _handle_empty("summarize", empty)
     return {
         "min": min(vals),
         "max": max(vals),

@@ -21,6 +21,7 @@ from repro.dram import commands as cmds
 from repro.dram.config import DRAMConfig
 from repro.dram.timing import TimingParams
 from repro.dram.trace import CommandTrace
+from repro.telemetry import validate_metrics
 
 CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=512)
 TIMING = TimingParams()
@@ -81,7 +82,9 @@ def controller_fingerprint(controller):
         controller.window.history(),
         controller.window.total_activations,
         controller._last_tree_feed,
+        controller._attr_cursor,
         dict(stats.command_counts),
+        dict(stats.cycle_attribution),
         stats.bank_activations,
         stats.bank_column_accesses,
         stats.compute_column_accesses,
@@ -107,7 +110,24 @@ def run_pair(opt, m, n, *, refresh=True, runs=1):
     assert controller_fingerprint(
         slow.channel.controller
     ) == controller_fingerprint(fast.channel.controller)
+    assert_metrics_parity(slow, fast, a.end_cycle)
     return slow, fast
+
+
+def assert_metrics_parity(slow, fast, end):
+    """Validated telemetry exports must match apart from cache counters.
+
+    Replay accumulates the same cycle-attribution and command counters
+    as per-command issue, so after finalizing both controllers at the
+    same end cycle the schema-validated records differ only in the
+    schedule-cache section (hits are the fast path's whole point).
+    """
+    a = validate_metrics(slow.collect_metrics(end=end))
+    b = validate_metrics(fast.collect_metrics(end=end))
+    for record in (a, b):
+        record.pop("schedule_cache")
+        record.pop("fast_path")
+    assert a == b
 
 
 class TestAllCombinations:
@@ -230,3 +250,27 @@ class TestFastPathGuardrails:
     def test_env_zero_keeps_fastpath(self, monkeypatch):
         monkeypatch.setenv("NEWTON_NO_FASTPATH", "0")
         assert make_engine(True, FULL).fast is True
+
+    @pytest.mark.parametrize("value", ["true", "YES", "on", " 1 "])
+    def test_env_truthy_spellings_disable_fastpath(self, monkeypatch, value):
+        monkeypatch.setenv("NEWTON_NO_FASTPATH", value)
+        assert make_engine(True, FULL).fast is False
+
+    @pytest.mark.parametrize("value", ["false", "No", "OFF", ""])
+    def test_env_falsy_spellings_keep_fastpath(self, monkeypatch, value):
+        """Regression: ``NEWTON_NO_FASTPATH=false`` used to disable the
+        fast path (any non-empty string was treated as truthy)."""
+        monkeypatch.setenv("NEWTON_NO_FASTPATH", value)
+        assert make_engine(True, FULL).fast is True
+
+    def test_env_garbage_warns_and_keeps_default(self, monkeypatch):
+        monkeypatch.setenv("NEWTON_NO_FASTPATH", "maybe")
+        with pytest.warns(RuntimeWarning, match="NEWTON_NO_FASTPATH"):
+            assert make_engine(True, FULL).fast is True
+
+    def test_env_telemetry_off_disables_attribution(self, monkeypatch):
+        monkeypatch.setenv("NEWTON_TELEMETRY", "off")
+        engine = make_engine(True, FULL)
+        assert engine.telemetry is False
+        engine.run_gemv(engine.add_matrix(32, 512))
+        assert engine.channel.controller.stats.cycle_attribution == {}

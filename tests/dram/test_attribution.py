@@ -1,0 +1,150 @@
+"""Cycle attribution: every cycle charged to its binding constraint.
+
+The controller attributes the gap before each command issue to whichever
+timing constraint bound it (command bus, activation window, bank state,
+column cadence, data bus, adder-tree drain), refresh barriers to the
+``refresh`` bucket, and the post-issue drain to ``tail`` — so the
+buckets sum *exactly* to the finalized end cycle. That invariant is what
+makes the telemetry breakdown trustworthy, and it is the one
+``validate_metrics`` enforces on every export.
+"""
+
+import pytest
+
+from repro.dram import commands as cmds
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import (
+    ATTR_ACT_WINDOW,
+    ATTR_BANK,
+    ATTR_CMD_BUS,
+    ATTR_REFRESH,
+    ATTR_TAIL,
+    ATTRIBUTION_CATEGORIES,
+    ChannelController,
+)
+from repro.dram.timing import TimingParams
+
+
+def make_controller(refresh=False, telemetry=True, **overrides):
+    timing = (
+        TimingParams().with_overrides(**overrides) if overrides else TimingParams()
+    )
+    return ChannelController(
+        DRAMConfig(num_channels=1),
+        timing,
+        refresh_enabled=refresh,
+        telemetry=telemetry,
+    )
+
+
+def drive(ctrl, columns=8):
+    """A small representative stream: activate, compute, read, close."""
+    for g in range(ctrl.config.bank_groups):
+        ctrl.issue(cmds.g_act(g, 0))
+    for s in range(columns):
+        ctrl.issue(cmds.gwrite(s))
+    for c in range(columns):
+        ctrl.issue(cmds.comp(c, c))
+    ctrl.issue(cmds.readres())
+    ctrl.issue(cmds.pre_all())
+
+
+class TestSumInvariant:
+    def test_buckets_sum_to_finalized_end(self):
+        ctrl = make_controller()
+        drive(ctrl)
+        end = ctrl.finalize(ctrl.now + 100)
+        assert sum(ctrl.stats.cycle_attribution.values()) == end
+        assert ctrl.stats.attributed_cycles == end
+
+    def test_finalize_is_idempotent(self):
+        ctrl = make_controller()
+        drive(ctrl)
+        end = ctrl.finalize(ctrl.now + 50)
+        again = ctrl.finalize(end)
+        assert again == end
+        assert ctrl.stats.attributed_cycles == end
+
+    def test_sum_holds_with_refresh(self):
+        ctrl = make_controller(refresh=True)
+        for _ in range(40):
+            ctrl.refresh_barrier(200)  # engine calls this per tile row
+            drive(ctrl, columns=4)
+        end = ctrl.finalize(ctrl.now)
+        assert ctrl.stats.refreshes > 0
+        assert ctrl.stats.attributed_cycles == end
+
+    def test_only_known_categories_appear(self):
+        ctrl = make_controller(refresh=True)
+        for _ in range(10):
+            drive(ctrl)
+        ctrl.finalize(ctrl.now + 10)
+        assert set(ctrl.stats.cycle_attribution) <= set(
+            ATTRIBUTION_CATEGORIES
+        )
+
+
+class TestBuckets:
+    def test_first_issue_charges_nothing_at_cycle_zero(self):
+        ctrl = make_controller()
+        record = ctrl.issue(cmds.g_act(0, row=0))
+        assert record.issue == 0
+        assert ctrl.stats.attributed_cycles == 0
+
+    def test_cmd_bus_gap_charged_to_cmd_bus(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.mac_all())
+        ctrl.issue(cmds.mac_all())  # only the command bus paces MAC_ALL
+        attr = ctrl.stats.cycle_attribution
+        assert attr == {ATTR_CMD_BUS: ctrl.timing.t_cmd}
+
+    def test_activation_window_gap_charged_to_act_window(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.g_act(0, row=0))
+        ctrl.issue(cmds.g_act(1, row=0))  # tFAW/tRRD staggered
+        attr = ctrl.stats.cycle_attribution
+        window_gap = max(ctrl.timing.t_faw_aim, ctrl.timing.t_rrd)
+        assert attr.get(ATTR_ACT_WINDOW, 0) >= window_gap - ctrl.timing.t_cmd
+
+    def test_bank_timing_gap_charged_to_bank(self):
+        ctrl = make_controller()
+        ctrl.issue(cmds.act(0, row=0))
+        ctrl.issue(cmds.rd(0, 0))  # must wait tRCD on the bank
+        attr = ctrl.stats.cycle_attribution
+        assert attr.get(ATTR_BANK, 0) > 0
+
+    def test_refresh_stalls_fill_refresh_bucket(self):
+        ctrl = make_controller(refresh=True)
+        for _ in range(60):
+            ctrl.refresh_barrier(200)
+            drive(ctrl, columns=4)
+        ctrl.finalize(ctrl.now)
+        attr = ctrl.stats.cycle_attribution
+        assert attr.get(ATTR_REFRESH, 0) == ctrl.stats.refresh_stall_cycles
+        assert ctrl.stats.refresh_stall_cycles > 0
+
+    def test_tail_is_exactly_the_post_issue_drain(self):
+        ctrl = make_controller()
+        drive(ctrl)
+        last_issue = ctrl.now
+        ctrl.finalize(last_issue + 37)
+        assert ctrl.stats.cycle_attribution.get(ATTR_TAIL, 0) == 37
+
+
+class TestTelemetryToggle:
+    def test_disabled_telemetry_keeps_attribution_empty(self):
+        ctrl = make_controller(telemetry=False)
+        drive(ctrl)
+        ctrl.finalize(ctrl.now + 100)
+        assert ctrl.stats.cycle_attribution == {}
+        assert ctrl.stats.attributed_cycles == 0
+
+    def test_disabled_telemetry_same_schedule(self):
+        """Attribution is pure accounting: issue cycles are unchanged."""
+        on = make_controller(refresh=True)
+        off = make_controller(refresh=True, telemetry=False)
+        for ctrl in (on, off):
+            for _ in range(10):
+                drive(ctrl)
+        assert on.now == off.now
+        assert on.stats.command_counts == off.stats.command_counts

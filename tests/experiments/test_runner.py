@@ -52,6 +52,27 @@ class TestRunner:
             main(["fig99"])
         capsys.readouterr()
 
+    def test_metrics_export(self, tmp_path, capsys):
+        """--metrics writes a registry export whose probe validates."""
+        import json
+
+        from repro.telemetry import SCHEMA, validate_metrics
+
+        target = tmp_path / "metrics.json"
+        assert main(["area-budget", "--metrics", str(target)]) == 0
+        capsys.readouterr()
+        record = json.loads(target.read_text(encoding="utf-8"))
+        assert record["schema"] == SCHEMA
+        assert record["counters"]["runner.experiments"] == 1
+        assert "runner.failed" not in record["counters"]
+        assert record["gauges"]["runner.elapsed_s.area-budget"] >= 0.0
+        probe = record["sections"]["probe"]
+        validate_metrics(probe)
+        assert probe["probe_shape"] == {"m": 256, "n": 2048}
+        assert (
+            sum(probe["cycle_attribution"].values()) == probe["end_cycle"]
+        )
+
     def test_bare_invocation_selects_everything(self, capsys, monkeypatch):
         """Regression: argparse's nargs='*' + choices rejects a list
         default, so the bare `newton-repro` must default in code."""

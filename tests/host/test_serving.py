@@ -1,9 +1,29 @@
 """The FIFO serving simulator."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.host.serving import ServingSimulator
+from repro.telemetry import MetricsRegistry
+
+
+def brute_force_max_queue(service_cycles, offered_load, requests, seed):
+    """Reference O(n^2) queue-depth recomputation of the old code path."""
+    rng = np.random.default_rng(seed)
+    interarrivals = rng.exponential(
+        service_cycles / offered_load, size=requests
+    )
+    arrivals = np.cumsum(interarrivals)
+    completions = []
+    completion = 0.0
+    max_queue = 0
+    for i in range(requests):
+        completion = max(arrivals[i], completion) + service_cycles
+        completions.append(completion)
+        depth = sum(1 for j in range(i) if completions[j] > arrivals[i])
+        max_queue = max(max_queue, depth)
+    return max_queue
 
 
 class TestServingSimulator:
@@ -63,6 +83,54 @@ class TestServingSimulator:
         with pytest.raises(ConfigurationError):
             sim.simulate(0.5, requests=0)
 
+    @pytest.mark.parametrize("load", [0.3, 0.9, 1.5])
+    def test_max_queue_matches_brute_force(self, load):
+        """The incremental pointer must reproduce the old O(n^2) scan
+        exactly (same strict-inequality depth semantics), including in
+        the unstable regime where the backlog only grows."""
+        service, seed, requests = 100.0, 7, 600
+        result = ServingSimulator(service, seed=seed).simulate(
+            load, requests=requests
+        )
+        assert result.max_queue == brute_force_max_queue(
+            service, load, requests, seed
+        )
+
+    def test_overloaded_queue_depth_scales_with_backlog(self):
+        sim = ServingSimulator(100.0, seed=1)
+        short = sim.simulate(offered_load=2.0, requests=400).max_queue
+        long = sim.simulate(offered_load=2.0, requests=800).max_queue
+        # At 2x load roughly half of all arrivals are still queued.
+        assert long > short
+        assert long > 800 // 4
+
+
+class TestServingMetrics:
+    def test_gauges_published_after_simulate(self):
+        registry = MetricsRegistry()
+        sim = ServingSimulator(100.0, seed=2, metrics=registry)
+        result = sim.simulate(0.5, requests=300)
+        record = registry.to_dict()
+        assert record["counters"]["serving.requests"] == 300
+        assert record["gauges"]["serving.p99"] == result.p99
+        assert record["gauges"]["serving.max_queue"] == result.max_queue
+        assert record["gauges"]["serving.offered_load"] == 0.5
+
+    def test_batched_uses_its_own_prefix(self):
+        registry = MetricsRegistry()
+        sim = ServingSimulator(100.0, seed=2, metrics=registry)
+        sim.simulate_batched(
+            0.5, window_cycles=50.0, batch_service=lambda k: 100.0, requests=300
+        )
+        record = registry.to_dict()
+        assert record["counters"]["serving_batched.requests"] == 300
+        assert "serving_batched.p99" in record["gauges"]
+        assert "serving.p99" not in record["gauges"]
+
+    def test_no_registry_is_fine(self):
+        result = ServingSimulator(100.0, seed=2).simulate(0.5, requests=100)
+        assert result.requests == 100
+
 
 class TestBatchedServing:
     def test_batching_trades_latency_for_throughput(self):
@@ -110,3 +178,40 @@ class TestBatchedServing:
             max_batch=16,
         )
         assert result.max_queue <= 16
+
+    def test_window_accumulates_a_batch(self):
+        """At heavy load an uncapped window collects many requests."""
+        sim = ServingSimulator(100.0, seed=3)
+        result = sim.simulate_batched(
+            offered_load=10.0,
+            window_cycles=1000.0,
+            batch_service=lambda k: 100.0,
+            requests=800,
+        )
+        # ~10 arrivals per 100 cycles: a 1000-cycle window sees ~100.
+        assert result.max_queue > 50
+
+    def test_batch_sizes_shrink_with_load(self):
+        sim = ServingSimulator(100.0, seed=3)
+        heavy = sim.simulate_batched(
+            4.0, window_cycles=200.0, batch_service=lambda k: 100.0, requests=600
+        )
+        light = sim.simulate_batched(
+            0.1, window_cycles=200.0, batch_service=lambda k: 100.0, requests=600
+        )
+        assert light.max_queue < heavy.max_queue
+
+    @pytest.mark.parametrize("load", [1.0, 2.5])
+    def test_unstable_loads_allowed_for_both_methods(self, load):
+        """offered_load >= 1 reports the backlog instead of raising."""
+        sim = ServingSimulator(100.0, seed=9)
+        plain = sim.simulate(load, requests=400)
+        batched = sim.simulate_batched(
+            load,
+            window_cycles=100.0,
+            batch_service=lambda k: 100.0 + k,
+            requests=400,
+        )
+        assert not plain.stable and not batched.stable
+        assert plain.p99 >= 100.0
+        assert batched.p99 >= 100.0

@@ -1,0 +1,94 @@
+"""The metrics registry: counters, gauges, sections, JSON export."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import SCHEMA, MetricsRegistry
+
+
+class TestCounters:
+    def test_create_on_first_use_and_accumulate(self):
+        registry = MetricsRegistry()
+        registry.counter("runner.experiments").inc()
+        registry.counter("runner.experiments").inc(4)
+        assert registry.to_dict()["counters"]["runner.experiments"] == 5
+
+    def test_counters_are_monotone(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("x").inc(-1)
+        # the failed inc left the value untouched
+        assert registry.to_dict()["counters"]["x"] == 0
+
+    def test_zero_increment_is_allowed(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(0)
+        assert registry.to_dict()["counters"]["x"] == 0
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("serving.p99").set(120.5)
+        registry.gauge("serving.p99").set(99.0)
+        assert registry.to_dict()["gauges"]["serving.p99"] == 99.0
+
+    def test_unset_gauge_exports_null(self):
+        registry = MetricsRegistry()
+        registry.gauge("pending")
+        assert registry.to_dict()["gauges"]["pending"] is None
+
+
+class TestNameRules:
+    def test_cross_shape_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("dual")
+        with pytest.raises(TelemetryError):
+            registry.gauge("dual")
+        registry.gauge("other")
+        with pytest.raises(TelemetryError):
+            registry.counter("other")
+
+    def test_empty_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.counter("")
+        with pytest.raises(TelemetryError):
+            registry.gauge("")
+
+
+class TestSections:
+    def test_section_payload_must_be_dict(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.section("probe", [1, 2, 3])
+
+    def test_section_replaces(self):
+        registry = MetricsRegistry()
+        registry.section("probe", {"a": 1})
+        registry.section("probe", {"b": 2})
+        assert registry.to_dict()["sections"]["probe"] == {"b": 2}
+
+
+class TestExport:
+    def test_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(3)
+        registry.gauge("speedup").set(19.2)
+        registry.section("probe", {"end_cycle": 100})
+        path = registry.write_json(tmp_path / "metrics.json")
+        record = json.loads(path.read_text(encoding="utf-8"))
+        assert record == {
+            "schema": SCHEMA,
+            "counters": {"runs": 3},
+            "gauges": {"speedup": 19.2},
+            "sections": {"probe": {"end_cycle": 100}},
+        }
+
+    def test_names_sorted_in_export(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.counter("aa").inc()
+        assert list(registry.to_dict()["counters"]) == ["aa", "zz"]

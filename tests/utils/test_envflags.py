@@ -1,0 +1,45 @@
+"""Boolean environment toggles: one parser, one spelling convention."""
+
+import pytest
+
+from repro.utils.envflags import FALSE_SPELLINGS, TRUE_SPELLINGS, env_flag, parse_flag
+
+
+class TestParseFlag:
+    @pytest.mark.parametrize("value", sorted(TRUE_SPELLINGS))
+    def test_true_spellings(self, value):
+        assert parse_flag(value, default=False, name="X") is True
+
+    @pytest.mark.parametrize("value", sorted(FALSE_SPELLINGS))
+    def test_false_spellings(self, value):
+        assert parse_flag(value, default=True, name="X") is False
+
+    @pytest.mark.parametrize("value", ["TRUE", "Yes", " on ", "  1\t"])
+    def test_case_and_whitespace_insensitive_true(self, value):
+        assert parse_flag(value, default=False, name="X") is True
+
+    @pytest.mark.parametrize("value", ["FALSE", "No", " off ", "  0\t"])
+    def test_case_and_whitespace_insensitive_false(self, value):
+        assert parse_flag(value, default=True, name="X") is False
+
+    def test_unset_returns_default(self):
+        assert parse_flag(None, default=True, name="X") is True
+        assert parse_flag(None, default=False, name="X") is False
+
+    @pytest.mark.parametrize("default", [True, False])
+    def test_unknown_warns_and_keeps_default(self, default):
+        with pytest.warns(RuntimeWarning, match="X"):
+            assert parse_flag("maybe", default=default, name="X") is default
+
+
+class TestEnvFlag:
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("NEWTON_TEST_FLAG", "yes")
+        assert env_flag("NEWTON_TEST_FLAG") is True
+        monkeypatch.setenv("NEWTON_TEST_FLAG", "off")
+        assert env_flag("NEWTON_TEST_FLAG", default=True) is False
+
+    def test_missing_uses_default(self, monkeypatch):
+        monkeypatch.delenv("NEWTON_TEST_FLAG", raising=False)
+        assert env_flag("NEWTON_TEST_FLAG") is False
+        assert env_flag("NEWTON_TEST_FLAG", default=True) is True

@@ -50,6 +50,34 @@ class TestStats:
         assert scaled == pytest.approx(geometric_mean(values) * k, rel=1e-6)
 
 
+class TestEmptySentinel:
+    """A row filter can drop every value; ``empty=`` keeps sweeps alive."""
+
+    def test_geomean_empty_returns_sentinel_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="geometric_mean"):
+            result = geometric_mean([], empty=float("nan"))
+        assert math.isnan(result)
+
+    def test_harmonic_empty_returns_sentinel_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="harmonic_mean"):
+            assert harmonic_mean([], empty=None) is None
+
+    def test_summarize_empty_returns_sentinel_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="summarize"):
+            assert summarize([], empty={}) == {}
+
+    def test_sentinel_ignored_for_nonempty_input(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([2.0, 8.0], empty=float("nan")) == pytest.approx(4.0)
+
+    def test_nonpositive_still_raises_with_sentinel(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0], empty=float("nan"))
+
+
 class TestTables:
     def test_renders_headers_and_rows(self):
         text = render_table(["a", "bb"], [["x", 1.5], ["y", 2.0]], title="T")
