@@ -120,9 +120,19 @@ def measure_telemetry_overhead(
     }
 
 
-def measure(quick: bool = False) -> dict:
-    """The full benchmark record (both modes plus derived speedups)."""
+def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> dict:
+    """The full benchmark record (both modes plus derived speedups).
+
+    The canonical record is the single-device cycle-accurate engine
+    (``backend="newton"``, ``devices=1``); its ``backend``/``devices``
+    keys pin those dimensions in ``BENCH_sim_throughput.json``. Other
+    backend/device selections measure end-to-end GEMVs/s through the
+    registry (and, for ``devices > 1``, a row-sharded cluster) instead
+    of the engine's fast/slow command paths.
+    """
     m, n = (QUICK_M, QUICK_N) if quick else (M, N)
+    if backend != "newton" or devices != 1:
+        return _measure_backend(backend, devices, m, n, quick=quick)
     slow = _measure_mode(fast=False, m=m, n=n)
     fast = _measure_mode(fast=True, m=m, n=n)
     assert slow["end_cycle"] == fast["end_cycle"], (
@@ -134,6 +144,8 @@ def measure(quick: bool = False) -> dict:
         "layer": LAYER_NAME if not quick else f"quick-{QUICK_M}x{QUICK_N}",
         "m": m,
         "n": n,
+        "backend": backend,
+        "devices": devices,
         "refresh_enabled": True,
         "opt": "FULL",
         "steady_runs": STEADY_RUNS,
@@ -146,6 +158,50 @@ def measure(quick: bool = False) -> dict:
     }
 
 
+def _measure_backend(
+    backend: str, devices: int, m: int, n: int, *, quick: bool, runs: int = STEADY_RUNS
+) -> dict:
+    """GEMV throughput through the backend registry / sharded cluster."""
+    from repro.backends import make_backend
+    from repro.cluster import ShardedCluster
+
+    kwargs = dict(
+        config=hbm2e_like_config(),
+        timing=hbm2e_like_timing(),
+        opt=FULL,
+        functional=False,
+        refresh_enabled=True,
+    )
+    if devices == 1:
+        engine = make_backend(backend, **kwargs)
+    else:
+        engine = ShardedCluster.from_spec(backend, devices, **kwargs)
+    handle = engine.load_matrix(m=m, n=n)
+    t0 = time.perf_counter()
+    first = engine.gemv(handle)
+    cold_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(runs):
+        engine.gemv(handle)
+    steady_wall = (time.perf_counter() - t0) / runs
+    return {
+        "benchmark": "sim_throughput",
+        "layer": LAYER_NAME if not quick else f"quick-{QUICK_M}x{QUICK_N}",
+        "m": m,
+        "n": n,
+        "backend": backend,
+        "devices": devices,
+        "refresh_enabled": True,
+        "opt": "FULL",
+        "steady_runs": runs,
+        "quick": quick,
+        "cycles": float(first.cycles),
+        "cold_wall_s": round(cold_wall, 6),
+        "steady_wall_s": round(steady_wall, 6),
+        "steady_gemvs_per_s": round(1.0 / steady_wall) if steady_wall else None,
+    }
+
+
 def write_result(record: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
 
@@ -155,14 +211,17 @@ def export_metrics(record: dict, path: Path) -> None:
     from repro.telemetry import MetricsRegistry, validate_metrics
 
     registry = MetricsRegistry()
-    registry.gauge("bench.steady_speedup").set(record["steady_speedup"])
-    registry.gauge("bench.cold_speedup").set(record["cold_speedup"])
-    registry.gauge("bench.telemetry_overhead_pct").set(
-        record["telemetry"]["overhead_pct"]
-    )
-    registry.counter("bench.commands_per_run").inc(
-        record["slow"]["commands_per_run"]
-    )
+    if "steady_speedup" in record:
+        registry.gauge("bench.steady_speedup").set(record["steady_speedup"])
+        registry.gauge("bench.cold_speedup").set(record["cold_speedup"])
+        registry.gauge("bench.telemetry_overhead_pct").set(
+            record["telemetry"]["overhead_pct"]
+        )
+        registry.counter("bench.commands_per_run").inc(
+            record["slow"]["commands_per_run"]
+        )
+    else:
+        registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])
     engine, layout = _make_engine(True, record["m"], record["n"])
     result = engine.run_gemv(layout)
     registry.section(
@@ -206,17 +265,34 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="also write a newton-telemetry/v1 JSON export here",
     )
+    parser.add_argument(
+        "--backend",
+        default="newton",
+        help="measure GEMV throughput through this registry backend "
+        "instead of the engine's fast/slow paths (default: newton)",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        metavar="N",
+        help="row-shard the layer across N devices (a ShardedCluster); "
+        "default 1",
+    )
     args = parser.parse_args(argv)
-    record = measure(quick=args.quick)
-    if not args.quick:
+    record = measure(quick=args.quick, backend=args.backend, devices=args.devices)
+    canonical = not args.quick and args.backend == "newton" and args.devices == 1
+    if canonical:
         write_result(record)
     print(json.dumps(record, indent=2))
-    if not args.quick:
+    if canonical:
         print(f"\nwrote {RESULT_PATH}")
     if args.metrics:
         export_metrics(record, Path(args.metrics))
         print(f"wrote metrics to {args.metrics}")
-    if args.check_overhead and not record["telemetry"]["within_budget"]:
+    if args.check_overhead and not record.get("telemetry", {}).get(
+        "within_budget", True
+    ):
         print(
             f"FAIL: telemetry overhead {record['telemetry']['overhead_pct']}% "
             f"> {OVERHEAD_BUDGET_PCT}% budget"

@@ -20,6 +20,8 @@ Quickstart::
     print(result.cycles, result.output[:4])
 """
 
+from repro.backends import Backend, available_backends, make_backend
+from repro.cluster import ShardedCluster
 from repro.core.device import MatrixHandle, NewtonDevice
 from repro.core.optimizations import FULL, NON_OPT, OptimizationConfig, figure9_ladder
 from repro.core.result import ChannelRunResult, GemvRunResult
@@ -42,6 +44,10 @@ __version__ = "1.0.0"
 __all__ = [
     "NewtonDevice",
     "MatrixHandle",
+    "Backend",
+    "make_backend",
+    "available_backends",
+    "ShardedCluster",
     "OptimizationConfig",
     "FULL",
     "NON_OPT",

@@ -1,0 +1,43 @@
+"""``repro.backends`` — one execution protocol, four engines behind it.
+
+The :class:`Backend` protocol (``load_matrix``, ``gemv``,
+``gemv_batch``, ``service_cycles``, ``collect_metrics``) unifies the
+cycle-accurate Newton simulator with the three closed-form baselines,
+and :func:`make_backend` constructs any of them by registry name::
+
+    from repro.backends import make_backend
+
+    backend = make_backend("newton", functional=True)
+    handle = backend.load_matrix(matrix)
+    run = backend.gemv(handle, vector)      # run.cycles, run.output
+
+Multi-device execution composes backends through
+:class:`repro.cluster.ShardedCluster`.
+"""
+
+from repro.backends.base import Backend, BackendRun
+from repro.backends.models import (
+    AnalyticalBackend,
+    GpuBackend,
+    IdealBackend,
+    ModelHandle,
+)
+from repro.backends.newton import NewtonBackend
+from repro.backends.registry import (
+    available_backends,
+    make_backend,
+    register_backend,
+)
+
+__all__ = [
+    "Backend",
+    "BackendRun",
+    "ModelHandle",
+    "NewtonBackend",
+    "AnalyticalBackend",
+    "IdealBackend",
+    "GpuBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]

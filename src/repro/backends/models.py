@@ -1,0 +1,182 @@
+"""The three closed-form baselines behind the :class:`Backend` protocol.
+
+Each adapter wraps one analytical model — Section III-F's
+:class:`~repro.baselines.analytical.AnalyticalModel`, the bandwidth-
+bound :class:`~repro.baselines.ideal_nonpim.IdealNonPim`, and the
+Titan-V-like :class:`~repro.baselines.gpu.GpuModel` — and gives it the
+same residency/execution surface as the simulated device. Timing comes
+from the model's closed form; *data*, when the backend is built
+``functional=True``, comes from an exact fp32 ``matrix @ vector``
+reference product (the models have no datapath of their own, and fp32
+reference semantics are what the cluster layer's sharding identity
+tests need: row-sharding an fp32 product is exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.backends.base import Backend, BackendRun
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.optimizations import OptimizationConfig
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import LayoutError, ProtocolError
+from repro.telemetry import SCHEMA
+
+
+@dataclass
+class ModelHandle:
+    """A matrix 'resident' in a model backend (shape, optionally data)."""
+
+    m: int
+    n: int
+    matrix: Optional[np.ndarray] = None
+    """fp32 matrix data (functional backends only)."""
+
+
+class _ModelBackend(Backend):
+    """Shared residency/execution plumbing for the closed-form models."""
+
+    def __init__(
+        self,
+        config: Optional[DRAMConfig] = None,
+        timing: Optional[TimingParams] = None,
+        *,
+        functional: bool = False,
+        opt: Optional[OptimizationConfig] = None,
+        **_unused,
+    ):
+        # `opt` and the Newton-only knobs (refresh_enabled, fast, ...)
+        # are accepted so `make_backend(name, **knobs)` can pass one knob
+        # set to any backend; models consume what applies (see
+        # AnalyticalBackend) and ignore the rest.
+        self.config = config if config is not None else hbm2e_like_config()
+        self.timing = timing if timing is not None else hbm2e_like_timing()
+        self.functional = functional
+        self.opt = opt
+        self._gemvs = 0
+        self._total_cycles = 0.0
+
+    # ------------------------------------------------------------------
+
+    def load_matrix(
+        self,
+        matrix: Optional[np.ndarray] = None,
+        *,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+    ) -> ModelHandle:
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.float32)
+            if matrix.ndim != 2:
+                raise LayoutError(f"matrix must be 2-D, got shape {matrix.shape}")
+            m, n = matrix.shape
+        if m is None or n is None:
+            raise LayoutError("provide a matrix, or both m and n")
+        if matrix is None and self.functional:
+            raise ProtocolError(
+                "functional mode needs the matrix data; pass functional=False "
+                "for timing-only shape runs"
+            )
+        return ModelHandle(m=m, n=n, matrix=matrix if self.functional else None)
+
+    def gemv(
+        self, handle: ModelHandle, vector: Optional[np.ndarray] = None
+    ) -> BackendRun:
+        cycles = float(self._predict_cycles(handle.m, handle.n))
+        output = None
+        if self.functional:
+            if vector is None:
+                raise ProtocolError("functional mode requires an input vector")
+            vector = np.asarray(vector, dtype=np.float32).reshape(-1)
+            if vector.shape != (handle.n,):
+                raise LayoutError(
+                    f"vector of length {vector.shape[0]}, matrix expects "
+                    f"{handle.n}"
+                )
+            assert handle.matrix is not None
+            output = (handle.matrix @ vector).astype(np.float32)
+        self._gemvs += 1
+        self._total_cycles += cycles
+        return BackendRun(cycles=cycles, output=output)
+
+    def service_cycles(self, handle: ModelHandle) -> float:
+        """The closed-form per-request time (no state is advanced)."""
+        return float(self._predict_cycles(handle.m, handle.n))
+
+    def _predict_cycles(self, m: int, n: int) -> float:
+        raise NotImplementedError
+
+    def collect_metrics(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "kind": "model",
+            "backend": self.name,
+            "gemvs": self._gemvs,
+            "total_cycles": self._total_cycles,
+        }
+
+
+class AnalyticalBackend(_ModelBackend):
+    """Section III-F's closed-form Newton timing as a backend.
+
+    Honors ``opt.aggressive_tfaw`` when an optimization config is given
+    (the only optimization knob the closed form models).
+    """
+
+    name = "analytical"
+
+    def __init__(self, config=None, timing=None, **kwargs):
+        super().__init__(config, timing, **kwargs)
+        aggressive = self.opt.aggressive_tfaw if self.opt is not None else True
+        self.model = AnalyticalModel(
+            self.config, self.timing, aggressive_tfaw=aggressive
+        )
+
+    def _predict_cycles(self, m: int, n: int) -> float:
+        return self.model.predicted_layer_cycles(
+            m, n, channels=self.config.num_channels
+        )
+
+
+class IdealBackend(_ModelBackend):
+    """The Ideal Non-PIM bandwidth bound as a backend."""
+
+    name = "ideal"
+
+    def __init__(self, config=None, timing=None, *, refresh_enabled=True, **kwargs):
+        super().__init__(config, timing, **kwargs)
+        self.model = IdealNonPim(
+            self.config, self.timing, refresh_enabled=refresh_enabled
+        )
+
+    def _predict_cycles(self, m: int, n: int) -> float:
+        return self.model.gemv_cycles(m, n)
+
+
+class GpuBackend(_ModelBackend):
+    """The calibrated Titan-V-like roofline as a backend."""
+
+    name = "gpu"
+
+    def __init__(
+        self,
+        config=None,
+        timing=None,
+        *,
+        model: Optional[GpuModel] = None,
+        **kwargs,
+    ):
+        super().__init__(config, timing, **kwargs)
+        self.model = (
+            model if model is not None else titan_v_like(self.config, self.timing)
+        )
+
+    def _predict_cycles(self, m: int, n: int) -> float:
+        return self.model.gemv_cycles(m, n)

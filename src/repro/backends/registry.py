@@ -1,0 +1,58 @@
+"""The string-keyed backend registry and factory.
+
+``make_backend("newton" | "analytical" | "ideal" | "gpu", ...)`` is the
+one place the CLI, the experiments, the cluster layer, and the
+multi-model scheduler construct execution backends, so a new backend
+becomes reachable everywhere by registering a single factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.backends.base import Backend
+from repro.backends.models import AnalyticalBackend, GpuBackend, IdealBackend
+from repro.backends.newton import NewtonBackend
+from repro.errors import ConfigurationError
+
+_REGISTRY: Dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a backend factory under ``name`` (must be unused)."""
+    if not name:
+        raise ConfigurationError("backend names must be non-empty")
+    if name in _REGISTRY:
+        raise ConfigurationError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(name: str, *args, **kwargs) -> Backend:
+    """Construct a backend by registry name.
+
+    Positional/keyword arguments pass straight to the backend's
+    constructor: ``config``/``timing`` everywhere, plus per-backend
+    knobs (``opt``, ``functional``, ``refresh_enabled``, ``fast``, ...
+    — backends ignore knobs that do not apply to them).
+
+    Raises:
+        ConfigurationError: for an unregistered name.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(available_backends())}"
+        )
+    return factory(*args, **kwargs)
+
+
+register_backend("newton", NewtonBackend)
+register_backend("analytical", AnalyticalBackend)
+register_backend("ideal", IdealBackend)
+register_backend("gpu", GpuBackend)

@@ -1,0 +1,29 @@
+"""``repro.cluster`` — sharded / replicated multi-device execution.
+
+Compose N :class:`~repro.backends.base.Backend` instances into one
+logical device::
+
+    from repro.cluster import ShardedCluster
+
+    cluster = ShardedCluster.from_spec("newton", devices=4, functional=True)
+    handle = cluster.load_matrix(matrix)          # row-sharded 4 ways
+    run = cluster.gemv(handle, vector)            # fp32 host reduction
+
+See :mod:`repro.cluster.sharded` for the placement-mode semantics.
+"""
+
+from repro.cluster.sharded import (
+    REPLICATE,
+    SHARD,
+    ClusterHandle,
+    ClusterRun,
+    ShardedCluster,
+)
+
+__all__ = [
+    "SHARD",
+    "REPLICATE",
+    "ClusterHandle",
+    "ClusterRun",
+    "ShardedCluster",
+]

@@ -1,0 +1,281 @@
+"""Multi-device execution: one model, N backends (tensor/data parallel).
+
+Newton's channels are fully independent (Section III-D) — and so are
+whole devices, which is exactly the property Oliveira et al.'s
+edge-to-cloud PIM study exploits: a model can be *row-sharded* across N
+devices (tensor parallelism; each device holds a contiguous row slice,
+every device receives the full input vector, the host reduces the
+per-device partial outputs in fp32 — the Section III-C host-accumulator
+semantics lifted from chunks to devices), or *replicated* across N
+devices (data parallelism; each replica holds the whole matrix and
+requests fan out round-robin for N-fold serving throughput).
+
+The cluster is itself a :class:`~repro.backends.base.Backend`, so
+everything that runs on one backend — the runtime, the serving
+simulator, the experiments — runs unchanged on N devices. A 1-device
+shard cluster over a ``NewtonBackend`` is bit-identical (outputs and
+cycles) to driving the device directly; the differential suite pins it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.registry import make_backend
+from repro.core.device import validate_batch_vectors
+from repro.core.layout import partition_rows
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError, LayoutError, ProtocolError
+from repro.host.accumulator import HostAccumulator
+from repro.telemetry import SCHEMA
+
+SHARD = "shard"
+"""Tensor-parallel placement: row-slice the matrix across devices."""
+
+REPLICATE = "replicate"
+"""Data-parallel placement: full copy per device, round-robin requests."""
+
+_MODES = (SHARD, REPLICATE)
+
+
+@dataclass
+class ClusterHandle:
+    """A matrix resident across the cluster's devices."""
+
+    m: int
+    n: int
+    mode: str
+    shards: List[Tuple[int, Tuple[int, int], object]] = field(default_factory=list)
+    """(device index, (row_lo, row_hi), device handle) per placement.
+
+    Shard mode: disjoint row slices covering [0, m). Replicate mode: one
+    (0, m) placement per device."""
+
+
+@dataclass
+class ClusterRun:
+    """One cluster GEMV (satisfies the run-record protocol)."""
+
+    cycles: float
+    """Wall clock: devices execute concurrently, so the slowest shard
+    (shard mode) or the serving replica (replicate mode)."""
+    output: Optional[np.ndarray] = None
+    device_runs: List[Tuple[int, object]] = field(default_factory=list)
+    """(device index, device run record) per participating device."""
+
+
+class ShardedCluster(Backend):
+    """N backend instances serving one logical matrix."""
+
+    name = "cluster"
+
+    def __init__(self, backends: Sequence[Backend], *, mode: str = SHARD):
+        if not backends:
+            raise ConfigurationError("a cluster needs at least one backend")
+        if mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown cluster mode {mode!r}; choose from {_MODES}"
+            )
+        self.backends: List[Backend] = list(backends)
+        self.mode = mode
+        self._next_replica = 0
+
+    @classmethod
+    def from_spec(
+        cls,
+        backend: str,
+        devices: int,
+        *,
+        mode: str = SHARD,
+        config: Optional[DRAMConfig] = None,
+        timing: Optional[TimingParams] = None,
+        **kwargs,
+    ) -> "ShardedCluster":
+        """Build a homogeneous N-device cluster through the registry."""
+        if devices <= 0:
+            raise ConfigurationError("a cluster needs at least one device")
+        return cls(
+            [
+                make_backend(backend, config=config, timing=timing, **kwargs)
+                for _ in range(devices)
+            ],
+            mode=mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Backend context attributes (devices are homogeneous by use)
+
+    @property
+    def devices(self) -> int:
+        """Number of backend instances in the cluster."""
+        return len(self.backends)
+
+    @property
+    def config(self) -> DRAMConfig:  # type: ignore[override]
+        return self.backends[0].config
+
+    @property
+    def timing(self) -> TimingParams:  # type: ignore[override]
+        return self.backends[0].timing
+
+    @property
+    def functional(self) -> bool:  # type: ignore[override]
+        return all(backend.functional for backend in self.backends)
+
+    # ------------------------------------------------------------------
+    # residency
+
+    def load_matrix(
+        self,
+        matrix: Optional[np.ndarray] = None,
+        *,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+    ) -> ClusterHandle:
+        """Place a matrix across the cluster.
+
+        Shard mode reuses :func:`~repro.core.layout.partition_rows` one
+        level up from the device's own channel partitioning: device i
+        gets a contiguous row slice (devices past the row count get
+        none). Replicate mode loads the full matrix into every device.
+        """
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.float32)
+            if matrix.ndim != 2:
+                raise LayoutError(
+                    f"matrix must be 2-D, got shape {matrix.shape}"
+                )
+            m, n = matrix.shape
+        elif m is None or n is None:
+            raise ConfigurationError("provide a matrix, or both m and n")
+        assert m is not None and n is not None
+        handle = ClusterHandle(m=m, n=n, mode=self.mode)
+        if self.mode == REPLICATE:
+            for index, backend in enumerate(self.backends):
+                sub = (
+                    backend.load_matrix(matrix)
+                    if matrix is not None
+                    else backend.load_matrix(m=m, n=n)
+                )
+                handle.shards.append((index, (0, m), sub))
+            return handle
+        for index, (lo, hi) in enumerate(partition_rows(m, len(self.backends))):
+            if hi == lo:
+                continue
+            backend = self.backends[index]
+            sub = (
+                backend.load_matrix(matrix[lo:hi])
+                if matrix is not None
+                else backend.load_matrix(m=hi - lo, n=n)
+            )
+            handle.shards.append((index, (lo, hi), sub))
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def gemv(
+        self, handle: ClusterHandle, vector: Optional[np.ndarray] = None
+    ) -> ClusterRun:
+        """One matrix-vector product across the cluster.
+
+        Shard mode: every device runs its row slice against the full
+        input vector concurrently (wall clock = slowest shard) and the
+        host folds the disjoint partial outputs through the fp32
+        :class:`~repro.host.accumulator.HostAccumulator` reduction.
+        Replicate mode: the next replica (round-robin) serves the whole
+        request.
+        """
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        if self.mode == REPLICATE:
+            index, (_, _), sub = handle.shards[
+                self._next_replica % len(handle.shards)
+            ]
+            self._next_replica += 1
+            run = self.backends[index].gemv(sub, vector)
+            return ClusterRun(
+                cycles=float(run.cycles),
+                output=run.output,
+                device_runs=[(index, run)],
+            )
+        device_runs: List[Tuple[int, object]] = []
+        accumulator = HostAccumulator(handle.m) if self.functional else None
+        for index, (lo, hi), sub in handle.shards:
+            run = self.backends[index].gemv(sub, vector)
+            device_runs.append((index, run))
+            if accumulator is not None and run.output is not None:
+                accumulator.add_partials(np.arange(lo, hi), run.output)
+        return ClusterRun(
+            cycles=float(max(run.cycles for _, run in device_runs)),
+            output=accumulator.output if accumulator is not None else None,
+            device_runs=device_runs,
+        )
+
+    def gemv_batch(
+        self,
+        handle: ClusterHandle,
+        vectors: Optional[np.ndarray] = None,
+        *,
+        batch: Optional[int] = None,
+    ) -> List[ClusterRun]:
+        """A batch of products; replicate mode fans them out round-robin."""
+        if vectors is not None:
+            vectors = validate_batch_vectors(vectors, handle.n)
+            return [self.gemv(handle, vectors[i]) for i in range(vectors.shape[0])]
+        if batch is not None:
+            if batch <= 0:
+                raise ProtocolError("batch must be positive")
+            return [self.gemv(handle) for _ in range(batch)]
+        raise ProtocolError("provide vectors or a batch size")
+
+    def service_cycles(self, handle: ClusterHandle) -> float:
+        """Deterministic per-request service time.
+
+        Shard mode: the slowest shard (devices run concurrently).
+        Replicate mode: one replica's whole-matrix service — replication
+        multiplies *servers*, not single-request speed; pass the replica
+        count to :class:`~repro.host.serving.ServingSimulator` as
+        ``servers`` to model the throughput side.
+        """
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        if self.mode == REPLICATE:
+            index, _, sub = handle.shards[0]
+            return float(self.backends[index].service_cycles(sub))
+        return float(
+            max(
+                self.backends[index].service_cycles(sub)
+                for index, _, sub in handle.shards
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    def collect_metrics(self) -> dict:
+        """One ``newton-telemetry/v1`` record, namespaced per device.
+
+        ``devices["device<i>"]`` holds backend *i*'s own export (for
+        Newton backends: the per-channel breakdowns whose attribution
+        buckets sum exactly to each channel's end cycle).
+        """
+        return {
+            "schema": SCHEMA,
+            "kind": "cluster",
+            "mode": self.mode,
+            "backend": self.backends[0].name,
+            "devices": {
+                f"device{index}": backend.collect_metrics()
+                for index, backend in enumerate(self.backends)
+            },
+        }
+
+    def close(self) -> None:
+        for backend in self.backends:
+            backend.close()

@@ -27,6 +27,7 @@ regardless of scheduling.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -43,6 +44,36 @@ from repro.dram.timing import TimingParams, hbm2e_like_timing
 from repro.errors import LayoutError, ProtocolError
 from repro.numerics.lut import ActivationLUT
 
+logger = logging.getLogger(__name__)
+
+
+def validate_batch_vectors(vectors: np.ndarray, n: int) -> np.ndarray:
+    """Normalize a batch of input vectors to a (k, n) float32 array.
+
+    Accepts a single 1-D vector (promoted to a batch of one) or a 2-D
+    (k, n) array whose trailing dimension matches the matrix width.
+    Shared by :meth:`NewtonDevice.gemv_batch` and every
+    ``Backend.gemv_batch`` adapter so all batch entry points reject
+    malformed input identically.
+
+    Raises:
+        LayoutError: for >2-D input or a trailing-dimension mismatch.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim == 1:
+        vectors = vectors[None, :]
+    if vectors.ndim != 2:
+        raise LayoutError(
+            f"batch vectors must be 1-D or 2-D (k, n), got shape "
+            f"{vectors.shape}"
+        )
+    if vectors.shape[1] != n:
+        raise LayoutError(
+            f"batch vectors have width {vectors.shape[1]}, the matrix "
+            f"expects n={n}"
+        )
+    return vectors
+
 
 @dataclass
 class MatrixHandle:
@@ -52,6 +83,18 @@ class MatrixHandle:
     n: int
     placements: List[Tuple[int, Tuple[int, int], Layout]] = field(default_factory=list)
     """(channel index, (row_lo, row_hi), layout) per participating channel."""
+
+    truncated_channels: int = 0
+    """Channel placements dropped by a timing-only load (the device
+    simulates channel 0 only; see :meth:`NewtonDevice.load_matrix`)."""
+
+    truncated_rows: int = 0
+    """Matrix rows covered by those dropped placements."""
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any placement was dropped at load time."""
+        return self.truncated_channels > 0
 
 
 class NewtonDevice:
@@ -76,6 +119,9 @@ class NewtonDevice:
         self.opt = opt
         self.functional = functional
         self.channel_workers = channel_workers
+        self.load_truncations = 0
+        """Loads whose per-channel placements were truncated (timing-only
+        mode simulates channel 0 only); see :meth:`load_matrix`."""
         self._executor: Optional[ThreadPoolExecutor] = None
         lut = (
             ActivationLUT(lut_activation)
@@ -113,6 +159,18 @@ class NewtonDevice:
         Pass the array itself in functional mode, or just ``m``/``n`` in
         timing-only mode. Loading is not timed (the matrix lives in the
         AiM for the model's lifetime).
+
+        In timing-only mode only channel 0 is simulated: it always holds
+        the largest (cumulative) row slice and refresh is identical
+        across channels, so it is the critical path and the other
+        channels' placements are intentionally dropped. The handle
+        records that truncation (``truncated_channels`` /
+        ``truncated_rows``), the device counts it
+        (:attr:`load_truncations`, exported by
+        :meth:`collect_metrics`), and a debug log line is emitted. A
+        functional device is never allowed to drop data: if a placement
+        ever targets a missing engine there, :class:`ProtocolError` is
+        raised instead.
         """
         if matrix is not None:
             matrix = np.asarray(matrix, dtype=np.float32)
@@ -132,11 +190,32 @@ class NewtonDevice:
             if hi == lo:
                 continue
             if channel >= len(self.engines):
-                break  # timing-only: channel 0 is the critical path
+                if self.functional:
+                    raise ProtocolError(
+                        f"channel {channel} placement of rows [{lo}, {hi}) "
+                        f"has no engine ({len(self.engines)} present); a "
+                        "functional device must simulate every placement"
+                    )
+                # Timing-only: channel 0 is the critical path; record the
+                # dropped placement instead of silently discarding it.
+                handle.truncated_channels += 1
+                handle.truncated_rows += hi - lo
+                continue
             layout = self.engines[channel].add_matrix(
                 hi - lo, n, matrix[lo:hi] if matrix is not None else None
             )
             handle.placements.append((channel, (lo, hi), layout))
+        if handle.truncated:
+            self.load_truncations += 1
+            logger.debug(
+                "timing-only load of %dx%d: %d channel placement(s) "
+                "covering %d rows dropped; channel 0 remains the critical "
+                "path",
+                m,
+                n,
+                handle.truncated_channels,
+                handle.truncated_rows,
+            )
         return handle
 
     def _channel_executor(self) -> Optional[ThreadPoolExecutor]:
@@ -219,11 +298,13 @@ class NewtonDevice:
         Newton cannot exploit batch reuse (Section V-D): the command
         stream for k inputs is the concatenation of k single-input
         streams, so per-input latency is constant by construction.
+
+        Raises:
+            LayoutError: if ``vectors`` is not 1-D or 2-D, or its
+                trailing dimension does not match the matrix width.
         """
         if vectors is not None:
-            vectors = np.asarray(vectors, dtype=np.float32)
-            if vectors.ndim == 1:
-                vectors = vectors[None, :]
+            vectors = validate_batch_vectors(vectors, handle.n)
             runs = [self.gemv(handle, vectors[i]) for i in range(vectors.shape[0])]
         elif batch is not None:
             if batch <= 0:

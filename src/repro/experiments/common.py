@@ -2,10 +2,19 @@
 
 Every figure uses the same 24-channel, 16-banks-per-channel HBM2E-like
 system (Section V) unless the figure itself sweeps a parameter.
+
+The module also carries the process-wide :class:`ExperimentContext` —
+the ``--backend`` / ``--devices`` / ``--replicas`` selection the
+``newton-repro`` CLI propagates into every experiment. Experiments
+consult it through :func:`get_context` (or implicitly through
+:func:`newton_layer_cycles`, which routes per-layer timing through the
+selected backend and device count); the default context reproduces the
+paper's single-device cycle-accurate evaluation exactly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.baselines.gpu import GpuModel, titan_v_like
@@ -14,6 +23,7 @@ from repro.core.device import NewtonDevice
 from repro.core.optimizations import FULL, OptimizationConfig
 from repro.dram.config import DRAMConfig, hbm2e_like_config
 from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import ConfigurationError
 from repro.workloads.spec import BenchmarkLayer
 
 EVAL_CHANNELS = 24
@@ -21,6 +31,65 @@ EVAL_CHANNELS = 24
 
 EVAL_BANKS = 16
 """Banks per channel in the default configuration (Table III)."""
+
+
+@dataclass(frozen=True)
+class ExperimentContext:
+    """The CLI-selected execution dimensions for an experiment run."""
+
+    backend: str = "newton"
+    """Registry name of the execution backend for the Newton side."""
+    devices: int = 1
+    """Row-shard each layer across this many devices (tensor parallel)."""
+    replicas: int = 1
+    """Serving-replica count (the serving study's M/D/c fleet size)."""
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ConfigurationError("devices must be at least 1")
+        if self.replicas < 1:
+            raise ConfigurationError("replicas must be at least 1")
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this is the paper's exact single-device evaluation."""
+        return self == ExperimentContext()
+
+
+_context = ExperimentContext()
+
+
+def get_context() -> ExperimentContext:
+    """The active experiment context (default: the paper's evaluation)."""
+    return _context
+
+
+def set_context(context: Optional[ExperimentContext]) -> ExperimentContext:
+    """Install the experiment context (``None`` restores the default).
+
+    Set once per process by the ``newton-repro`` runner (including in
+    ``--jobs`` worker processes) before experiments execute.
+    """
+    global _context
+    _context = context if context is not None else ExperimentContext()
+    return _context
+
+
+def context_overrides(
+    backend: Optional[str] = None,
+    devices: Optional[int] = None,
+    replicas: Optional[int] = None,
+) -> ExperimentContext:
+    """The active context with any explicit per-call overrides applied."""
+    context = get_context()
+    updates = {}
+    if backend is not None:
+        updates["backend"] = backend
+    if devices is not None:
+        updates["devices"] = devices
+    if replicas is not None:
+        updates["replicas"] = replicas
+    return replace(context, **updates) if updates else context
 
 
 def eval_config(
@@ -61,13 +130,41 @@ def newton_layer_cycles(
     banks: int = EVAL_BANKS,
     channels: int = EVAL_CHANNELS,
     refresh_enabled: bool = True,
-) -> int:
-    """Simulated cycles for one Table II layer on a fresh device."""
-    device = make_device(
-        opt, banks=banks, channels=channels, refresh_enabled=refresh_enabled
+    backend: Optional[str] = None,
+    devices: Optional[int] = None,
+) -> float:
+    """Cycles for one Table II layer on the selected execution backend.
+
+    ``backend``/``devices`` default from the active
+    :class:`ExperimentContext`; the default (cycle-accurate ``newton``
+    on one device) reproduces the paper's numbers exactly and returns
+    the device's integer cycle count.
+    """
+    context = context_overrides(backend=backend, devices=devices)
+    if context.backend == "newton" and context.devices == 1:
+        device = make_device(
+            opt, banks=banks, channels=channels, refresh_enabled=refresh_enabled
+        )
+        handle = device.load_matrix(m=layer.m, n=layer.n)
+        return device.gemv(handle).cycles
+    from repro.backends import make_backend
+    from repro.cluster import ShardedCluster
+
+    kwargs = dict(
+        config=eval_config(banks, channels),
+        timing=eval_timing(),
+        opt=opt,
+        functional=False,
+        refresh_enabled=refresh_enabled,
     )
-    handle = device.load_matrix(m=layer.m, n=layer.n)
-    return device.gemv(handle).cycles
+    if context.devices == 1:
+        engine = make_backend(context.backend, **kwargs)
+    else:
+        engine = ShardedCluster.from_spec(
+            context.backend, context.devices, **kwargs
+        )
+    handle = engine.load_matrix(m=layer.m, n=layer.n)
+    return engine.service_cycles(handle)
 
 
 def make_baselines(

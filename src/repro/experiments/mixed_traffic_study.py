@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.core.engine import NewtonChannelEngine
+from repro.core.layout import partition_rows
 from repro.core.optimizations import FULL
 from repro.experiments import common
 from repro.host.mixed_traffic import NonAimRequest, NonAimTrafficSource
@@ -38,6 +39,8 @@ class MixedTrafficResult:
     """The mixing-ratio sweep for one layer."""
 
     layer_name: str = ""
+    devices: int = 1
+    """Device count the layer's rows were sharded across."""
     rows: List[MixRow] = field(default_factory=list)
 
     def slowdown_monotone(self) -> bool:
@@ -68,51 +71,83 @@ class MixedTrafficResult:
             title=(
                 f"Section III-D: {self.layer_name} under interleaved "
                 "non-AiM traffic"
+                + (
+                    f" ({self.devices} devices, row-sharded)"
+                    if self.devices > 1
+                    else ""
+                )
             ),
         )
 
 
-def run(banks: int = common.EVAL_BANKS, m: int = 1024, n: int = 1024) -> MixedTrafficResult:
+def _run_shard(
+    config, timing, m: int, n: int, ratio: int
+) -> "Tuple[int, int, int]":
+    """One device's shard under the given mixing ratio.
+
+    Returns (aim cycles, ordinary reads served, worst read latency).
+    """
+    engine = NewtonChannelEngine(
+        config, timing, FULL, functional=False, refresh_enabled=True
+    )
+    layout = engine.add_matrix(m, n)
+    traffic = None
+    if ratio:
+        boundaries = layout.num_chunks * layout.tiles
+        # Arrivals paced to the tile cadence (one batch per boundary)
+        # so the reported latency is per-request queueing, not the
+        # drain time of a single burst.
+        tile_cycles = 204
+        requests = [
+            NonAimRequest(
+                bank=i % config.banks_per_channel,
+                row=config.rows_per_bank - 1 - (i % 64),
+                col=i % config.cols_per_row,
+                arrival=(i // ratio) * tile_cycles,
+            )
+            for i in range(boundaries * ratio)
+        ]
+        traffic = NonAimTrafficSource(requests, per_boundary=ratio)
+    run_record = engine.run_gemv(layout, background=traffic)
+    served = traffic.issued if traffic else 0
+    worst = max(traffic.latencies) if traffic and traffic.latencies else 0
+    return run_record.cycles, served, worst
+
+
+def run(
+    banks: int = common.EVAL_BANKS,
+    m: int = 1024,
+    n: int = 1024,
+    devices: "int | None" = None,
+) -> MixedTrafficResult:
     """Sweep the mixing ratio on a BERTs1-shaped layer (single channel,
-    where the contention is; other channels behave identically)."""
+    where the contention is; other channels behave identically).
+
+    With ``devices > 1`` (defaulted from the CLI context) the layer's
+    rows are sharded across that many devices, each fighting its own
+    interleaved traffic: AiM time is the slowest shard, reads served are
+    summed, and the worst read latency is the fleet-wide maximum.
+    """
+    devices = common.context_overrides(devices=devices).devices
     config = common.eval_config(banks=banks, channels=1)
     timing = common.eval_timing()
-    result = MixedTrafficResult(layer_name=f"{m}x{n}")
+    result = MixedTrafficResult(layer_name=f"{m}x{n}", devices=devices)
     baseline = None
+    shards = [(lo, hi) for lo, hi in partition_rows(m, devices) if hi > lo]
     for ratio in MIX_RATIOS:
-        engine = NewtonChannelEngine(
-            config, timing, FULL, functional=False, refresh_enabled=True
-        )
-        layout = engine.add_matrix(m, n)
-        traffic = None
-        if ratio:
-            boundaries = layout.num_chunks * layout.tiles
-            # Arrivals paced to the tile cadence (one batch per boundary)
-            # so the reported latency is per-request queueing, not the
-            # drain time of a single burst.
-            tile_cycles = 204
-            requests = [
-                NonAimRequest(
-                    bank=i % config.banks_per_channel,
-                    row=config.rows_per_bank - 1 - (i % 64),
-                    col=i % config.cols_per_row,
-                    arrival=(i // ratio) * tile_cycles,
-                )
-                for i in range(boundaries * ratio)
-            ]
-            traffic = NonAimTrafficSource(requests, per_boundary=ratio)
-        run_record = engine.run_gemv(layout, background=traffic)
+        per_shard = [
+            _run_shard(config, timing, hi - lo, n, ratio) for lo, hi in shards
+        ]
+        aim_cycles = max(cycles for cycles, _, _ in per_shard)
         if baseline is None:
-            baseline = run_record.cycles
+            baseline = aim_cycles
         result.rows.append(
             MixRow(
                 per_boundary=ratio,
-                aim_cycles=run_record.cycles,
-                slowdown=run_record.cycles / baseline,
-                non_aim_served=traffic.issued if traffic else 0,
-                non_aim_worst_latency=(
-                    max(traffic.latencies) if traffic and traffic.latencies else 0
-                ),
+                aim_cycles=aim_cycles,
+                slowdown=aim_cycles / baseline,
+                non_aim_served=sum(served for _, served, _ in per_shard),
+                non_aim_worst_latency=max(worst for _, _, worst in per_shard),
             )
         )
     return result

@@ -10,6 +10,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.backends import available_backends
+from repro.experiments.common import ExperimentContext, set_context
 from repro.experiments import (
     area_budget,
     chunk_width_study,
@@ -75,16 +77,23 @@ class ExperimentOutcome:
         return header + "\n" + (body or "")
 
 
-def run_experiment(name: str) -> ExperimentOutcome:
+def run_experiment(
+    name: str, context: Optional[ExperimentContext] = None
+) -> ExperimentOutcome:
     """Run one experiment, capturing any failure instead of raising.
 
     A single broken figure must not abort a multi-hour ``newton-repro
     all`` sweep: the failure is rendered (with its traceback) in the
     experiment's slot and surfaced through the exit code instead.
 
+    ``context`` (the CLI's ``--backend``/``--devices``/``--replicas``
+    selection) is installed process-wide before the experiment executes,
+    which is what carries it into ``--jobs`` worker processes.
+
     Module-level by design so ``--jobs`` can ship it to worker processes.
     """
     started = time.time()
+    set_context(context)
     try:
         result = EXPERIMENTS[name]()
         body = result.render()
@@ -123,7 +132,11 @@ def _telemetry_probe() -> dict:
     return validate_metrics(record)
 
 
-def write_metrics(outcomes: "List[ExperimentOutcome]", path: str) -> None:
+def write_metrics(
+    outcomes: "List[ExperimentOutcome]",
+    path: str,
+    context: Optional[ExperimentContext] = None,
+) -> None:
     """Export the run's metrics registry (plus the probe) as JSON."""
     from repro.telemetry import MetricsRegistry
 
@@ -133,6 +146,16 @@ def write_metrics(outcomes: "List[ExperimentOutcome]", path: str) -> None:
         if outcome.failed:
             registry.counter("runner.failed").inc()
         registry.gauge(f"runner.elapsed_s.{outcome.name}").set(outcome.elapsed)
+    if context is None:
+        context = ExperimentContext()
+    registry.section(
+        "context",
+        {
+            "backend": context.backend,
+            "devices": context.devices,
+            "replicas": context.replicas,
+        },
+    )
     registry.section("probe", _telemetry_probe())
     registry.write_json(path)
 
@@ -181,9 +204,40 @@ def main(argv: "list[str] | None" = None) -> int:
         "per-experiment timings/failures plus a schema-validated "
         "cycle-attribution probe (see docs/simulator-internals.md)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="newton",
+        help="execution backend for the Newton side of every experiment "
+        "(default: the cycle-accurate simulator; see "
+        "docs/backends-and-sharding.md)",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        metavar="N",
+        help="row-shard each layer across N devices (tensor parallel; "
+        "default 1)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serving-replica count for the queueing studies (M/D/c; "
+        "default 1)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.devices < 1:
+        parser.error("--devices must be at least 1")
+    if args.replicas < 1:
+        parser.error("--replicas must be at least 1")
+    context = ExperimentContext(
+        backend=args.backend, devices=args.devices, replicas=args.replicas
+    )
     requested = args.experiments or ["all"]
     unknown = [name for name in requested if name not in EXPERIMENTS and name != "all"]
     if unknown:
@@ -197,16 +251,24 @@ def main(argv: "list[str] | None" = None) -> int:
         else list(dict.fromkeys(requested))
     )
 
-    if args.jobs > 1 and len(selected) > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(args.jobs, len(selected))
-        ) as pool:
-            # submit everything up front, then drain in selection order:
-            # scheduling is parallel, output is deterministic.
-            futures = [pool.submit(run_experiment, name) for name in selected]
-            outcomes = [future.result() for future in futures]
-    else:
-        outcomes = [run_experiment(name) for name in selected]
+    try:
+        if args.jobs > 1 and len(selected) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(args.jobs, len(selected))
+            ) as pool:
+                # submit everything up front, then drain in selection order:
+                # scheduling is parallel, output is deterministic.
+                futures = [
+                    pool.submit(run_experiment, name, context)
+                    for name in selected
+                ]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [run_experiment(name, context) for name in selected]
+    finally:
+        # serial mode installs the context process-wide; don't leak it
+        # past the CLI entry point (embedders, the test suite).
+        set_context(None)
 
     sections = []
     for outcome in outcomes:
@@ -224,7 +286,7 @@ def main(argv: "list[str] | None" = None) -> int:
         with open(args.out, "a", encoding="utf-8") as f:
             f.write("\n".join(sections))
     if args.metrics:
-        write_metrics(outcomes, args.metrics)
+        write_metrics(outcomes, args.metrics, context)
         print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     return 1 if failures else 0
 

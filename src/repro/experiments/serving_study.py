@@ -41,6 +41,9 @@ class ServingStudyResult:
     layer_name: str = ""
     newton_service: float = 0.0
     gpu_service: float = 0.0
+    backend: str = "newton"
+    devices: int = 1
+    replicas: int = 1
     rows: List[ServingRow] = field(default_factory=list)
 
     @property
@@ -83,12 +86,17 @@ class ServingStudyResult:
                 "batch-1 Newton vs GPU (with and without batching windows)"
             ),
         )
-        return (
-            body
-            + f"\nservice times: Newton {self.newton_service:.0f} vs GPU "
+        footer = (
+            f"\nservice times: Newton {self.newton_service:.0f} vs GPU "
             f"{self.gpu_service:.0f} cycles ({self.service_ratio:.0f}x); "
             f"GPU saturates at {self.gpu_saturation_load():.3f} of Newton's capacity"
         )
+        if self.backend != "newton" or self.devices != 1 or self.replicas != 1:
+            footer += (
+                f"\nexecution: backend={self.backend}, devices={self.devices} "
+                f"(sharded), replicas={self.replicas} (M/D/c fleet)"
+            )
+        return body + footer
 
 
 def run(
@@ -96,28 +104,54 @@ def run(
     banks: int = common.EVAL_BANKS,
     channels: int = common.EVAL_CHANNELS,
     requests: int = 2000,
+    backend: "str | None" = None,
+    devices: "int | None" = None,
+    replicas: "int | None" = None,
 ) -> ServingStudyResult:
-    """Run the load sweep for one layer."""
+    """Run the load sweep for one layer.
+
+    ``backend``/``devices`` select the Newton-side execution engine
+    (service time from the sharded cluster's slowest shard when
+    ``devices > 1``); ``replicas`` turns the Newton queue into an
+    N-replica M/D/c fleet draining one shared FIFO. All three default
+    from the CLI's :class:`~repro.experiments.common.ExperimentContext`.
+    The GPU comparison serves the *same absolute arrival rate* on a
+    single batch-1 (and batching) server, so the rate scales with the
+    replica count.
+    """
+    context = common.context_overrides(
+        backend=backend, devices=devices, replicas=replicas
+    )
     layer = layer_by_name(layer_name)
     _, gpu = common.make_baselines(banks, channels)
     newton_service = common.newton_layer_cycles(
-        layer, FULL, banks=banks, channels=channels
+        layer,
+        FULL,
+        banks=banks,
+        channels=channels,
+        backend=context.backend,
+        devices=context.devices,
     )
     gpu_service = gpu.gemv_cycles(layer.m, layer.n)
     result = ServingStudyResult(
         layer_name=layer_name,
         newton_service=newton_service,
         gpu_service=gpu_service,
+        backend=context.backend,
+        devices=context.devices,
+        replicas=context.replicas,
     )
 
     def gpu_batch_service(k: int) -> float:
         return gpu.gemv_cycles(layer.m, layer.n, batch=k)
 
     for load in LOAD_SWEEP:
-        sim = ServingSimulator(newton_service, seed=7)
+        sim = ServingSimulator(newton_service, seed=7, servers=context.replicas)
         newton = sim.simulate(load, requests)
         gpu_sim = ServingSimulator(gpu_service, seed=7)
-        gpu_load = load * gpu_service / newton_service
+        # The GPU serves the same absolute request rate the Newton fleet
+        # sees: load is fleet-relative, so the rate grows with replicas.
+        gpu_load = load * gpu_service / newton_service * context.replicas
         gpu_result = (
             gpu_sim.simulate(gpu_load, requests) if gpu_load < 0.95 else None
         )

@@ -6,6 +6,12 @@ different channels." This scheduler partitions the device's channels
 into disjoint sets, places one model per set, and runs them
 concurrently — channels are fully independent, so concurrent wall time
 is the slowest partition.
+
+Partitions are constructed through the backend registry
+(:func:`repro.backends.make_backend`), so a partition can execute on
+the cycle-accurate simulator (the default) or on any registered model
+backend — useful for cross-checking a placement plan analytically
+before paying for simulation.
 """
 
 from __future__ import annotations
@@ -13,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.backends.base import Backend
+from repro.backends.registry import make_backend
 from repro.baselines.gpu import titan_v_like
-from repro.core.device import NewtonDevice
 from repro.core.optimizations import FULL, OptimizationConfig
 from repro.dram.config import DRAMConfig
 from repro.dram.timing import TimingParams, hbm2e_like_timing
@@ -31,6 +38,8 @@ class ModelPartition:
     channels: Tuple[int, ...]
     runtime: NewtonRuntime
     loaded: LoadedModel
+    backend: Optional[Backend] = None
+    """The execution backend this partition runs on."""
 
 
 @dataclass
@@ -61,16 +70,22 @@ class MultiModelScheduler:
         opt: OptimizationConfig = FULL,
         *,
         functional: bool = False,
+        backend: str = "newton",
     ):
         self.config = config
         self.timing = timing if timing is not None else hbm2e_like_timing()
         self.opt = opt
         self.functional = functional
+        self.backend_name = backend
         self.partitions: List[ModelPartition] = []
         self._next_channel = 0
 
     def place(self, spec: ModelSpec, channels: int) -> ModelPartition:
         """Bind a model to the next ``channels`` free channels.
+
+        The partition's execution backend comes from the registry
+        (``backend=`` at construction), configured for exactly the
+        partition's channel slice.
 
         Raises:
             ConfigurationError: if the device has too few channels left.
@@ -89,16 +104,21 @@ class MultiModelScheduler:
         self._next_channel += channels
         # Channels are independent: a partition is exactly a smaller device.
         sub_config = self.config.with_overrides(num_channels=channels)
-        device = NewtonDevice(
-            sub_config, self.timing, self.opt, functional=self.functional
+        backend = make_backend(
+            self.backend_name,
+            config=sub_config,
+            timing=self.timing,
+            opt=self.opt,
+            functional=self.functional,
         )
         gpu = titan_v_like(sub_config, self.timing)
-        runtime = NewtonRuntime(device, gpu)
+        runtime = NewtonRuntime(backend, gpu)
         partition = ModelPartition(
             spec=spec,
             channels=channel_ids,
             runtime=runtime,
             loaded=runtime.load_model(spec),
+            backend=backend,
         )
         self.partitions.append(partition)
         return partition

@@ -1,11 +1,14 @@
-"""End-to-end model execution on a Newton device (Figure 8, right side).
+"""End-to-end model execution on an execution backend (Figure 8, right).
 
 The runtime walks a :class:`~repro.workloads.spec.ModelSpec` in order:
-FC layers run on the Newton device (whose channel clocks advance across
-layers, so refresh interference accumulates end-to-end exactly as on
-hardware); non-FC layers (convolutions, embedding gathers, attention
-glue) are timed on the host compute model; activation functions are
-hidden and batch normalization exposes only its first-tile latency
+FC layers run on the execution backend — a
+:class:`~repro.core.device.NewtonDevice` (whose channel clocks advance
+across layers, so refresh interference accumulates end-to-end exactly
+as on hardware), any :class:`~repro.backends.base.Backend`, or a
+multi-device :class:`~repro.cluster.ShardedCluster` — while non-FC
+layers (convolutions, embedding gathers, attention glue) are timed on
+the host compute model; activation functions are hidden and batch
+normalization exposes only its first-tile latency
 (:mod:`repro.host.pipeline`).
 
 Weights are synthetic, but the *structure* is real: LSTM layers run the
@@ -23,7 +26,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.baselines.gpu import GpuModel
-from repro.core.device import MatrixHandle, NewtonDevice
 from repro.host.cells import LSTMCell
 from repro.host.pipeline import PipelineModel
 from repro.numerics.activation import apply_activation
@@ -34,10 +36,12 @@ from repro.errors import ProtocolError
 
 @dataclass
 class LoadedModel:
-    """A model whose FC weights are resident in the device."""
+    """A model whose FC weights are resident in the backend."""
 
     spec: ModelSpec
-    handles: Dict[str, MatrixHandle]
+    handles: Dict[str, object]
+    """Per-layer residency handles (:class:`MatrixHandle` for a Newton
+    device; backend/cluster handles otherwise)."""
     weights: Dict[str, np.ndarray] = field(default_factory=dict)
     cells: Dict[str, LSTMCell] = field(default_factory=dict)
     """Recurrent state per LSTM layer (persists across sequence steps)."""
@@ -88,11 +92,20 @@ class ModelRun:
 
 
 class NewtonRuntime:
-    """Drives end-to-end models across a Newton device and the host."""
+    """Drives end-to-end models across an execution backend and the host.
+
+    ``device`` is any object satisfying the execution surface the
+    runtime uses — ``load_matrix``/``gemv`` plus the ``functional``,
+    ``config``, and ``timing`` attributes: a raw
+    :class:`~repro.core.device.NewtonDevice`, any
+    :class:`~repro.backends.base.Backend` from
+    :func:`repro.backends.make_backend`, or a
+    :class:`~repro.cluster.ShardedCluster` spanning several devices.
+    """
 
     def __init__(
         self,
-        device: NewtonDevice,
+        device,
         host_model: GpuModel,
         pipeline: Optional[PipelineModel] = None,
     ):
@@ -100,11 +113,16 @@ class NewtonRuntime:
         self.host_model = host_model
         self.pipeline = pipeline or PipelineModel(device.config, device.timing)
 
+    @property
+    def backend(self):
+        """The execution backend (alias of ``device``)."""
+        return self.device
+
     # ------------------------------------------------------------------
 
     def load_model(self, spec: ModelSpec, seed: int = 0) -> LoadedModel:
-        """Make every FC layer's weights resident in the device."""
-        handles: Dict[str, MatrixHandle] = {}
+        """Make every FC layer's weights resident in the backend."""
+        handles: Dict[str, object] = {}
         weights: Dict[str, np.ndarray] = {}
         cells: Dict[str, LSTMCell] = {}
         for i, layer in enumerate(spec.layers):

@@ -9,10 +9,22 @@ design; Section III-D) — and reports tail latency versus offered load
 for Newton and for a batch-1 GPU serving the same stream. Newton's ~50x
 shorter service time translates directly into ~50x more sustainable
 load at bounded tails.
+
+Two production-scale extensions ride on the same queueing core:
+
+* ``servers=N`` turns the single server into an N-replica M/D/c queue
+  (one shared FIFO, the next free replica serves) — the data-parallel
+  deployment a replicated :class:`~repro.cluster.ShardedCluster`
+  models on the execution side;
+* :meth:`ServingSimulator.from_backend` derives the service time from
+  any :class:`~repro.backends.base.Backend` (or cluster) instead of a
+  hand-fed scalar, so the queueing study and the execution engine can
+  never drift apart.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -27,13 +39,16 @@ class ServingResult:
     """Latency statistics of one simulated request stream."""
 
     offered_load: float
-    """Arrival rate over service rate (utilization; >= 1 is unstable)."""
+    """Arrival rate over aggregate service rate (utilization across all
+    replicas; >= 1 is unstable)."""
     requests: int
     p50: float
     p95: float
     p99: float
     mean: float
     max_queue: int
+    servers: int = 1
+    """Replica count the stream was served by."""
 
     @property
     def stable(self) -> bool:
@@ -42,7 +57,14 @@ class ServingResult:
 
 
 class ServingSimulator:
-    """FIFO single-server queue with deterministic service.
+    """FIFO queue with deterministic service and ``servers`` replicas.
+
+    With ``servers=1`` (the default) this is the original single-server
+    M/D/1 study; ``servers=N`` models N identical replicas draining one
+    shared FIFO (M/D/c): each arrival is served by the earliest-free
+    replica. ``offered_load`` is always relative to the *aggregate*
+    capacity (``servers / service_cycles``), so a load of 0.8 means the
+    fleet as a whole is 80% utilized regardless of the replica count.
 
     Pass a :class:`~repro.telemetry.MetricsRegistry` to publish
     queue-depth and tail-latency gauges (``serving.max_queue``,
@@ -54,13 +76,42 @@ class ServingSimulator:
         service_cycles: float,
         seed: int = 0,
         *,
+        servers: int = 1,
         metrics: Optional[MetricsRegistry] = None,
     ):
         if service_cycles <= 0:
             raise ConfigurationError("service time must be positive")
+        if servers < 1:
+            raise ConfigurationError("at least one server is required")
         self.service_cycles = float(service_cycles)
+        self.servers = int(servers)
         self.seed = seed
         self.metrics = metrics
+
+    @classmethod
+    def from_backend(
+        cls,
+        backend,
+        handle,
+        seed: int = 0,
+        *,
+        servers: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "ServingSimulator":
+        """A simulator whose service time comes from the backend itself.
+
+        ``backend`` is anything satisfying the
+        :class:`~repro.backends.base.Backend` protocol (including a
+        :class:`~repro.cluster.ShardedCluster`); the per-request service
+        is ``backend.service_cycles(handle)`` — one GEMV against the
+        resident matrix, measured (Newton) or predicted (models).
+        """
+        return cls(
+            float(backend.service_cycles(handle)),
+            seed,
+            servers=servers,
+            metrics=metrics,
+        )
 
     def _publish(self, result: "ServingResult", prefix: str) -> None:
         if self.metrics is None:
@@ -69,6 +120,7 @@ class ServingSimulator:
         for gauge in ("offered_load", "p50", "p95", "p99", "mean"):
             self.metrics.gauge(f"{prefix}.{gauge}").set(getattr(result, gauge))
         self.metrics.gauge(f"{prefix}.max_queue").set(result.max_queue)
+        self.metrics.gauge(f"{prefix}.servers").set(result.servers)
 
     def simulate(
         self, offered_load: float, requests: int = 2000
@@ -76,9 +128,10 @@ class ServingSimulator:
         """Serve a Poisson stream at the given utilization.
 
         Args:
-            offered_load: arrival rate as a fraction of the server's
-                capacity (1/service_cycles). Must be positive; values
-                >= 1 are allowed and report the (unbounded) backlog.
+            offered_load: arrival rate as a fraction of the fleet's
+                aggregate capacity (servers/service_cycles). Must be
+                positive; values >= 1 are allowed and report the
+                (unbounded) backlog.
             requests: stream length.
         """
         if offered_load <= 0:
@@ -86,23 +139,28 @@ class ServingSimulator:
         if requests <= 0:
             raise ConfigurationError("simulate at least one request")
         rng = np.random.default_rng(self.seed)
-        mean_interarrival = self.service_cycles / offered_load
+        mean_interarrival = self.service_cycles / (offered_load * self.servers)
         interarrivals = rng.exponential(mean_interarrival, size=requests)
         arrivals = np.cumsum(interarrivals)
 
         latencies = np.empty(requests, dtype=np.float64)
         completions = np.empty(requests, dtype=np.float64)
-        completion = 0.0
+        # One shared FIFO over `servers` replicas: each arrival is served
+        # by the earliest-free replica. With one replica this degenerates
+        # to the original single-server recurrence (identical floats).
+        free = [0.0] * self.servers
         max_queue = 0
         done = 0
         for i in range(requests):
-            start = max(arrivals[i], completion)
+            start = max(arrivals[i], heapq.heappop(free))
             completion = start + self.service_cycles
+            heapq.heappush(free, completion)
             completions[i] = completion
             latencies[i] = completion - arrivals[i]
             # Queue depth at this arrival: earlier requests not finished.
-            # Completions are monotone in a FIFO queue, so a single
-            # pointer over them replaces the old O(n^2) per-arrival scan.
+            # FIFO starts are monotone and service is deterministic, so
+            # completions are monotone too (with any replica count) and a
+            # single pointer replaces the old O(n^2) per-arrival scan.
             while done < i and completions[done] <= arrivals[i]:
                 done += 1
             depth = i - done
@@ -116,6 +174,7 @@ class ServingSimulator:
             p99=float(np.percentile(latencies, 99)),
             mean=float(np.mean(latencies)),
             max_queue=max_queue,
+            servers=self.servers,
         )
         self._publish(result, "serving")
         return result
@@ -134,8 +193,14 @@ class ServingSimulator:
         trading latency (the window wait) for throughput (batch reuse).
         ``batch_service(k)`` gives the service time of a k-batch;
         ``offered_load`` remains relative to the *batch-1* capacity so it
-        is comparable with :meth:`simulate`.
+        is comparable with :meth:`simulate`. Batching is modeled on a
+        single server only (a batch occupies the whole accelerator);
+        construct a ``servers=1`` simulator for batched streams.
         """
+        if self.servers != 1:
+            raise ConfigurationError(
+                "batched serving models a single accelerator; use servers=1"
+            )
         if offered_load <= 0:
             raise ConfigurationError("offered load must be positive")
         if window_cycles <= 0:

@@ -93,10 +93,16 @@ def engine_metrics(engine, *, end: Optional[int] = None) -> dict:
 
 
 def device_metrics(device) -> dict:
-    """Per-channel engine breakdowns for a whole Newton device."""
+    """Per-channel engine breakdowns for a whole Newton device.
+
+    ``load_truncations`` counts timing-only matrix loads whose
+    per-channel placements were dropped (only channel 0 is simulated);
+    see :meth:`repro.core.device.NewtonDevice.load_matrix`.
+    """
     return {
         "schema": SCHEMA,
         "kind": "device",
+        "load_truncations": getattr(device, "load_truncations", 0),
         "channels": {
             str(engine.channel_index): engine_metrics(engine)
             for engine in device.engines

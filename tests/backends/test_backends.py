@@ -1,0 +1,225 @@
+"""The ``repro.backends`` execution surface and registry."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    AnalyticalBackend,
+    Backend,
+    GpuBackend,
+    IdealBackend,
+    NewtonBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.gpu import titan_v_like
+from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL, NON_OPT
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError, LayoutError, ProtocolError
+from repro.workloads.generator import generate_layer_data, generate_vector
+from repro.workloads.spec import LayerSpec, ModelSpec
+
+
+def _config(channels=4, banks=8):
+    return hbm2e_like_config(num_channels=channels, banks_per_channel=banks)
+
+
+class TestRegistry:
+    def test_built_ins_registered(self):
+        assert available_backends() == ("analytical", "gpu", "ideal", "newton")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ConfigurationError, match="analytical"):
+            make_backend("tpu")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("newton", NewtonBackend)
+
+    def test_factory_builds_each_kind(self):
+        for name, cls in [
+            ("newton", NewtonBackend),
+            ("analytical", AnalyticalBackend),
+            ("ideal", IdealBackend),
+            ("gpu", GpuBackend),
+        ]:
+            backend = make_backend(
+                name, config=_config(), timing=hbm2e_like_timing(),
+                functional=False,
+            )
+            assert isinstance(backend, cls)
+            assert isinstance(backend, Backend)
+            assert backend.name == name
+
+
+class TestNewtonBackend:
+    """The adapter is a transparent wrapper over NewtonDevice."""
+
+    def test_gemv_matches_direct_device(self):
+        data = generate_layer_data(256, 128, seed=1)
+        vector = generate_vector(128, seed=2)
+        device = NewtonDevice(
+            _config(), hbm2e_like_timing(), FULL, functional=True
+        )
+        direct = device.gemv(device.load_matrix(data.matrix), vector)
+
+        backend = NewtonBackend(_config(), hbm2e_like_timing(), functional=True)
+        run = backend.gemv(backend.load_matrix(data.matrix), vector)
+        assert run.cycles == direct.cycles
+        assert np.array_equal(run.output, direct.output)
+
+    def test_wraps_an_existing_device(self):
+        device = NewtonDevice(
+            _config(), hbm2e_like_timing(), FULL, functional=False
+        )
+        backend = NewtonBackend(device=device)
+        assert backend.device is device
+        assert backend.config is device.config
+        assert backend.functional is False
+
+    def test_opt_is_forwarded(self):
+        naive = NewtonBackend(
+            _config(), hbm2e_like_timing(), opt=NON_OPT, functional=False
+        )
+        full = NewtonBackend(
+            _config(), hbm2e_like_timing(), opt=FULL, functional=False
+        )
+        n_cycles = naive.service_cycles(naive.load_matrix(m=512, n=512))
+        f_cycles = full.service_cycles(full.load_matrix(m=512, n=512))
+        assert n_cycles > f_cycles
+
+    def test_collect_metrics_is_device_shaped(self):
+        backend = NewtonBackend(_config(), hbm2e_like_timing(), functional=False)
+        backend.gemv(backend.load_matrix(m=128, n=128))
+        record = backend.collect_metrics()
+        assert record["kind"] == "device"
+        assert "channels" in record
+
+
+class TestModelBackends:
+    """Closed-form backends agree with the models they wrap."""
+
+    def test_analytical_predicts_model_cycles(self):
+        config, timing = _config(), hbm2e_like_timing()
+        backend = AnalyticalBackend(config, timing, functional=False)
+        model = AnalyticalModel(config, timing, aggressive_tfaw=True)
+        handle = backend.load_matrix(m=1024, n=512)
+        assert backend.service_cycles(handle) == pytest.approx(
+            model.predicted_layer_cycles(1024, 512, channels=config.num_channels)
+        )
+
+    def test_ideal_predicts_model_cycles(self):
+        config, timing = _config(), hbm2e_like_timing()
+        backend = IdealBackend(config, timing, functional=False)
+        model = IdealNonPim(config, timing)
+        handle = backend.load_matrix(m=1024, n=512)
+        assert backend.service_cycles(handle) == pytest.approx(
+            model.gemv_cycles(1024, 512)
+        )
+
+    def test_gpu_predicts_model_cycles(self):
+        config, timing = _config(), hbm2e_like_timing()
+        backend = GpuBackend(config, timing, functional=False)
+        model = titan_v_like(config, timing)
+        handle = backend.load_matrix(m=1024, n=512)
+        assert backend.service_cycles(handle) == pytest.approx(
+            model.gemv_cycles(1024, 512)
+        )
+
+    @pytest.mark.parametrize("name", ["analytical", "ideal", "gpu"])
+    def test_functional_output_is_the_product(self, name):
+        backend = make_backend(name, functional=True)
+        data = generate_layer_data(64, 32, seed=3)
+        vector = generate_vector(32, seed=4)
+        run = backend.gemv(backend.load_matrix(data.matrix), vector)
+        assert run.output.dtype == np.float32
+        assert np.allclose(run.output, data.matrix @ vector, rtol=1e-5)
+
+    def test_functional_needs_the_matrix(self):
+        backend = make_backend("analytical", functional=True)
+        with pytest.raises(ProtocolError):
+            backend.load_matrix(m=16, n=16)
+
+    def test_non_2d_matrix_rejected(self):
+        backend = make_backend("ideal")
+        with pytest.raises(LayoutError):
+            backend.load_matrix(np.ones(8, dtype=np.float32))
+
+    def test_metrics_count_gemvs(self):
+        backend = make_backend("gpu")
+        handle = backend.load_matrix(m=64, n=64)
+        backend.gemv(handle)
+        backend.gemv(handle)
+        record = backend.collect_metrics()
+        assert record["kind"] == "model"
+        assert record["backend"] == "gpu"
+        assert record["gemvs"] == 2
+        assert record["total_cycles"] > 0
+
+    def test_newton_only_kwargs_ignored(self):
+        """The factory can pass Newton knobs to any backend."""
+        backend = make_backend(
+            "analytical", opt=FULL, refresh_enabled=True, fast=False
+        )
+        assert backend.name == "analytical"
+
+
+class TestBatchValidation:
+    """Every adapter rejects malformed batches identically (satellite 2)."""
+
+    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu"])
+    def test_width_mismatch_rejected(self, name):
+        backend = make_backend(
+            name, config=_config(), timing=hbm2e_like_timing(), functional=False
+        )
+        handle = backend.load_matrix(m=64, n=32)
+        with pytest.raises(LayoutError):
+            backend.gemv_batch(handle, np.ones((2, 31), dtype=np.float32))
+
+    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu"])
+    def test_3d_batch_rejected(self, name):
+        backend = make_backend(
+            name, config=_config(), timing=hbm2e_like_timing(), functional=False
+        )
+        handle = backend.load_matrix(m=64, n=32)
+        with pytest.raises(LayoutError):
+            backend.gemv_batch(handle, np.ones((2, 2, 32), dtype=np.float32))
+
+    def test_1d_vector_promoted(self):
+        backend = make_backend("ideal", functional=True)
+        data = generate_layer_data(16, 8, seed=5)
+        handle = backend.load_matrix(data.matrix)
+        runs = backend.gemv_batch(handle, np.ones(8, dtype=np.float32))
+        assert len(runs) == 1
+
+    def test_timing_only_batch_size(self):
+        backend = make_backend(
+            "newton", config=_config(), timing=hbm2e_like_timing(),
+            functional=False,
+        )
+        handle = backend.load_matrix(m=64, n=32)
+        with pytest.raises(ProtocolError):
+            backend.gemv_batch(handle, batch=0)
+
+
+class TestLoadModel:
+    def test_fc_layers_become_resident(self):
+        spec = ModelSpec(
+            name="two-fc",
+            layers=(
+                LayerSpec("fc1", m=64, n=32, activation="relu"),
+                LayerSpec("host", on_newton=False, host_flops=100),
+                LayerSpec("fc2", m=32, n=64, activation="identity"),
+            ),
+        )
+        backend = make_backend(
+            "newton", config=_config(), timing=hbm2e_like_timing(),
+            functional=False,
+        )
+        residency = backend.load_model(spec)
+        assert set(residency) == {"fc1", "fc2"}

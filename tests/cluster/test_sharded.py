@@ -1,0 +1,236 @@
+"""Multi-device sharded/replicated execution (``repro.cluster``).
+
+The differential suite is the load-bearing part: a 1-device shard
+cluster over the cycle-accurate backend must be *bit-identical* —
+outputs and cycles — to driving the device directly, across the Table II
+layers with the fast path on and off; and an N-device shard's reduced
+output must be bit-identical to the single-device functional result
+(disjoint fp32 row slices fold exactly through the host accumulator).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import NewtonBackend, make_backend
+from repro.cluster import REPLICATE, SHARD, ClusterHandle, ShardedCluster
+from repro.core.device import NewtonDevice
+from repro.core.optimizations import FULL
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+from repro.errors import ConfigurationError, LayoutError, ProtocolError
+from repro.telemetry import SCHEMA
+from repro.workloads.catalog import TABLE_II_LAYERS
+from repro.workloads.generator import generate_layer_data, generate_vector
+
+CHANNELS, BANKS = 8, 8
+"""A reduced system keeps the full-catalog differential sweep fast; the
+equality being pinned is configuration-independent."""
+
+SMALL_LAYERS = [l for l in TABLE_II_LAYERS if l.m * l.n <= 4 * 1024 * 1024]
+"""Layers small enough to run functionally in the test budget."""
+
+
+def _config():
+    return hbm2e_like_config(num_channels=CHANNELS, banks_per_channel=BANKS)
+
+
+def _newton_backend(**kwargs):
+    return NewtonBackend(_config(), hbm2e_like_timing(), **kwargs)
+
+
+class TestDifferentialOneDevice:
+    """1-device shard cluster == direct NewtonDevice, bit for bit."""
+
+    @pytest.mark.parametrize("fast", [True, False])
+    @pytest.mark.parametrize(
+        "layer", TABLE_II_LAYERS, ids=[l.name for l in TABLE_II_LAYERS]
+    )
+    def test_cycles_identical_all_layers(self, layer, fast):
+        device = NewtonDevice(
+            _config(), hbm2e_like_timing(), FULL, functional=False, fast=fast
+        )
+        handle = device.load_matrix(m=layer.m, n=layer.n)
+        direct = device.gemv(handle)
+
+        cluster = ShardedCluster(
+            [_newton_backend(functional=False, fast=fast)], mode=SHARD
+        )
+        chandle = cluster.load_matrix(m=layer.m, n=layer.n)
+        run = cluster.gemv(chandle)
+        assert run.cycles == direct.cycles
+
+    @pytest.mark.parametrize("fast", [True, False])
+    @pytest.mark.parametrize(
+        "layer", SMALL_LAYERS, ids=[l.name for l in SMALL_LAYERS]
+    )
+    def test_outputs_and_cycles_identical_functional(self, layer, fast):
+        data = generate_layer_data(layer.m, layer.n, seed=11)
+        vector = generate_vector(layer.n, seed=13)
+
+        device = NewtonDevice(
+            _config(), hbm2e_like_timing(), FULL, functional=True, fast=fast
+        )
+        direct = device.gemv(device.load_matrix(data.matrix), vector)
+
+        cluster = ShardedCluster(
+            [_newton_backend(functional=True, fast=fast)], mode=SHARD
+        )
+        run = cluster.gemv(cluster.load_matrix(data.matrix), vector)
+        assert run.cycles == direct.cycles
+        assert np.array_equal(run.output, direct.output)
+
+
+class TestDifferentialMultiDevice:
+    """Row-sharded outputs fold back exactly to the 1-device result."""
+
+    @pytest.mark.parametrize("devices", [2, 4])
+    @pytest.mark.parametrize(
+        "layer", SMALL_LAYERS, ids=[l.name for l in SMALL_LAYERS]
+    )
+    def test_shard_output_bit_identical(self, layer, devices):
+        data = generate_layer_data(layer.m, layer.n, seed=5)
+        vector = generate_vector(layer.n, seed=7)
+
+        single = ShardedCluster([_newton_backend(functional=True)])
+        expected = single.gemv(single.load_matrix(data.matrix), vector).output
+
+        cluster = ShardedCluster(
+            [_newton_backend(functional=True) for _ in range(devices)],
+            mode=SHARD,
+        )
+        handle = cluster.load_matrix(data.matrix)
+        run = cluster.gemv(handle, vector)
+        assert np.array_equal(run.output, expected)
+        # every device participated with a disjoint row slice
+        spans = sorted(span for _, span, _ in handle.shards)
+        assert spans[0][0] == 0 and spans[-1][1] == layer.m
+        assert all(a[1] == b[0] for a, b in zip(spans, spans[1:]))
+
+    def test_shard_wall_clock_is_slowest_shard(self):
+        cluster = ShardedCluster.from_spec(
+            "newton",
+            2,
+            config=_config(),
+            timing=hbm2e_like_timing(),
+            functional=False,
+        )
+        handle = cluster.load_matrix(m=1024, n=1024)
+        run = cluster.gemv(handle)
+        assert run.cycles == max(float(r.cycles) for _, r in run.device_runs)
+        assert len(run.device_runs) == 2
+
+    def test_sharding_shortens_service(self):
+        def service(devices):
+            cluster = ShardedCluster.from_spec(
+                "newton",
+                devices,
+                config=_config(),
+                timing=hbm2e_like_timing(),
+                functional=False,
+            )
+            return cluster.service_cycles(cluster.load_matrix(m=4096, n=1024))
+
+        assert service(4) < service(2) < service(1)
+
+
+class TestReplicate:
+    def test_round_robin_fan_out(self):
+        cluster = ShardedCluster(
+            [_newton_backend(functional=False) for _ in range(3)],
+            mode=REPLICATE,
+        )
+        handle = cluster.load_matrix(m=256, n=256)
+        assert len(handle.shards) == 3
+        order = [cluster.gemv(handle).device_runs[0][0] for _ in range(5)]
+        assert order == [0, 1, 2, 0, 1]
+
+    def test_replicas_hold_the_full_matrix(self):
+        data = generate_layer_data(128, 64, seed=1)
+        cluster = ShardedCluster(
+            [_newton_backend(functional=True) for _ in range(2)],
+            mode=REPLICATE,
+        )
+        handle = cluster.load_matrix(data.matrix)
+        vector = generate_vector(64, seed=2)
+        first = cluster.gemv(handle, vector).output
+        second = cluster.gemv(handle, vector).output  # the other replica
+        assert np.array_equal(first, second)
+
+    def test_service_cycles_is_one_replica(self):
+        single = _newton_backend(functional=False)
+        expected = single.service_cycles(single.load_matrix(m=512, n=512))
+        cluster = ShardedCluster(
+            [_newton_backend(functional=False) for _ in range(3)],
+            mode=REPLICATE,
+        )
+        got = cluster.service_cycles(cluster.load_matrix(m=512, n=512))
+        assert got == expected
+
+
+class TestValidation:
+    def test_needs_backends(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCluster([])
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCluster([_newton_backend()], mode="scatter")
+
+    def test_from_spec_needs_devices(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCluster.from_spec("newton", 0)
+
+    def test_non_2d_matrix_rejected(self):
+        cluster = ShardedCluster([_newton_backend()])
+        with pytest.raises(LayoutError):
+            cluster.load_matrix(np.ones(16, dtype=np.float32))
+
+    def test_batch_shape_validated(self):
+        cluster = ShardedCluster([_newton_backend(functional=False)])
+        handle = cluster.load_matrix(m=64, n=32)
+        with pytest.raises(LayoutError):
+            cluster.gemv_batch(handle, np.ones((2, 33), dtype=np.float32))
+        with pytest.raises(ProtocolError):
+            cluster.gemv_batch(handle, batch=0)
+
+    def test_empty_handle_rejected(self):
+        cluster = ShardedCluster([_newton_backend(functional=False)])
+        with pytest.raises(ProtocolError):
+            cluster.gemv(ClusterHandle(m=4, n=4, mode=SHARD))
+
+
+class TestModelBackendClusters:
+    """The cluster runs any registered backend, not just the simulator."""
+
+    @pytest.mark.parametrize("name", ["analytical", "ideal", "gpu"])
+    def test_model_backend_shards(self, name):
+        cluster = ShardedCluster.from_spec(name, 2, functional=True)
+        data = generate_layer_data(256, 128, seed=3)
+        handle = cluster.load_matrix(data.matrix)
+        run = cluster.gemv(handle, generate_vector(128, seed=4))
+        assert run.cycles > 0
+        assert run.output.shape == (256,)
+
+    def test_mixed_construction_through_registry(self):
+        cluster = ShardedCluster(
+            [make_backend("analytical"), make_backend("analytical")]
+        )
+        assert cluster.devices == 2
+
+
+class TestClusterTelemetry:
+    def test_per_device_namespacing(self):
+        cluster = ShardedCluster(
+            [_newton_backend(functional=False) for _ in range(2)]
+        )
+        handle = cluster.load_matrix(m=512, n=512)
+        cluster.gemv(handle)
+        record = cluster.collect_metrics()
+        assert record["schema"] == SCHEMA
+        assert record["kind"] == "cluster"
+        assert record["mode"] == SHARD
+        assert set(record["devices"]) == {"device0", "device1"}
+        for sub in record["devices"].values():
+            assert sub["schema"] == SCHEMA
+            assert sub["kind"] == "device"
+            assert "channels" in sub

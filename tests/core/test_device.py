@@ -159,3 +159,90 @@ class TestPower:
         device.gemv(device.load_matrix(m=16 * 20, n=1024))
         ratio = device.power_report().average_power / device.conventional_dram_power()
         assert 2.0 < ratio < 3.5
+
+
+class TestLoadTruncationContract:
+    """Timing-only loads drop channels 1+ by design; the handle and the
+    device must record it, and a functional device must never do it."""
+
+    def test_timing_only_load_records_truncation(self):
+        device = NewtonDevice(CFG2, functional=False)
+        handle = device.load_matrix(m=100, n=512)
+        assert handle.truncated
+        assert handle.truncated_channels == 1
+        assert handle.truncated_rows == 50
+        assert device.load_truncations == 1
+
+    def test_single_channel_load_is_not_truncated(self):
+        device = NewtonDevice(CFG1, functional=False)
+        handle = device.load_matrix(m=100, n=512)
+        assert not handle.truncated
+        assert handle.truncated_channels == 0
+        assert handle.truncated_rows == 0
+        assert device.load_truncations == 0
+
+    def test_truncation_counts_accumulate_per_device(self):
+        device = NewtonDevice(CFG2, functional=False)
+        device.load_matrix(m=64, n=512)
+        device.load_matrix(m=64, n=512)
+        assert device.load_truncations == 2
+
+    def test_truncation_logged(self, caplog):
+        import logging
+
+        device = NewtonDevice(CFG2, functional=False)
+        with caplog.at_level(logging.DEBUG, logger="repro.core.device"):
+            device.load_matrix(m=100, n=512)
+        assert "placement(s)" in caplog.text and "dropped" in caplog.text
+
+    def test_truncated_rows_cover_dropped_placements(self):
+        from repro.core.layout import partition_rows
+
+        device = NewtonDevice(CFG2, functional=False)
+        handle = device.load_matrix(m=101, n=512)
+        dropped = sum(
+            hi - lo
+            for ch, (lo, hi) in enumerate(partition_rows(101, 2))
+            if ch >= 1
+        )
+        assert handle.truncated_rows == dropped
+
+    def test_functional_device_never_truncates(self):
+        """A functional device simulates every channel, so a multi-channel
+        load places everything (truncation would silently drop data)."""
+        device = NewtonDevice(CFG2, functional=True)
+        matrix = np.ones((100, 512), dtype=np.float32)
+        handle = device.load_matrix(matrix)
+        assert not handle.truncated
+        assert len(handle.placements) == 2
+
+    def test_telemetry_exports_the_counter(self):
+        device = NewtonDevice(CFG2, functional=False)
+        device.gemv(device.load_matrix(m=100, n=512))
+        record = device.collect_metrics()
+        assert record["load_truncations"] == 1
+
+
+class TestBatchShapeValidation:
+    """gemv_batch rejects malformed vector batches (not just missing ones)."""
+
+    def _functional_handle(self):
+        device = NewtonDevice(CFG1, functional=True)
+        matrix = np.ones((16, 512), dtype=np.float32)
+        return device, device.load_matrix(matrix)
+
+    def test_width_mismatch_rejected(self):
+        device, handle = self._functional_handle()
+        with pytest.raises(LayoutError, match="512"):
+            device.gemv_batch(handle, np.ones((2, 100), dtype=np.float32))
+
+    def test_3d_rejected(self):
+        device, handle = self._functional_handle()
+        with pytest.raises(LayoutError):
+            device.gemv_batch(handle, np.ones((2, 2, 512), dtype=np.float32))
+
+    def test_1d_vector_promoted_to_batch_of_one(self):
+        device, handle = self._functional_handle()
+        runs = device.gemv_batch(handle, np.ones(512, dtype=np.float32))
+        assert len(runs) == 1
+        assert runs[0].output.shape == (16,)

@@ -47,3 +47,94 @@ class TestHelpers:
         few = common.newton_layer_cycles(layer, FULL, channels=2)
         many = common.newton_layer_cycles(layer, FULL, channels=8)
         assert many < few
+
+
+class TestExperimentContext:
+    def test_default_is_the_paper_evaluation(self):
+        context = common.ExperimentContext()
+        assert (context.backend, context.devices, context.replicas) == (
+            "newton",
+            1,
+            1,
+        )
+        assert context.is_default
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            common.ExperimentContext(devices=0)
+        with pytest.raises(ConfigurationError):
+            common.ExperimentContext(replicas=0)
+
+    def test_set_and_reset(self):
+        try:
+            installed = common.set_context(
+                common.ExperimentContext(backend="ideal", devices=2)
+            )
+            assert common.get_context() is installed
+        finally:
+            common.set_context(None)
+        assert common.get_context().is_default
+
+    def test_overrides_layer_on_the_active_context(self):
+        try:
+            common.set_context(common.ExperimentContext(devices=4))
+            merged = common.context_overrides(backend="gpu")
+            assert merged.backend == "gpu"
+            assert merged.devices == 4
+        finally:
+            common.set_context(None)
+
+
+class TestContextRouting:
+    """newton_layer_cycles honors the backend/devices selection."""
+
+    def _layer(self):
+        from repro.workloads.catalog import layer_by_name
+
+        return layer_by_name("DLRMs1")
+
+    def test_default_path_unchanged(self):
+        """The explicit default must be the exact device integer path."""
+        layer = self._layer()
+        base = common.newton_layer_cycles(layer, banks=8, channels=8)
+        routed = common.newton_layer_cycles(
+            layer, banks=8, channels=8, backend="newton", devices=1
+        )
+        assert routed == base
+        assert isinstance(routed, int)
+
+    def test_model_backend_routing(self):
+        from repro.baselines.analytical import AnalyticalModel
+
+        layer = self._layer()
+        predicted = common.newton_layer_cycles(
+            layer, banks=8, channels=8, backend="analytical"
+        )
+        model = AnalyticalModel(
+            common.eval_config(8, 8), common.eval_timing(), aggressive_tfaw=True
+        )
+        assert predicted == pytest.approx(
+            model.predicted_layer_cycles(layer.m, layer.n, channels=8)
+        )
+
+    def test_sharding_shortens_layers(self):
+        layer = self._layer()
+        one = common.newton_layer_cycles(layer, banks=8, channels=8)
+        two = common.newton_layer_cycles(
+            layer, banks=8, channels=8, devices=2
+        )
+        assert two < one
+
+    def test_context_supplies_the_defaults(self):
+        layer = self._layer()
+        try:
+            common.set_context(common.ExperimentContext(backend="ideal"))
+            routed = common.newton_layer_cycles(layer, banks=8, channels=8)
+        finally:
+            common.set_context(None)
+        from repro.baselines.ideal_nonpim import IdealNonPim
+
+        model = IdealNonPim(common.eval_config(8, 8), common.eval_timing())
+        assert routed == pytest.approx(model.gemv_cycles(layer.m, layer.n))

@@ -183,3 +183,90 @@ class TestParallelJobs:
         assert "=== good" in captured.out
         assert ", FAILED" in captured.out
         assert "bad" in captured.err
+
+
+class TestExecutionContextFlags:
+    """--backend / --devices / --replicas reach the experiments."""
+
+    def test_flags_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["area-budget", "--devices", "0"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["area-budget", "--replicas", "0"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["area-budget", "--backend", "tpu"])
+        capsys.readouterr()
+
+    def test_context_installed_for_experiments(self, capsys, monkeypatch):
+        from repro.experiments import common
+
+        seen = {}
+
+        class _Stub:
+            def render(self):
+                return "stub"
+
+        def probe():
+            seen["context"] = common.get_context()
+            return _Stub()
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS", {"probe": probe}
+        )
+        assert (
+            main(
+                [
+                    "probe",
+                    "--backend",
+                    "analytical",
+                    "--devices",
+                    "2",
+                    "--replicas",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert seen["context"] == common.ExperimentContext(
+            backend="analytical", devices=2, replicas=3
+        )
+        # main() restores the default before returning (no process leak)
+        assert common.get_context() == common.ExperimentContext()
+
+    def test_metrics_export_records_context(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "area-budget",
+                    "--metrics",
+                    str(target),
+                    "--backend",
+                    "ideal",
+                    "--devices",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        record = json.loads(target.read_text(encoding="utf-8"))
+        assert record["sections"]["context"] == {
+            "backend": "ideal",
+            "devices": 2,
+            "replicas": 1,
+        }
+
+    def test_serving_runs_on_every_backend(self, capsys):
+        """The acceptance sweep: each backend drives the serving study."""
+        from repro.backends import available_backends
+
+        for backend in available_backends():
+            assert main(["serving", "--backend", backend]) == 0
+            out = capsys.readouterr().out
+            assert "Edge serving" in out

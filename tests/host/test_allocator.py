@@ -96,3 +96,49 @@ class TestRowSharingRule:
         owned.extend(rows)
         assert len(owned) == len(set(owned))
         assert alloc.rows_free() == SMALL.rows_per_bank - len(owned)
+
+
+class TestFragmentation:
+    """Enough rows free, but no contiguous run: the superpage must fail
+    (contiguity is the whole point of superpages, Section III-E)."""
+
+    def test_free_but_discontiguous_rows_fail_superpage(self, allocator):
+        # Pin every even row with a non-AiM allocation: 16 rows remain
+        # free but the longest free run is a single row.
+        pinned = []
+        for _ in range(SMALL.rows_per_bank):
+            row = allocator.allocate_non_aim_row()
+            pinned.append(row)
+        for row in pinned:
+            if row % 2 == 1:
+                allocator.free_non_aim_row(row)
+        assert allocator.rows_free() == SMALL.rows_per_bank // 2
+        with pytest.raises(CapacityError, match="fragmented"):
+            allocator.allocate_superpage(2)
+        # A single-row superpage still fits in the gaps.
+        page = allocator.allocate_superpage(1)
+        assert page.rows == 1
+
+    def test_freeing_restores_contiguity(self, allocator):
+        rows = [allocator.allocate_non_aim_row() for _ in range(SMALL.rows_per_bank)]
+        for row in rows:
+            if row % 2 == 1:
+                allocator.free_non_aim_row(row)
+        with pytest.raises(CapacityError):
+            allocator.allocate_superpage(4)
+        for row in rows:
+            if row % 2 == 0:
+                allocator.free_non_aim_row(row)
+        page = allocator.allocate_superpage(SMALL.rows_per_bank)
+        assert page.base_row == 0
+
+    def test_hole_exactly_fits(self, allocator):
+        """First-fit lands in the first hole large enough."""
+        head = allocator.allocate_superpage(4)          # rows 0-3
+        fence = allocator.allocate_non_aim_row()        # row 4
+        allocator.free_superpage(head)                  # hole: rows 0-3
+        assert fence == 4
+        page = allocator.allocate_superpage(4)
+        assert page.base_row == 0
+        with pytest.raises(CapacityError):
+            allocator.allocate_superpage(SMALL.rows_per_bank - 5 + 1)

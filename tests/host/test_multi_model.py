@@ -73,3 +73,47 @@ class TestConcurrency:
         assert result.runs["f1"].output is not None
         assert result.runs["f1"].output.shape == (64,)
         assert result.runs["f2"].output.shape == (32,)
+
+
+class TestBackendFactoryPath:
+    """Partitions run on any registered backend (the registry path)."""
+
+    def test_partitions_carry_their_backend(self):
+        from repro.backends import NewtonBackend
+
+        sched = MultiModelScheduler(CFG)
+        part = sched.place(small_model(), channels=4)
+        assert isinstance(part.backend, NewtonBackend)
+        assert part.backend.config.num_channels == 4
+
+    def test_analytical_backend_placement(self):
+        from repro.backends import AnalyticalBackend
+
+        sched = MultiModelScheduler(CFG, backend="analytical")
+        sched.place(small_model("a"), channels=4)
+        sched.place(small_model("b"), channels=4)
+        result = sched.run_all()
+        assert len(result.runs) == 2
+        assert all(
+            isinstance(p.backend, AnalyticalBackend) for p in sched.partitions
+        )
+        assert result.wall_cycles > 0
+
+    def test_analytical_tracks_newton_ranking(self):
+        """The model backend preserves the slowest-partition ordering."""
+
+        def wall(backend):
+            sched = MultiModelScheduler(CFG, backend=backend)
+            sched.place(small_model("big", m=2048, n=2048), channels=4)
+            sched.place(small_model("tiny", m=64, n=64), channels=4)
+            result = sched.run_all()
+            return result.runs["big"], result.runs["tiny"]
+
+        for backend in ("newton", "analytical"):
+            big, tiny = wall(backend)
+            assert big.total_cycles > tiny.total_cycles
+
+    def test_unknown_backend_rejected(self):
+        sched = MultiModelScheduler(CFG, backend="nope")
+        with pytest.raises(ConfigurationError):
+            sched.place(small_model(), channels=2)

@@ -215,3 +215,74 @@ class TestBatchedServing:
         assert not plain.stable and not batched.stable
         assert plain.p99 >= 100.0
         assert batched.p99 >= 100.0
+
+
+class TestMultiServer:
+    """The N-replica M/D/c extension (one shared FIFO, earliest-free)."""
+
+    def test_servers_validated(self):
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(100.0, servers=0)
+
+    def test_single_server_unchanged(self):
+        """servers=1 must reproduce the original recurrence exactly."""
+        legacy = ServingSimulator(100.0, seed=3).simulate(0.7, 800)
+        explicit = ServingSimulator(100.0, seed=3, servers=1).simulate(0.7, 800)
+        assert legacy == explicit
+
+    def test_result_records_servers(self):
+        result = ServingSimulator(100.0, seed=1, servers=4).simulate(0.5, 200)
+        assert result.servers == 4
+
+    def test_pooling_cuts_waits_at_equal_utilization(self):
+        """At the same fleet utilization, more replicas wait less (the
+        classic M/D/c pooling effect)."""
+        single = ServingSimulator(100.0, seed=5, servers=1).simulate(0.8, 3000)
+        pooled = ServingSimulator(100.0, seed=5, servers=4).simulate(0.8, 3000)
+        assert pooled.p99 < single.p99
+        assert pooled.mean < single.mean
+
+    def test_two_servers_absorb_double_rate(self):
+        """Load is fleet-relative: servers=2 at load L sees 2x the
+        arrival rate of servers=1 at load L, and still keeps up."""
+        result = ServingSimulator(100.0, seed=2, servers=2).simulate(0.9, 3000)
+        assert result.stable
+        assert result.p99 < 100.0 * 50
+
+    def test_light_load_latency_is_service_time(self):
+        result = ServingSimulator(100.0, seed=1, servers=3).simulate(
+            0.001, 500
+        )
+        assert result.p99 == pytest.approx(100.0, rel=0.01)
+
+    def test_batched_requires_single_server(self):
+        sim = ServingSimulator(100.0, servers=2)
+        with pytest.raises(ConfigurationError, match="servers=1"):
+            sim.simulate_batched(0.5, 200.0, lambda k: 100.0 * k)
+
+    def test_servers_gauge_published(self):
+        registry = MetricsRegistry()
+        ServingSimulator(100.0, servers=3, metrics=registry).simulate(0.5, 100)
+        record = registry.to_dict()
+        assert record["gauges"]["serving.servers"] == 3
+
+
+class TestFromBackend:
+    def test_service_time_comes_from_the_backend(self):
+        from repro.backends import make_backend
+
+        backend = make_backend("analytical", functional=False)
+        handle = backend.load_matrix(m=1024, n=1024)
+        expected = backend.service_cycles(handle)
+        sim = ServingSimulator.from_backend(backend, handle, seed=1, servers=2)
+        assert sim.service_cycles == expected
+        assert sim.servers == 2
+        assert sim.simulate(0.3, 200).p50 >= expected
+
+    def test_cluster_service_time(self):
+        from repro.cluster import ShardedCluster
+
+        cluster = ShardedCluster.from_spec("analytical", 2, functional=False)
+        handle = cluster.load_matrix(m=1024, n=1024)
+        sim = ServingSimulator.from_backend(cluster, handle)
+        assert sim.service_cycles == cluster.service_cycles(handle)

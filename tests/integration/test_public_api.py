@@ -12,6 +12,8 @@ PACKAGES = [
     "repro.dram",
     "repro.core",
     "repro.host",
+    "repro.backends",
+    "repro.cluster",
     "repro.baselines",
     "repro.workloads",
     "repro.numerics",
