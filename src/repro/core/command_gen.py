@@ -29,7 +29,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.dram import commands as cmds
-from repro.dram.commands import Command
+from repro.dram.commands import Command, CommandRun
 from repro.dram.config import DRAMConfig
 from repro.dram.timing import TimingParams
 from repro.core.layout import InterleavedLayout, Layout, NoReuseLayout
@@ -83,6 +83,55 @@ class Step:
     indices above zero)."""
 
 
+@dataclass(frozen=True)
+class RunStep:
+    """A run-length-encoded stretch of a lowered stream.
+
+    Stands for ``len(run)`` consecutive :class:`Step` elements whose
+    commands form one homogeneous :class:`~repro.dram.commands.CommandRun`
+    — a tile's COMP burst, one bank's COMP_BANK burst, a chunk's GWRITE
+    prologue. The compiled form is what the engine's cold path feeds to
+    :meth:`~repro.dram.controller.ChannelController.issue_burst`;
+    :meth:`expand` recovers the exact per-command steps for every
+    consumer that needs them (tracing, tick-level validation, examples).
+    """
+
+    run: CommandRun
+    loads: Tuple[Tuple[int, int], ...] = ()
+    """``(chunk, subchunk)`` payload per command (GWRITE runs), or ``()``."""
+    compute: Optional[TileComputeOp] = None
+    """Tile evaluation fired by the run's *last* command, if any."""
+    latch: int = 0
+
+    def expand(self) -> Iterator[Step]:
+        """The exact per-command steps this run stands for."""
+        last = self.run.count - 1
+        for i, command in enumerate(self.run.commands()):
+            yield Step(
+                command=command,
+                load=self.loads[i] if self.loads else None,
+                compute=self.compute if i == last else None,
+                latch=self.latch,
+            )
+
+    def payload_steps(self) -> Iterator[Step]:
+        """Just the functional payloads, in issue order.
+
+        The datapath only cares about payload order, not which command
+        carried it (see :class:`~repro.core.schedule_cache.StreamSegment`),
+        so the compiled path hands the engine these skeleton steps and
+        never materializes the per-command form.
+        """
+        for load in self.loads:
+            yield Step(load=load)
+        if self.compute is not None:
+            yield Step(compute=self.compute, latch=self.latch)
+
+
+StreamItem = object
+"""A lowered-stream element: a :class:`Step` or a :class:`RunStep`."""
+
+
 class CommandStreamGenerator:
     """Generates the command stream for one channel's GEMV slice."""
 
@@ -101,6 +150,16 @@ class CommandStreamGenerator:
         self.timing = timing
         self.opt = opt
         self.layout = layout
+        self._runs: "dict[tuple, CommandRun]" = {}
+
+    def _intern(self, run: CommandRun) -> CommandRun:
+        """Share one :class:`CommandRun` per distinct ``timing_key``.
+
+        A layer's stream repeats a handful of distinct runs thousands of
+        times (every tile's COMP burst is identical); interning makes the
+        lazy per-command materialization a one-time cost per distinct run
+        rather than per tile."""
+        return self._runs.setdefault(run.timing_key, run)
 
     # ------------------------------------------------------------------
     # duration estimates (for the refresh barrier)
@@ -165,23 +224,26 @@ class CommandStreamGenerator:
             for bank in range(self.config.banks_per_channel):
                 yield Step(command=cmds.act(bank, dram_row))
 
-    def _compute_steps(
+    def _compute_items(
         self, chunk: int, dram_row: int, latch: int, cols: int
-    ) -> Iterator[Step]:
+    ) -> "Iterator[StreamItem]":
         """The compute phase of one tile; the tile evaluation fires on the
-        final command so the buffer/rows are guaranteed loaded."""
+        final command so the buffer/rows are guaranteed loaded.
+
+        The two *complex-command* modes compile to homogeneous
+        :class:`RunStep` runs (a tile's COMP burst is run-length
+        encodable by construction); the three-step micro-command modes
+        interleave distinct kinds and stay per-command."""
         banks = self.config.banks_per_channel
         tile_op = TileComputeOp(chunk=chunk, dram_row=dram_row, latch=latch)
         gang = self.opt.ganged_compute
         fused = self.opt.complex_commands
         if gang and fused:
-            for col in range(cols):
-                last = col == cols - 1
-                yield Step(
-                    command=cmds.comp(col, col, auto_precharge=last),
-                    compute=tile_op if last else None,
-                    latch=latch,
-                )
+            yield RunStep(
+                run=self._intern(cmds.comp_run(cols)),
+                compute=tile_op,
+                latch=latch,
+            )
         elif gang and not fused:
             for col in range(cols):
                 last = col == cols - 1
@@ -196,16 +258,11 @@ class CommandStreamGenerator:
                 )
         elif not gang and fused:
             for bank in range(banks):
-                last_bank = bank == banks - 1
-                for col in range(cols):
-                    last = last_bank and col == cols - 1
-                    yield Step(
-                        command=cmds.comp_bank(
-                            bank, col, col, auto_precharge=col == cols - 1
-                        ),
-                        compute=tile_op if last else None,
-                        latch=latch,
-                    )
+                yield RunStep(
+                    run=self._intern(cmds.comp_bank_run(bank, cols)),
+                    compute=tile_op if bank == banks - 1 else None,
+                    latch=latch,
+                )
         else:
             for bank in range(banks):
                 last_bank = bank == banks - 1
@@ -238,32 +295,53 @@ class CommandStreamGenerator:
                     emit=emit if bank == banks - 1 else None,
                 )
 
-    def _gwrite_steps(self, chunk: int) -> Iterator[Step]:
+    def _gwrite_items(self, chunk: int) -> "Iterator[StreamItem]":
         yield Step(new_chunk=chunk)
-        for sub in range(self.layout.cols_in_chunk(chunk)):
-            yield Step(command=cmds.gwrite(sub), load=(chunk, sub))
+        subchunks = self.layout.cols_in_chunk(chunk)
+        if subchunks:
+            yield RunStep(
+                run=self._intern(cmds.gwrite_run(subchunks)),
+                loads=tuple((chunk, sub) for sub in range(subchunks)),
+            )
 
     # ------------------------------------------------------------------
     # full streams
 
     def gemv_steps(self) -> Iterator[Step]:
-        """The full command stream for one matrix-vector product."""
-        if self.opt.interleaved_reuse:
-            yield from self._interleaved_stream()
-        else:
-            yield from self._no_reuse_stream()
+        """The full command stream, one :class:`Step` per command.
 
-    def _interleaved_stream(self) -> Iterator[Step]:
+        The materialized view of :meth:`gemv_items` — what the trace
+        example, the tick-level cross-check, and the per-command tests
+        consume. The engine itself executes the compiled item form."""
+        for item in self.gemv_items():
+            if isinstance(item, RunStep):
+                yield from item.expand()
+            else:
+                yield item
+
+    def gemv_items(self) -> "Iterator[StreamItem]":
+        """The compiled command stream for one matrix-vector product.
+
+        Homogeneous stretches arrive as :class:`RunStep` (run-length
+        encoded, numpy-backed); everything else as plain :class:`Step`.
+        ``gemv_steps()`` is always exactly this stream with every run
+        expanded in place."""
+        if self.opt.interleaved_reuse:
+            yield from self._interleaved_items()
+        else:
+            yield from self._no_reuse_items()
+
+    def _interleaved_items(self) -> "Iterator[StreamItem]":
         layout = self.layout
         assert isinstance(layout, InterleavedLayout)
         tile_est = self.tile_duration_estimate()
         for chunk in range(layout.num_chunks):
-            yield from self._gwrite_steps(chunk)
+            yield from self._gwrite_items(chunk)
             for tile in range(layout.tiles):
                 dram_row = layout.dram_row(chunk, tile)
                 yield Step(barrier_cycles=tile_est)
                 yield from self._activation_steps(dram_row)
-                yield from self._compute_steps(
+                yield from self._compute_items(
                     chunk, dram_row, latch=0, cols=layout.cols_in_chunk(chunk)
                 )
                 emit = EmitOp(
@@ -271,7 +349,7 @@ class CommandStreamGenerator:
                 )
                 yield from self._readres_steps(emit)
 
-    def _no_reuse_stream(self) -> Iterator[Step]:
+    def _no_reuse_items(self) -> "Iterator[StreamItem]":
         layout = self.layout
         assert isinstance(layout, NoReuseLayout)
         tile_est = self.tile_duration_estimate()
@@ -280,12 +358,12 @@ class CommandStreamGenerator:
             for chunk in range(layout.num_chunks):
                 # The input chunk must be re-fetched every pass: this is
                 # the traffic the interleaved layout eliminates.
-                yield from self._gwrite_steps(chunk)
+                yield from self._gwrite_items(chunk)
                 for latch, slot in enumerate(slots):
                     dram_row = layout.dram_row(slot, chunk)
                     yield Step(barrier_cycles=tile_est)
                     yield from self._activation_steps(dram_row)
-                    yield from self._compute_steps(
+                    yield from self._compute_items(
                         chunk, dram_row, latch=latch, cols=layout.cols_in_chunk(chunk)
                     )
             for latch, slot in enumerate(slots):

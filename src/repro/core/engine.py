@@ -12,17 +12,26 @@ execute back-to-back on the same controller clock, so refresh interference
 accumulates across an end-to-end model exactly as it would on hardware —
 the effect behind DLRM's end-to-end vs single-layer gap in Figure 8.
 
-Two caches make steady-state simulation fast without giving up a cycle
-of exactness (see :mod:`repro.core.schedule_cache`):
+Execution is tiered, fastest applicable tier first, without giving up a
+cycle of exactness (see :mod:`repro.core.schedule_cache`,
+:mod:`repro.dram.burst`, and ``docs/cold-path.md``):
 
-* the **stream cache** materializes each layout's lowered step stream
-  once, so ``gemm``/``gemv_batch``/serving re-runs skip Algorithm 1's
-  lowering entirely;
 * the **schedule cache** replays recorded per-tile timing deltas when a
   tile starts from a controller state already seen (same relative
-  bus/bank/FAW phase), fast-forwarding the controller in O(1) per tile.
-  Refresh barriers are always executed exactly, and tracing or mixed
-  background traffic disables replay for the run.
+  bus/bank/FAW phase), fast-forwarding the controller in O(1) per tile —
+  the steady-state tier;
+* on a replay miss (the *cold* path: first encounter of a layer shape
+  or controller phase), homogeneous command runs go through the **burst
+  kernel** — first command solved by the constraint solver, the rest in
+  closed form — instead of N per-command solver iterations;
+* the **per-command reference** solver handles everything else, and the
+  whole stream when the fast path is off.
+
+The **stream cache** additionally materializes each layout's lowered,
+run-length-compiled stream once, so ``gemm``/``gemv_batch``/serving
+re-runs skip Algorithm 1's lowering entirely. Refresh barriers are
+always executed exactly in every tier, and tracing or mixed background
+traffic forces the per-command reference for the run.
 
 Set ``fast=False`` (or the ``NEWTON_NO_FASTPATH=1`` environment
 variable) to force per-command issue everywhere.
@@ -48,6 +57,7 @@ from repro.core.schedule_cache import (
 )
 from repro.dram import fastpath
 from repro.dram.channel import Channel
+from repro.dram.commands import CommandRun
 from repro.dram.config import DRAMConfig
 from repro.dram.power import PowerParams, PowerReport
 from repro.dram.timing import TimingParams
@@ -120,6 +130,11 @@ class NewtonChannelEngine:
         self._row_cache: Optional[tuple] = None
         self.schedule_cache = ScheduleCache()
         self._stream_cache = StreamCache()
+        self.burst_runs = 0
+        """Homogeneous runs issued through the cold-path burst kernel."""
+        self.burst_commands = 0
+        """Commands those runs covered (each one skipped the per-command
+        constraint solver; see :mod:`repro.dram.burst`)."""
 
     # ------------------------------------------------------------------
     # matrix residency
@@ -264,7 +279,7 @@ class NewtonChannelEngine:
                             notify(command, record)
                 boundary += 1
                 controller.refresh_barrier(segment.barrier_cycles)
-            if not segment.commands and not segment.functional_steps:
+            if not segment.items and not segment.functional_steps:
                 continue
 
             signature = (
@@ -276,19 +291,27 @@ class NewtonChannelEngine:
                 if delta is not None:
                     # Steady state: replay the recorded schedule in O(1).
                     fastpath.apply_delta(controller, delta, base)
-                    cache.replayed_commands += len(segment.commands)
+                    cache.replayed_commands += segment.n_commands
                     if delta.max_complete is not None:
                         end = max(end, base + delta.max_complete)
                 else:
+                    # Cold path: homogeneous runs go through the burst
+                    # kernel (first command solved, tail in closed form);
+                    # everything else through the per-command solver.
                     counters_before = fastpath.counters(controller)
                     segment_complete: Optional[int] = None
-                    for command in segment.commands:
-                        record = controller.issue(command)
+                    for item in segment.items:
+                        if isinstance(item, CommandRun):
+                            complete = controller.issue_burst(item).complete
+                            self.burst_runs += 1
+                            self.burst_commands += item.count
+                        else:
+                            complete = controller.issue(item).complete
                         if (
                             segment_complete is None
-                            or record.complete > segment_complete
+                            or complete > segment_complete
                         ):
-                            segment_complete = record.complete
+                            segment_complete = complete
                     if segment_complete is not None:
                         end = max(end, segment_complete)
                     delta = fastpath.capture_delta(

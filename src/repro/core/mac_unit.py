@@ -56,12 +56,11 @@ class BankMacUnit:
                 f"{a.shape[0]} and {b.shape[0]}"
             )
         products = bf16_mul(a, b)
-        # Reuse the tree's reduction but accumulate into the selected latch.
-        level = products
-        while level.shape[0] > 1:
-            level = bf16_add(level[0::2], level[1::2])
+        # The tree's reduction, accumulated into the selected latch.
+        tree_sum = self._tree.reduce(products)
         self._latches[latch] = bf16_add(
-            self._latches[latch : latch + 1], level
+            self._latches[latch : latch + 1],
+            np.array([tree_sum], dtype=np.float32),
         )[0]
         self.macs += self.lanes
 

@@ -27,33 +27,59 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.command_gen import CommandStreamGenerator, Step
+from repro.core.command_gen import CommandStreamGenerator, RunStep, Step
+from repro.dram.commands import CommandRun
 from repro.dram.fastpath import ControllerDelta, Signature
 
 MAX_DELTA_ENTRIES = 8192
 """Replay-cache size backstop; real workloads use a handful of entries."""
 
 
-@dataclass(frozen=True)
+@dataclass
 class StreamSegment:
-    """A barrier-delimited run of steps with a row-blind identity key.
+    """A barrier-delimited run of stream items with a row-blind key.
 
-    The timing side (``commands``) and the functional side
+    The timing side (``items``) and the functional side
     (``functional_steps``) are stored separately: the controller and the
     datapath are independent state machines, so a segment's functional
     effects depend only on the order of its payload-carrying steps, not
     on how they interleave with pure command issue. Dropping the ~3x
     ``Step`` wrapper overhead matters for the no-reuse streams, whose
     materialized form runs to hundreds of thousands of steps.
+
+    ``items`` is the compiled form the cold path executes: individual
+    :class:`~repro.dram.commands.Command` objects interleaved with
+    :class:`~repro.dram.commands.CommandRun` homogeneous runs (a tile's
+    COMP burst arrives as *one* item). Barriers never fall inside a run:
+    the segmenter flushes at every barrier step, so a refresh splits
+    runs exactly where it splits replay segments. The per-command view
+    (:attr:`commands`) is materialized lazily for the consumers that
+    need it — the slow reference path, tracing, background traffic.
     """
 
     barrier_cycles: int
     """Refresh-barrier window preceding the steps (0: no barrier)."""
-    commands: Tuple  # Tuple[Command, ...]
+    items: Tuple  # Tuple[Command | CommandRun, ...]
+    n_commands: int
+    """Commands the segment expands to (``len(self.commands)``)."""
     key_id: int
     """Engine-interned id of the command-identity key."""
     functional_steps: Tuple[Step, ...]
     """The subset of steps carrying a functional payload, in order."""
+    _commands: Optional[Tuple] = None
+
+    @property
+    def commands(self) -> Tuple:
+        """The segment as per-command objects (lazily materialized)."""
+        if self._commands is None:
+            flat: List = []
+            for item in self.items:
+                if isinstance(item, CommandRun):
+                    flat.extend(item.commands())
+                else:
+                    flat.append(item)
+            self._commands = tuple(flat)
+        return self._commands
 
 
 @dataclass
@@ -64,7 +90,7 @@ class SegmentedStream:
 
     @property
     def total_commands(self) -> int:
-        return sum(len(s.commands) for s in self.segments)
+        return sum(s.n_commands for s in self.segments)
 
 
 def _command_key(command) -> tuple:
@@ -82,6 +108,20 @@ def _command_key(command) -> tuple:
         command.subchunk,
         command.auto_precharge,
     )
+
+
+def _item_key(item) -> tuple:
+    """The timing-relevant identity of a stream item.
+
+    A :class:`~repro.dram.commands.CommandRun` keys as its whole run
+    identity (kind, bank scope, operand arrays, trailing AP) — runnable
+    kinds never carry a row, so the key stays row-blind by construction
+    and a compiled segment gets the same replay hit rate as its expanded
+    per-command form.
+    """
+    if isinstance(item, CommandRun):
+        return ("run",) + item.timing_key
+    return _command_key(item)
 
 
 def _has_payload(step: Step) -> bool:
@@ -134,37 +174,54 @@ class ScheduleCache:
 def segment_stream(
     generator: CommandStreamGenerator, cache: ScheduleCache
 ) -> SegmentedStream:
-    """Lower a generator's step stream into barrier-delimited segments."""
+    """Lower a generator's compiled stream into barrier-delimited segments.
+
+    Consumes :meth:`~repro.core.command_gen.CommandStreamGenerator.gemv_items`
+    so homogeneous runs survive lowering as single
+    :class:`~repro.dram.commands.CommandRun` items; their functional
+    payloads (loads, the tile compute) are re-attached as skeleton steps
+    in issue order. A barrier always flushes the open segment, so no run
+    ever straddles a refresh decision point.
+    """
     stream = SegmentedStream()
     barrier = 0
-    commands: List = []
+    items: List = []
+    n_commands = 0
     functional: List[Step] = []
 
     def flush() -> None:
-        nonlocal barrier
-        if commands or functional or barrier:
-            key = tuple(_command_key(c) for c in commands)
+        nonlocal barrier, n_commands
+        if items or functional or barrier:
+            key = tuple(_item_key(i) for i in items)
             stream.segments.append(
                 StreamSegment(
                     barrier_cycles=barrier,
-                    commands=tuple(commands),
+                    items=tuple(items),
+                    n_commands=n_commands,
                     key_id=cache.intern_key(key),
                     functional_steps=tuple(functional),
                 )
             )
         barrier = 0
-        commands.clear()
+        n_commands = 0
+        items.clear()
         functional.clear()
 
-    for step in generator.gemv_steps():
-        if step.barrier_cycles:
-            flush()
-            barrier = step.barrier_cycles
+    for item in generator.gemv_items():
+        if isinstance(item, RunStep):
+            items.append(item.run)
+            n_commands += item.run.count
+            functional.extend(item.payload_steps())
             continue
-        if step.command is not None:
-            commands.append(step.command)
-        if _has_payload(step):
-            functional.append(step)
+        if item.barrier_cycles:
+            flush()
+            barrier = item.barrier_cycles
+            continue
+        if item.command is not None:
+            items.append(item.command)
+            n_commands += 1
+        if _has_payload(item):
+            functional.append(item)
     flush()
     return stream
 

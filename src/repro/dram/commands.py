@@ -25,6 +25,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+import numpy as np
+
 
 class CommandKind(enum.Enum):
     """Every command the controller can issue."""
@@ -188,3 +190,164 @@ def readres() -> Command:
 def readres_bank(bank: int) -> Command:
     """Read a single bank's result latch (used when ganging is ablated)."""
     return Command(CommandKind.READRES_BANK, bank=bank)
+
+
+# ----------------------------------------------------------------------
+# run-length-encoded homogeneous command runs
+
+RUN_KINDS: Tuple[CommandKind, ...] = (
+    CommandKind.COMP,
+    CommandKind.COMP_BANK,
+    CommandKind.GWRITE,
+)
+"""Kinds a :class:`CommandRun` may encode. These are the command
+sequences Newton's streams issue in long homogeneous stretches (a tile's
+COMP burst, a chunk's GWRITE prologue), and exactly the sequences whose
+issue cycles satisfy the affine recurrence the burst timing kernel
+(:mod:`repro.dram.burst`) solves in closed form."""
+
+
+class CommandRun:
+    """A homogeneous command run, compiled instead of materialized.
+
+    One ``CommandRun`` stands for ``count`` consecutive commands of the
+    same kind against the same bank scope, whose per-command operands
+    (column / sub-chunk index) are carried as numpy arrays rather than
+    ``count`` Python :class:`Command` objects. Only the *last* command of
+    a run may carry auto-precharge — the shape Newton's streams emit.
+
+    The per-command objects are produced lazily by :meth:`commands` (for
+    the per-command reference solver, the trace writer, and the
+    background-traffic path); the fast cold path hands the run itself to
+    :meth:`repro.dram.controller.ChannelController.issue_burst` and never
+    materializes anything.
+
+    ``timing_key`` is the run's schedule-relevant identity (kind, bank
+    scope, operand arrays, count, trailing auto-precharge) — the run
+    analogue of the per-command key the schedule cache interns. DRAM rows
+    never appear: none of the runnable kinds carries one.
+    """
+
+    __slots__ = (
+        "kind",
+        "count",
+        "bank",
+        "cols",
+        "subchunks",
+        "auto_precharge_last",
+        "timing_key",
+        "_commands",
+        "_first",
+    )
+
+    def __init__(
+        self,
+        kind: CommandKind,
+        count: int,
+        *,
+        bank: Optional[int] = None,
+        cols: Optional[np.ndarray] = None,
+        subchunks: Optional[np.ndarray] = None,
+        auto_precharge_last: bool = False,
+    ):
+        from repro.errors import ProtocolError
+
+        if kind not in RUN_KINDS:
+            raise ProtocolError(
+                f"{kind} streams are not homogeneous; only "
+                f"{[k.value for k in RUN_KINDS]} can be run-length encoded"
+            )
+        if count < 1:
+            raise ProtocolError("a command run needs at least one command")
+        if kind is CommandKind.COMP_BANK and bank is None:
+            raise ProtocolError("a COMP_BANK run requires a bank operand")
+        self.kind = kind
+        self.count = count
+        self.bank = bank
+        self.cols = None if cols is None else np.asarray(cols, dtype=np.int32)
+        self.subchunks = (
+            None if subchunks is None else np.asarray(subchunks, dtype=np.int32)
+        )
+        for name, arr in (("cols", self.cols), ("subchunks", self.subchunks)):
+            if arr is not None and arr.shape != (count,):
+                raise ProtocolError(
+                    f"run {name} array has shape {arr.shape}, expected ({count},)"
+                )
+        self.auto_precharge_last = auto_precharge_last
+        self.timing_key = (
+            kind,
+            bank,
+            count,
+            auto_precharge_last,
+            None if self.cols is None else self.cols.tobytes(),
+            None if self.subchunks is None else self.subchunks.tobytes(),
+        )
+        self._commands: Optional[Tuple[Command, ...]] = None
+        self._first: Optional[Command] = None
+
+    def _command_at(self, i: int) -> Command:
+        return Command(
+            self.kind,
+            bank=self.bank,
+            col=None if self.cols is None else int(self.cols[i]),
+            subchunk=None if self.subchunks is None else int(self.subchunks[i]),
+            auto_precharge=self.auto_precharge_last and i == self.count - 1,
+        )
+
+    def first_command(self) -> Command:
+        """The run's first command (what the burst kernel issues exactly)."""
+        if self._first is None:
+            self._first = self._command_at(0)
+        return self._first
+
+    def commands(self) -> Tuple[Command, ...]:
+        """Materialize the run as per-command objects (lazily, cached)."""
+        if self._commands is None:
+            self._commands = tuple(
+                self._command_at(i) for i in range(self.count)
+            )
+        return self._commands
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        scope = "" if self.bank is None else f" bank={self.bank}"
+        ap = " AP" if self.auto_precharge_last else ""
+        return f"<CommandRun {self.kind.value} x{self.count}{scope}{ap}>"
+
+
+def comp_run(cols: int, *, auto_precharge_last: bool = True, start: int = 0) -> CommandRun:
+    """A tile's ganged COMP burst: ``COMP#start .. COMP#(start+cols-1)``."""
+    idx = np.arange(start, start + cols, dtype=np.int32)
+    return CommandRun(
+        CommandKind.COMP,
+        cols,
+        cols=idx,
+        subchunks=idx,
+        auto_precharge_last=auto_precharge_last,
+    )
+
+
+def comp_bank_run(
+    bank: int, cols: int, *, auto_precharge_last: bool = True, start: int = 0
+) -> CommandRun:
+    """One bank's COMP_BANK burst (the ganging-ablated encoding)."""
+    idx = np.arange(start, start + cols, dtype=np.int32)
+    return CommandRun(
+        CommandKind.COMP_BANK,
+        cols,
+        bank=bank,
+        cols=idx,
+        subchunks=idx,
+        auto_precharge_last=auto_precharge_last,
+    )
+
+
+def gwrite_run(subchunks: int) -> CommandRun:
+    """A chunk's GWRITE prologue: sub-chunks ``0 .. subchunks-1``."""
+    return CommandRun(
+        CommandKind.GWRITE,
+        subchunks,
+        subchunks=np.arange(subchunks, dtype=np.int32),
+    )

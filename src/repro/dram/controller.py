@@ -489,6 +489,21 @@ class ChannelController:
         self.stats.refreshes += 1
         return self._record(command, at, done)
 
+    def issue_burst(self, run) -> "object":
+        """Issue a homogeneous :class:`~repro.dram.commands.CommandRun`.
+
+        The cold-path entry point: the first command goes through the
+        ordinary constraint solver, the rest are applied in closed form
+        by :func:`repro.dram.burst.issue_burst` — bit-identical to
+        issuing :meth:`issue` per command (the differential suite pins
+        end cycle, stats, and full cycle attribution). Falls back to
+        per-command issue under a trace recorder. Returns a
+        :class:`~repro.dram.burst.BurstRecord`.
+        """
+        from repro.dram.burst import issue_burst as _issue_burst
+
+        return _issue_burst(self, run)
+
     _HANDLERS = {
         CommandKind.ACT: _issue_act,
         CommandKind.G_ACT: _issue_g_act,

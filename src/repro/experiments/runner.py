@@ -228,9 +228,36 @@ def main(argv: "list[str] | None" = None) -> int:
         help="serving-replica count for the queueing studies (M/D/c; "
         "default 1)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the selected experiments under cProfile and dump the "
+        "top functions by cumulative time to stderr (serial only)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default=None,
+        help="write the cProfile report to FILE instead of stderr "
+        "(implies --profile)",
+    )
+    parser.add_argument(
+        "--profile-limit",
+        type=int,
+        default=30,
+        metavar="N",
+        help="how many functions the profile report shows (default 30)",
+    )
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.profile and args.jobs > 1:
+        parser.error(
+            "--profile requires serial execution (--jobs 1): cProfile "
+            "cannot see into worker processes"
+        )
     if args.devices < 1:
         parser.error("--devices must be at least 1")
     if args.replicas < 1:
@@ -251,6 +278,7 @@ def main(argv: "list[str] | None" = None) -> int:
         else list(dict.fromkeys(requested))
     )
 
+    profiler = None
     try:
         if args.jobs > 1 and len(selected) > 1:
             with ProcessPoolExecutor(
@@ -263,6 +291,17 @@ def main(argv: "list[str] | None" = None) -> int:
                     for name in selected
                 ]
                 outcomes = [future.result() for future in futures]
+        elif args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                outcomes = [
+                    run_experiment(name, context) for name in selected
+                ]
+            finally:
+                profiler.disable()
         else:
             outcomes = [run_experiment(name, context) for name in selected]
     finally:
@@ -288,7 +327,33 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.metrics:
         write_metrics(outcomes, args.metrics, context)
         print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    if profiler is not None:
+        write_profile(profiler, args.profile_out, args.profile_limit)
     return 1 if failures else 0
+
+
+def write_profile(
+    profiler, path: Optional[str], limit: int
+) -> None:
+    """Dump a cumulative-time profile report to ``path`` or stderr.
+
+    The hot-spot view future perf work starts from: top ``limit``
+    functions by cumulative time, so the tier boundaries (lowering,
+    burst kernel, replay, functional evaluation) show up by name.
+    """
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(limit)
+    report = buffer.getvalue()
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(report)
+        print(f"wrote profile to {path}", file=sys.stderr)
+    else:
+        print(report, file=sys.stderr)
 
 
 if __name__ == "__main__":

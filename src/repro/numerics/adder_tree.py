@@ -70,6 +70,16 @@ class AdderTree:
         """True once the latch holds an un-read partial result."""
         return self._dirty
 
+    def reduce(self, products: Sequence[float]) -> float:
+        """Reduce one set of lane products; do not touch the latch.
+
+        The stateless half of :meth:`feed`, for datapaths that manage
+        their own accumulation latches (e.g. the multi-latch
+        :class:`~repro.core.mac_unit.BankMacUnit`) — the rounding/order
+        invariant lives here in one place.
+        """
+        return adder_tree_reduce(np.asarray(products, dtype=np.float32))
+
     def feed(self, products: Sequence[float]) -> None:
         """Reduce one set of lane products and accumulate into the latch."""
         tree_sum = adder_tree_reduce(np.asarray(products, dtype=np.float32))

@@ -89,6 +89,10 @@ def engine_metrics(engine, *, end: Optional[int] = None) -> dict:
         "entries": len(cache),
     }
     record["fast_path"] = engine.fast
+    record["burst"] = {
+        "runs": engine.burst_runs,
+        "commands": engine.burst_commands,
+    }
     return record
 
 

@@ -96,10 +96,22 @@ def controller_fingerprint(controller):
     )
 
 
-def run_pair(opt, m, n, *, refresh=True, runs=1):
+def disable_replay(engine):
+    """Force every segment down the cold (burst-kernel) path.
+
+    With lookups always missing, the engine records deltas but never
+    replays them — so a ``fast=True`` run exercises the burst kernel on
+    every tile, the regime the cold-path differential pins.
+    """
+    engine.schedule_cache.lookup = lambda *a, **k: None
+
+
+def run_pair(opt, m, n, *, refresh=True, runs=1, cold=False):
     """Run identical GEMV sequences on a fast and a slow engine."""
     slow = make_engine(False, opt, refresh=refresh)
     fast = make_engine(True, opt, refresh=refresh)
+    if cold:
+        disable_replay(fast)
     layout_slow = slow.add_matrix(m, n)
     layout_fast = fast.add_matrix(m, n)
     for _ in range(runs):
@@ -120,13 +132,15 @@ def assert_metrics_parity(slow, fast, end):
     Replay accumulates the same cycle-attribution and command counters
     as per-command issue, so after finalizing both controllers at the
     same end cycle the schema-validated records differ only in the
-    schedule-cache section (hits are the fast path's whole point).
+    schedule-cache and burst sections (skipping solver work is those
+    paths' whole point).
     """
     a = validate_metrics(slow.collect_metrics(end=end))
     b = validate_metrics(fast.collect_metrics(end=end))
     for record in (a, b):
         record.pop("schedule_cache")
         record.pop("fast_path")
+        record.pop("burst")
     assert a == b
 
 
@@ -151,6 +165,55 @@ class TestAllCombinations:
         cache = fast.schedule_cache
         assert cache.hits > 0
         assert cache.replayed_commands > 0
+
+
+class TestColdBurstAllCombinations:
+    """The cold-path burst kernel vs per-command issue, replay disabled.
+
+    With replay lookups stubbed to always miss, a ``fast=True`` engine
+    executes every segment through :meth:`ChannelController.issue_burst`
+    — so this pins the burst kernel itself (end cycle, stats, telemetry
+    attribution, final controller state) across all 32 optimization
+    combinations with refresh on and off, independent of the
+    steady-state tier that normally hides it after the first tiles.
+    """
+
+    @pytest.mark.parametrize("refresh", [True, False], ids=["ref", "noref"])
+    @pytest.mark.parametrize(
+        "bits",
+        list(itertools.product((False, True), repeat=5)),
+        ids=lambda b: "".join("X" if x else "." for x in b),
+    )
+    def test_cold_cycle_and_stats_identical(self, bits, refresh):
+        opt = OptimizationConfig(**dict(zip(FLAGS, bits)))
+        _, fast = run_pair(opt, m=40, n=700, refresh=refresh, cold=True)
+        assert fast.schedule_cache.hits == 0
+        if opt.complex_commands:
+            # Every COMP/COMP_BANK/GWRITE stretch went through the kernel.
+            assert fast.burst_runs > 0
+            assert fast.burst_commands > fast.burst_runs
+
+    def test_cold_functional_outputs_bit_identical(self):
+        rng = np.random.default_rng(7)
+        m, n = 48, 1100
+        matrix = rng.standard_normal((m, n)).astype(np.float32)
+        vector = rng.standard_normal(n).astype(np.float32)
+        slow = make_engine(False, FULL, functional=True)
+        fast = make_engine(True, FULL, functional=True)
+        disable_replay(fast)
+        a = slow.run_gemv(slow.add_matrix(m, n, matrix), vector)
+        b = fast.run_gemv(fast.add_matrix(m, n, matrix), vector)
+        assert a.end_cycle == b.end_cycle
+        assert a.stats == b.stats
+        assert np.array_equal(a.output, b.output)
+        assert fast.burst_commands > 0
+
+    def test_burst_kernel_only_runs_on_the_fast_miss_path(self):
+        """``fast=False`` must stay the pure per-command reference."""
+        engine = make_engine(False, FULL)
+        engine.run_gemv(engine.add_matrix(40, 700))
+        assert engine.burst_runs == 0
+        assert engine.burst_commands == 0
 
 
 class TestPropertyDifferential:
