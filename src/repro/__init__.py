@@ -36,6 +36,7 @@ from repro.errors import (
     ReproError,
     TelemetryError,
     TimingViolationError,
+    VerificationError,
 )
 from repro.telemetry import MetricsRegistry
 
@@ -69,6 +70,7 @@ __all__ = [
     "CapacityError",
     "ProtocolError",
     "TelemetryError",
+    "VerificationError",
     "MetricsRegistry",
     "__version__",
 ]

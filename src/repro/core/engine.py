@@ -135,6 +135,15 @@ class NewtonChannelEngine:
         self.burst_commands = 0
         """Commands those runs covered (each one skipped the per-command
         constraint solver; see :mod:`repro.dram.burst`)."""
+        # Opt-in protocol verification (NEWTON_CHECK_INVARIANTS=1): the
+        # verifier installs itself as the controller's trace recorder,
+        # which also forces the per-command tier so it sees every
+        # command. Imported lazily — repro.verify imports this module.
+        from repro.verify.hook import maybe_attach_verifier
+
+        self.verifier = maybe_attach_verifier(self)
+        """The attached :class:`~repro.verify.hook.EngineVerifier`, or
+        ``None`` (the default: the flag is off)."""
 
     # ------------------------------------------------------------------
     # matrix residency
@@ -329,6 +338,9 @@ class NewtonChannelEngine:
                     if emitted is not None:
                         self._accumulate(output, emitted)
         after = stats_snapshot(controller.stats)
+        if self.verifier is not None:
+            # Raises VerificationError if this run broke the protocol.
+            self.verifier.after_run(end)
         return ChannelRunResult(
             channel_index=self.channel_index,
             row_slice=(0, layout.m),

@@ -40,6 +40,18 @@ class ProtocolError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """An execution violated a protocol invariant, or a trace could not
+    be verified.
+
+    Raised by the :mod:`repro.verify` layer: by the opt-in
+    ``NEWTON_CHECK_INVARIANTS=1`` engine hook when the post-hoc trace
+    validator finds a timing or semantic protocol violation, and by the
+    verifier itself when a trace is unverifiable (e.g. its ring buffer
+    overflowed and records were lost).
+    """
+
+
 class TelemetryError(ReproError):
     """A metrics record failed schema validation or internal accounting.
 

@@ -160,6 +160,38 @@ def write_metrics(
     registry.write_json(path)
 
 
+def run_verify(count: int, seed: int, report_path: Optional[str]) -> int:
+    """The ``newton-repro verify`` subcommand: a differential fuzz campaign.
+
+    Runs ``count`` seeded random cases through every execution tier
+    (per-command, burst, fast-path replay, multi-device shard), checks
+    each trace against the protocol-invariant catalog and the
+    independent cycle oracle, and shrinks any failure to a near-minimal
+    reproducer (see :mod:`repro.verify.fuzz`). Exit code 0 iff every
+    case passed.
+    """
+    import json
+
+    from repro.verify.fuzz import fuzz as run_fuzz
+
+    def progress(result) -> None:
+        status = "ok" if result.ok else "FAIL"
+        print(
+            f"[{result.case.index + 1:>3}/{count}] {status}  "
+            f"{result.commands} commands, {result.checks} checks  "
+            f"({result.case.opt().label}, devices={result.case.devices})",
+            file=sys.stderr,
+        )
+
+    report = run_fuzz(count, seed, progress=progress)
+    print(report.render())
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"wrote fuzz report to {report_path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the requested experiments (default: all) and print the tables."""
     parser = argparse.ArgumentParser(
@@ -169,7 +201,9 @@ def main(argv: "list[str] | None" = None) -> int:
             "environment toggles (boolean: 1/true/yes/on vs 0/false/no/off, "
             "case-insensitive): NEWTON_NO_FASTPATH=1 forces per-command "
             "issue everywhere; NEWTON_TELEMETRY=0 disables cycle-"
-            "attribution accounting."
+            "attribution accounting; NEWTON_CHECK_INVARIANTS=1 validates "
+            "every run against the protocol-invariant checker (slow: "
+            "forces per-command issue; see docs/verification.md)."
         ),
     )
     # NB: argparse rejects an empty nargs="*" positional when `choices`
@@ -179,13 +213,38 @@ def main(argv: "list[str] | None" = None) -> int:
         nargs="*",
         metavar="EXPERIMENT",
         help=f"which experiments to run (default: all); one of: "
-        f"{', '.join([*EXPERIMENTS, 'all'])}",
+        f"{', '.join([*EXPERIMENTS, 'all'])} — or the standalone "
+        "'verify' subcommand (protocol-invariant differential fuzzing; "
+        "see --fuzz/--seed/--report and docs/verification.md)",
     )
     parser.add_argument(
         "--out",
         metavar="PATH",
         default=None,
         help="also append the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=25,
+        metavar="N",
+        help="(verify only) number of differential fuzz cases to run "
+        "(default 25)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="(verify only) base seed; every case is reproducible from "
+        "(seed, index) alone (default 0)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="(verify only) write the fuzz report as JSON "
+        "(schema newton-verify/v1; the nightly CI artifact)",
     )
     parser.add_argument(
         "--jobs",
@@ -266,6 +325,15 @@ def main(argv: "list[str] | None" = None) -> int:
         backend=args.backend, devices=args.devices, replicas=args.replicas
     )
     requested = args.experiments or ["all"]
+    if "verify" in requested:
+        if requested != ["verify"]:
+            parser.error(
+                "'verify' is a standalone subcommand; do not mix it with "
+                "experiment names"
+            )
+        if args.fuzz < 1:
+            parser.error("--fuzz must be at least 1")
+        return run_verify(args.fuzz, args.seed, args.report)
     unknown = [name for name in requested if name not in EXPERIMENTS and name != "all"]
     if unknown:
         parser.error(

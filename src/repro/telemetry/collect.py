@@ -93,6 +93,20 @@ def engine_metrics(engine, *, end: Optional[int] = None) -> dict:
         "runs": engine.burst_runs,
         "commands": engine.burst_commands,
     }
+    verifier = getattr(engine, "verifier", None)
+    record["verify"] = {
+        # The opt-in NEWTON_CHECK_INVARIANTS=1 hook (repro.verify.hook).
+        "enabled": verifier is not None,
+        "commands_verified": (
+            0 if verifier is None else verifier.commands_verified
+        ),
+        "invariants_checked": (
+            0 if verifier is None else verifier.invariants_checked
+        ),
+        "invariant_violations": (
+            0 if verifier is None else verifier.invariant_violations
+        ),
+    }
     return record
 
 

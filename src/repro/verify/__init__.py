@@ -1,0 +1,59 @@
+"""Protocol-invariant verification and differential fuzzing.
+
+Three independent correctness instruments over the simulator's command
+streams (see ``docs/verification.md``):
+
+* :mod:`repro.verify.invariants` — a post-hoc trace validator checking
+  every timing/semantic protocol invariant (tCCD, tRRD, sliding-window
+  tFAW, tRCD, refresh compliance, GWRITE-before-COMP, result-latch
+  read-before-overwrite, ...), emitting structured
+  :class:`~repro.verify.invariants.Violation` records;
+* :mod:`repro.verify.oracle` — a deliberately-simple issue-cycle oracle
+  that re-derives every recorded issue cycle independently of the
+  controller (and of :mod:`repro.dram.ticksim`);
+* :mod:`repro.verify.fuzz` — a seeded differential fuzzer running random
+  cases through every execution tier and device count, with automatic
+  case shrinking on failure.
+
+Entry points: ``newton-repro verify --fuzz N --seed S`` (CLI) and the
+opt-in ``NEWTON_CHECK_INVARIANTS=1`` engine hook
+(:func:`repro.verify.hook.maybe_attach_verifier`).
+"""
+
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzReport,
+    fuzz,
+    generate_case,
+    run_case,
+    shrink_case,
+)
+from repro.verify.hook import EngineVerifier, maybe_attach_verifier
+from repro.verify.invariants import (
+    ALL_RULES,
+    InvariantChecker,
+    Violation,
+    check_trace,
+    merge_events,
+    require_complete,
+)
+from repro.verify.oracle import CycleOracle, Divergence
+
+__all__ = [
+    "ALL_RULES",
+    "CycleOracle",
+    "Divergence",
+    "EngineVerifier",
+    "FuzzCase",
+    "FuzzReport",
+    "InvariantChecker",
+    "Violation",
+    "check_trace",
+    "fuzz",
+    "generate_case",
+    "maybe_attach_verifier",
+    "merge_events",
+    "require_complete",
+    "run_case",
+    "shrink_case",
+]

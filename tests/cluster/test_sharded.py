@@ -38,6 +38,7 @@ def _newton_backend(**kwargs):
     return NewtonBackend(_config(), hbm2e_like_timing(), **kwargs)
 
 
+@pytest.mark.slow
 class TestDifferentialOneDevice:
     """1-device shard cluster == direct NewtonDevice, bit for bit."""
 
@@ -80,6 +81,7 @@ class TestDifferentialOneDevice:
         assert np.array_equal(run.output, direct.output)
 
 
+@pytest.mark.slow
 class TestDifferentialMultiDevice:
     """Row-sharded outputs fold back exactly to the 1-device result."""
 

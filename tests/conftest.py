@@ -5,6 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.device import NewtonDevice
+from repro.core.engine import NewtonChannelEngine
+from repro.core.optimizations import FULL
 from repro.dram.config import DRAMConfig
 from repro.dram.timing import TimingParams
 
@@ -43,3 +46,43 @@ def fast_refresh_timing() -> TimingParams:
 def rng() -> np.random.Generator:
     """A deterministic RNG for test data."""
     return np.random.default_rng(1234)
+
+
+_SMALL = DRAMConfig(num_channels=1, banks_per_channel=8, rows_per_bank=256)
+
+
+@pytest.fixture(scope="session")
+def device_factory():
+    """Session-scoped factory for small functional NewtonDevices.
+
+    Consolidates the per-test ``NewtonDevice(DRAMConfig(...), ...)``
+    boilerplate; each call still returns a fresh device (devices are
+    stateful), only the construction recipe is shared.
+    """
+
+    def make(config=None, timing=None, opt=FULL, **kwargs):
+        kwargs.setdefault("functional", True)
+        return NewtonDevice(
+            config if config is not None else _SMALL,
+            timing if timing is not None else TimingParams(),
+            opt,
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture(scope="session")
+def engine_factory():
+    """Session-scoped factory for small single-channel engines."""
+
+    def make(config=None, timing=None, opt=FULL, **kwargs):
+        kwargs.setdefault("functional", True)
+        return NewtonChannelEngine(
+            config if config is not None else _SMALL,
+            timing if timing is not None else TimingParams(),
+            opt,
+            **kwargs,
+        )
+
+    return make

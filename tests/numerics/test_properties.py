@@ -1,0 +1,144 @@
+"""Hypothesis property tests for the bfloat16 grid and the adder tree.
+
+The example-based tests pin known values; these pin the *laws* the
+datapath relies on — round-trip exactness, rounding monotonicity, and
+the tree-reduction order invariances the hardware's fixed wiring
+guarantees — across randomly drawn operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.adder_tree import AdderTree, adder_tree_reduce
+from repro.numerics.bfloat16 import (
+    BF16_EPS,
+    bf16_add,
+    bf16_bits_to_float,
+    bf16_mul,
+    float_to_bf16_bits,
+    quantize_bf16,
+)
+
+finite_floats = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    width=32,
+    min_value=-(2.0**100),
+    max_value=2.0**100,
+)
+lanes = st.lists(finite_floats, min_size=16, max_size=16).map(
+    lambda values: np.array(values, dtype=np.float32)
+)
+
+
+def _is_bf16_nan(bits: int) -> bool:
+    return (bits & 0x7F80) == 0x7F80 and (bits & 0x007F) != 0
+
+
+class TestBfloat16Properties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_bits_round_trip_exactly(self, bits):
+        """Every non-NaN bf16 pattern survives expand → re-round."""
+        pattern = np.array([bits], dtype=np.uint16)
+        back = float_to_bf16_bits(bf16_bits_to_float(pattern))
+        if _is_bf16_nan(bits):
+            assert back[0] == 0x7FC0  # canonical quiet NaN
+        else:
+            assert back[0] == bits
+
+    @settings(max_examples=200, deadline=None)
+    @given(finite_floats)
+    def test_quantize_idempotent(self, x):
+        once = quantize_bf16(np.array([x], dtype=np.float32))
+        twice = quantize_bf16(once)
+        assert float_to_bf16_bits(twice)[0] == float_to_bf16_bits(once)[0]
+
+    @settings(max_examples=200, deadline=None)
+    @given(finite_floats, finite_floats)
+    def test_rounding_monotone(self, x, y):
+        lo, hi = sorted((x, y))
+        qlo = quantize_bf16(np.array([lo], dtype=np.float32))[0]
+        qhi = quantize_bf16(np.array([hi], dtype=np.float32))[0]
+        assert qlo <= qhi
+
+    @settings(max_examples=200, deadline=None)
+    @given(finite_floats)
+    def test_quantize_sign_symmetric(self, x):
+        q = quantize_bf16(np.array([x, -x], dtype=np.float32))
+        assert q[0] == -q[1] or (q[0] == 0.0 and q[1] == 0.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(
+            allow_nan=False, width=32, min_value=2.0**-100, max_value=2.0**100
+        )
+    )
+    def test_relative_error_bound(self, x):
+        """Round-to-nearest keeps |q - x| within one bf16 epsilon of x."""
+        q = float(quantize_bf16(np.array([x], dtype=np.float32))[0])
+        assert abs(q - x) <= BF16_EPS * abs(x)
+
+    @settings(max_examples=200, deadline=None)
+    @given(finite_floats, finite_floats)
+    def test_add_and_mul_commute(self, x, y):
+        a = np.array([x], dtype=np.float32)
+        b = np.array([y], dtype=np.float32)
+        assert bf16_add(a, b)[0] == bf16_add(b, a)[0]
+        assert bf16_mul(a, b)[0] == bf16_mul(b, a)[0]
+
+
+def reference_tree_reduce(values: np.ndarray) -> float:
+    """Independent top-down formulation: split into contiguous halves.
+
+    The production code reduces bottom-up over adjacent pairs; for a
+    power-of-two lane count the two orders describe the same wiring, so
+    they must agree bit-for-bit (this is the ``reference.py``-style
+    cross-formulation check).
+    """
+    level = quantize_bf16(np.asarray(values, dtype=np.float32))
+
+    def reduce(part: np.ndarray) -> np.ndarray:
+        if part.shape[0] == 1:
+            return part
+        half = part.shape[0] // 2
+        return bf16_add(reduce(part[:half]), reduce(part[half:]))
+
+    return float(reduce(level)[0])
+
+
+class TestAdderTreeProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(lanes)
+    def test_matches_independent_reference(self, products):
+        assert adder_tree_reduce(products) == reference_tree_reduce(products)
+
+    @settings(max_examples=150, deadline=None)
+    @given(lanes)
+    def test_invariant_under_pair_swaps(self, products):
+        """Swapping the two leaves of any bottom adder is a no-op."""
+        swapped = products.reshape(8, 2)[:, ::-1].reshape(16)
+        assert adder_tree_reduce(products) == adder_tree_reduce(swapped)
+
+    @settings(max_examples=150, deadline=None)
+    @given(lanes)
+    def test_invariant_under_half_swap(self, products):
+        """Swapping the root adder's two subtrees is a no-op."""
+        swapped = np.concatenate([products[8:], products[:8]])
+        assert adder_tree_reduce(products) == adder_tree_reduce(swapped)
+
+    @settings(max_examples=100, deadline=None)
+    @given(lanes, lanes)
+    def test_latch_accumulation_order(self, first, second):
+        """feed();feed();read == the bf16 sum of the two tree results."""
+        tree = AdderTree(16)
+        tree.feed(first)
+        tree.feed(second)
+        t1 = np.array([adder_tree_reduce(first)], dtype=np.float32)
+        t2 = np.array([adder_tree_reduce(second)], dtype=np.float32)
+        expected = bf16_add(bf16_add(np.zeros(1, dtype=np.float32), t1), t2)
+        assert tree.read_and_clear() == expected[0]
+        assert not tree.dirty

@@ -1,0 +1,107 @@
+"""The fuzz harness itself: case generation, execution, reporting."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.optimizations import OptimizationConfig
+from repro.verify.fuzz import (
+    REFRESH_FAST,
+    REFRESH_OFF,
+    SCHEMA,
+    FuzzCase,
+    FuzzReport,
+    fuzz,
+    generate_case,
+    run_case,
+)
+
+
+class TestCaseGeneration:
+    def test_deterministic(self):
+        assert generate_case(3, 7) == generate_case(3, 7)
+        assert generate_case(3, 7) != generate_case(3, 8)
+        assert generate_case(3, 7) != generate_case(4, 7)
+
+    def test_fields_in_range(self):
+        for index in range(30):
+            case = generate_case(1, index)
+            assert case.banks in (8, 16)
+            assert 1 <= case.m <= 40
+            assert 1 <= case.n <= 320
+            assert case.batch in (1, 2, 3)
+            assert case.devices in (1, 2)
+            if case.interleaved_reuse:
+                # Multiple latches only exist on the row-major traversal.
+                assert case.result_latches == 1
+            if case.devices == 2:
+                assert case.m >= 2
+
+    def test_derived_config_and_timing(self):
+        case = dataclasses.replace(
+            generate_case(0, 0),
+            banks=8,
+            refresh=REFRESH_FAST,
+            t_cmd=7,
+            t_ccd=2,
+        )
+        assert case.config().banks_per_channel == 8
+        timing = case.timing()
+        assert (timing.t_cmd, timing.t_ccd) == (7, 2)
+        assert (timing.t_refi, timing.t_rfc) == (600, 60)
+        assert case.refresh_enabled
+        off = dataclasses.replace(case, refresh=REFRESH_OFF)
+        assert not off.refresh_enabled
+
+    def test_opt_roundtrip(self):
+        case = generate_case(2, 5)
+        opt = case.opt()
+        assert isinstance(opt, OptimizationConfig)
+        assert opt.aggressive_tfaw == case.aggressive_tfaw
+        assert opt.result_latches == case.result_latches
+
+    def test_describe_and_to_dict(self):
+        case = generate_case(0, 20)
+        assert "case #20 (seed 0)" in case.describe()
+        payload = case.to_dict()
+        assert payload["m"] == case.m
+        assert FuzzCase(**payload) == case
+
+
+class TestRunCase:
+    def test_clean_case(self):
+        result = run_case(generate_case(0, 3))
+        assert result.ok, result.render()
+        assert result.commands > 0
+        assert result.checks > 0
+        assert result.violations == [] and result.divergences == []
+
+    def test_render_mentions_the_case(self):
+        result = run_case(generate_case(0, 12))
+        assert "case #12" in result.render()
+
+
+class TestCampaign:
+    def test_small_campaign_is_clean(self):
+        seen = []
+        report = fuzz(3, seed=0, progress=seen.append)
+        assert report.ok
+        assert report.cases_run == 3 and report.requested == 3
+        assert len(seen) == 3
+        assert report.commands_verified == sum(r.commands for r in seen)
+        assert report.checks == sum(r.checks for r in seen)
+        assert report.shrink_executions == 0
+        assert "all cases passed" in report.render()
+
+    def test_report_to_dict_schema(self):
+        report = fuzz(2, seed=1)
+        payload = report.to_dict()
+        assert payload["schema"] == SCHEMA
+        assert payload["ok"] is True
+        assert payload["cases_run"] == 2
+        assert payload["failures"] == []
+
+    def test_empty_report(self):
+        report = FuzzReport(seed=0, requested=0)
+        assert report.ok
+        assert report.to_dict()["cases_run"] == 0

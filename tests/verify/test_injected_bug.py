@@ -1,0 +1,74 @@
+"""The acceptance regression: an injected timing bug must be caught.
+
+The controller's tFAW window is shrunk by one cycle before running —
+a realistic off-by-one in the activation-window bookkeeping. The case
+is chosen so tFAW is the binding constraint (16 banks activated through
+4-bank G_ACTs), so the corrupted controller actually issues one cycle
+early and both independent validators must notice:
+
+* the invariant checker flags the fifth-activation window rule, and
+* the cycle oracle re-derives a later legal issue cycle (a divergence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.verify.fuzz import REFRESH_OFF, FuzzCase, run_case, shrink_case
+from repro.verify.invariants import R_TFAW
+
+TFAW_BOUND_CASE = FuzzCase(
+    index=0,
+    seed=0,
+    banks=16,
+    m=2,
+    n=64,
+    batch=1,
+    ganged_compute=False,
+    complex_commands=False,
+    interleaved_reuse=True,
+    four_bank_activation=True,
+    aggressive_tfaw=False,
+    result_latches=1,
+    refresh=REFRESH_OFF,
+    t_cmd=4,
+    t_ccd=4,
+    devices=1,
+)
+
+
+def shrink_faw_by_one(controller) -> None:
+    controller.window.set_faw(controller.window.t_faw - 1)
+
+
+class TestInjectedTfawBug:
+    def test_case_is_clean_without_the_bug(self):
+        result = run_case(TFAW_BOUND_CASE)
+        assert result.ok, result.render()
+
+    def test_checker_and_oracle_both_catch_it(self):
+        result = run_case(
+            TFAW_BOUND_CASE, controller_mutator=shrink_faw_by_one
+        )
+        assert not result.ok
+        tfaw_violations = [
+            v for v in result.violations if v.rule == R_TFAW
+        ]
+        assert tfaw_violations, result.render()
+        assert "tFAW" in tfaw_violations[0].render()
+        assert result.divergences, "the oracle must also disagree"
+        d = result.divergences[0]
+        assert d.recomputed == d.recorded + 1  # exactly the off-by-one
+
+    def test_shrinking_keeps_the_failure(self):
+        bloated = dataclasses.replace(
+            TFAW_BOUND_CASE, m=8, n=128, batch=2
+        )
+        shrunk, spent = shrink_case(
+            bloated, controller_mutator=shrink_faw_by_one, budget=25
+        )
+        assert 0 < spent <= 25
+        # The shrunk case is simpler and still reproduces.
+        assert (shrunk.m, shrunk.n, shrunk.batch) < (8, 128, 2)
+        result = run_case(shrunk, controller_mutator=shrink_faw_by_one)
+        assert not result.ok

@@ -1,0 +1,342 @@
+"""Hand-crafted bad traces: one per protocol rule the checker owns.
+
+Each test builds the smallest command stream that breaks exactly one
+invariant (cross-checked against the timing defaults in
+``repro.dram.timing``) and asserts the checker flags that rule — and,
+for the legal twin of the stream, nothing at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import commands as cmd
+from repro.dram.config import DRAMConfig
+from repro.dram.controller import IssueRecord
+from repro.dram.timing import TimingParams
+from repro.dram.trace import CommandTrace
+from repro.errors import VerificationError
+from repro.verify.invariants import (
+    ALL_RULES,
+    InvariantChecker,
+    MAX_POSTPONED_REFRESHES,
+    R_BANK_STATE,
+    R_CMD_BUS,
+    R_DATA_BUS,
+    R_GBUF,
+    R_LATCH,
+    R_ORDER,
+    R_REFRESH,
+    R_TCCD,
+    R_TFAW,
+    R_TRAS,
+    R_TRCD,
+    R_TREE,
+    R_TRP,
+    R_TRRD,
+    R_TWR,
+    check_trace,
+    merge_events,
+    require_complete,
+)
+
+CFG = DRAMConfig(num_channels=1)  # 16 banks, the Table III geometry
+T = TimingParams()
+
+
+def rec(command, at):
+    return IssueRecord(command=command, issue=at, complete=at)
+
+
+def run_checker(events, *, timing=T, config=CFG, **kwargs):
+    checker = InvariantChecker(config, timing, **kwargs)
+    for command, at in events:
+        checker.observe(rec(command, at))
+    return checker
+
+
+def rules(checker):
+    return {violation.rule for violation in checker.violations}
+
+
+class TestCleanTrace:
+    def test_legal_stream_has_no_violations(self):
+        checker = run_checker(
+            [
+                (cmd.act(0, 0), 0),
+                (cmd.rd(0, 0), 14),  # exactly tRCD
+                (cmd.rd(0, 1), 18),  # exactly tCCD
+                (cmd.pre(0), 43),  # past tRAS
+                (cmd.act(0, 1), 57),  # exactly tRP after the PRE
+            ]
+        )
+        assert checker.finish() == []
+        assert checker.records_checked == 5
+        assert checker.checks > 0
+
+    def test_rule_vocabulary_is_closed(self):
+        assert R_TFAW in ALL_RULES
+        assert len(set(ALL_RULES)) == len(ALL_RULES)
+
+
+class TestTimingRules:
+    def test_issue_order(self):
+        checker = run_checker([(cmd.act(0, 0), 10), (cmd.act(1, 0), 5)])
+        assert R_ORDER in rules(checker)
+
+    def test_cmd_bus_serialization(self):
+        checker = run_checker([(cmd.act(0, 0), 0), (cmd.act(1, 0), 2)])
+        assert R_CMD_BUS in rules(checker)
+
+    def test_trrd(self):
+        # t_cmd=2 so only the activate-to-activate spacing is illegal.
+        checker = run_checker(
+            [(cmd.act(0, 0), 0), (cmd.act(1, 0), 2)],
+            timing=TimingParams(t_cmd=2),
+        )
+        assert rules(checker) == {R_TRRD}
+
+    def test_tfaw_sliding_window(self):
+        # Four ACTs fill the window; the fifth lands 28 < tFAW=32 after
+        # the first, with every pairwise spacing otherwise legal.
+        checker = run_checker(
+            [
+                (cmd.act(0, 0), 0),
+                (cmd.act(1, 0), 8),
+                (cmd.act(2, 0), 16),
+                (cmd.act(3, 0), 24),
+                (cmd.act(4, 0), 28),
+            ]
+        )
+        assert rules(checker) == {R_TFAW}
+
+    def test_tfaw_aggressive_window_is_narrower(self):
+        # 16-cycle spacing violates the JEDEC window but satisfies
+        # Newton's thermally-justified tFAW/2 (Section III-E).
+        events = [
+            (cmd.act(0, 0), 0),
+            (cmd.act(1, 0), 4),
+            (cmd.act(2, 0), 8),
+            (cmd.act(3, 0), 12),
+            (cmd.act(4, 0), 16),
+        ]
+        assert rules(run_checker(events)) == {R_TFAW}
+        assert run_checker(events, aggressive_tfaw=True).finish() == []
+
+    def test_g_act_counts_four_activations(self):
+        # Two 4-bank group activates 16 cycles apart: legal under the
+        # aggressive window, an 8-in-32 burst under the JEDEC one.
+        events = [(cmd.g_act(0, 0), 0), (cmd.g_act(1, 0), 16)]
+        assert rules(run_checker(events)) == {R_TFAW}
+        assert run_checker(events, aggressive_tfaw=True).finish() == []
+
+    def test_trcd(self):
+        checker = run_checker([(cmd.act(0, 0), 0), (cmd.rd(0, 0), 10)])
+        assert rules(checker) == {R_TRCD}
+
+    def test_tccd(self):
+        checker = run_checker(
+            [(cmd.act(0, 0), 0), (cmd.rd(0, 0), 14), (cmd.rd(0, 1), 18)],
+            timing=TimingParams(t_ccd=6),
+        )
+        assert R_TCCD in rules(checker)
+
+    def test_tras(self):
+        checker = run_checker([(cmd.act(0, 0), 0), (cmd.pre(0), 20)])
+        assert rules(checker) == {R_TRAS}
+
+    def test_trp(self):
+        checker = run_checker(
+            [(cmd.act(0, 0), 0), (cmd.pre(0), 33), (cmd.act(0, 1), 44)]
+        )
+        assert rules(checker) == {R_TRP}
+
+    def test_twr(self):
+        # PRE past tRAS but inside the write-recovery window of the WR.
+        checker = run_checker(
+            [(cmd.act(0, 0), 0), (cmd.wr(0, 0), 30), (cmd.pre(0), 34)]
+        )
+        assert rules(checker) == {R_TWR}
+
+    def test_data_bus_slots(self):
+        # Reads on different banks (no per-bank tCCD coupling) whose
+        # data beats would overlap on the shared bus.
+        checker = run_checker(
+            [
+                (cmd.act(0, 0), 0),
+                (cmd.act(1, 0), 4),
+                (cmd.rd(0, 0), 18),
+                (cmd.rd(1, 0), 20),
+            ],
+            timing=TimingParams(t_cmd=2),
+        )
+        assert rules(checker) == {R_DATA_BUS}
+
+
+class TestSemanticRules:
+    def test_column_access_needs_open_row(self):
+        checker = run_checker([(cmd.rd(5, 0), 0)])
+        assert rules(checker) == {R_BANK_STATE}
+
+    def test_double_activate(self):
+        checker = run_checker([(cmd.act(0, 0), 0), (cmd.act(0, 3), 50)])
+        assert rules(checker) == {R_BANK_STATE}
+
+    def test_comp_before_gwrite(self):
+        checker = run_checker(
+            [(cmd.act(0, 0), 0), (cmd.comp_bank(0, 0, 2), 14)]
+        )
+        assert rules(checker) == {R_GBUF}
+
+    def test_tree_drain_before_readres(self):
+        events = [
+            (cmd.act(0, 0), 0),
+            (cmd.gwrite(0), 4),
+            (cmd.comp_bank(0, 0, 0), 18),
+        ]
+        early = run_checker(events + [(cmd.readres_bank(0), 24)])
+        assert rules(early) == {R_TREE}
+        legal = run_checker(events + [(cmd.readres_bank(0), 27)])
+        assert legal.finish() == []
+
+    def test_latch_overwrite_after_reactivation(self):
+        events = [
+            (cmd.act(0, 0), 0),
+            (cmd.gwrite(0), 4),
+            (cmd.comp_bank(0, 0, 0), 18),  # latch now holds a result
+            (cmd.pre(0), 51),
+            (cmd.act(0, 1), 65),  # next tile's row
+            (cmd.comp_bank(0, 1, 0), 79),  # overwrites the unread latch
+        ]
+        checker = run_checker(events, check_latch=True)
+        assert rules(checker) == {R_LATCH}
+        # The rule is opt-in: row-major traversals accumulate on purpose.
+        assert run_checker(events).finish() == []
+
+    def test_readres_clears_the_latch_rule(self):
+        checker = run_checker(
+            [
+                (cmd.act(0, 0), 0),
+                (cmd.gwrite(0), 4),
+                (cmd.comp_bank(0, 0, 0), 18),
+                (cmd.readres_bank(0), 30),  # drains the latch
+                (cmd.pre(0), 51),
+                (cmd.act(0, 1), 65),
+                (cmd.comp_bank(0, 1, 0), 79),
+            ],
+            check_latch=True,
+        )
+        assert checker.finish() == []
+
+
+FAST_REFRESH = TimingParams(t_refi=600, t_rfc=60)
+
+
+class TestRefreshRules:
+    def checker(self, **kwargs):
+        return InvariantChecker(CFG, FAST_REFRESH, **kwargs)
+
+    def test_legal_refresh(self):
+        checker = self.checker()
+        checker.observe_refresh(700, 760)
+        assert checker.finish() == []
+        assert checker.refreshes_checked == 1
+
+    def test_command_inside_blackout(self):
+        checker = self.checker()
+        checker.observe_refresh(600, 660)
+        checker.observe(rec(cmd.act(0, 0), 655))
+        assert R_REFRESH in rules(checker)
+
+    def test_refresh_closes_banks(self):
+        checker = self.checker()
+        checker.observe(rec(cmd.act(0, 0), 0))
+        checker.observe_refresh(600, 660)
+        checker.observe(rec(cmd.rd(0, 0), 700))
+        assert rules(checker) == {R_BANK_STATE}
+
+    def test_malformed_window(self):
+        checker = self.checker()
+        checker.observe_refresh(600, 640)  # spans 40, tRFC is 60
+        assert rules(checker) == {R_REFRESH}
+
+    def test_overlapping_refreshes(self):
+        checker = self.checker()
+        checker.observe_refresh(600, 660)
+        checker.observe_refresh(650, 710)
+        assert rules(checker) == {R_REFRESH}
+
+    def test_refresh_before_maturity(self):
+        checker = self.checker()
+        checker.observe_refresh(300, 360)
+        assert rules(checker) == {R_REFRESH}
+
+    def test_interval_checks_can_be_disabled(self):
+        checker = self.checker(check_refresh_interval=False)
+        checker.observe_refresh(300, 360)
+        assert checker.finish() == []
+
+
+class TestPostponementCeiling:
+    """The JEDEC debt cap is opt-in: the simulator's barrier-only
+    refresh policy legitimately exceeds it during one long operation."""
+
+    def test_uncapped_by_default(self):
+        checker = InvariantChecker(CFG, FAST_REFRESH)
+        assert checker.finish(end=6000) == []
+
+    def test_end_of_run_debt_flagged_when_requested(self):
+        checker = InvariantChecker(
+            CFG, FAST_REFRESH, max_postponed_refreshes=MAX_POSTPONED_REFRESHES
+        )
+        violations = checker.finish(end=6000)  # 10 intervals, 0 issued
+        assert [v.rule for v in violations] == [R_REFRESH]
+        assert violations[0].index == -1  # not anchored to a command
+
+    def test_late_refresh_flagged_when_requested(self):
+        capped = InvariantChecker(
+            CFG, FAST_REFRESH, max_postponed_refreshes=MAX_POSTPONED_REFRESHES
+        )
+        capped.observe_refresh(6000, 6060)  # 9 intervals still pending
+        assert rules(capped) == {R_REFRESH}
+        uncapped = InvariantChecker(CFG, FAST_REFRESH)
+        uncapped.observe_refresh(6000, 6060)
+        assert uncapped.finish() == []
+
+
+class TestTraceEntryPoints:
+    def test_merge_events_orders_tied_refresh_after_command(self):
+        records = [rec(cmd.act(0, 0), 100)]
+        events = merge_events(records, [(100, 160), (50, 110)])
+        assert [(cycle, kind) for cycle, kind, _ in events] == [
+            (50, 1),
+            (100, 0),
+            (100, 1),
+        ]
+
+    def test_check_trace_wrapper(self):
+        records = [rec(cmd.act(0, 0), 0), (rec(cmd.rd(0, 0), 10))]
+        violations = check_trace(records, CFG, T)
+        assert [v.rule for v in violations] == [R_TRCD]
+
+    def test_check_trace_reuses_external_checker(self):
+        checker = InvariantChecker(CFG, T)
+        check_trace([rec(cmd.act(0, 0), 0)], CFG, T, checker=checker)
+        assert checker.records_checked == 1
+
+    def test_require_complete_accepts_full_trace(self):
+        trace = CommandTrace(capacity=4)
+        trace.record(rec(cmd.act(0, 0), 0))
+        assert len(require_complete(trace)) == 1
+
+    def test_require_complete_rejects_truncated_trace(self):
+        trace = CommandTrace(capacity=2)
+        for i in range(3):
+            trace.record(rec(cmd.act(i, 0), 4 * i))
+        with pytest.raises(VerificationError):
+            require_complete(trace)
+
+    def test_violation_render(self):
+        checker = run_checker([(cmd.act(0, 0), 0), (cmd.rd(0, 0), 10)])
+        text = checker.violations[0].render()
+        assert "tRCD" in text and "@10" in text
