@@ -12,6 +12,17 @@ built with ``telemetry=False``. CI runs ``--quick --check-overhead``
 (a smaller layer, gate at 5%) and uploads the ``--metrics`` JSON as an
 artifact.
 
+Two further sections track the vectorized functional datapath:
+
+* ``functional`` — MAC throughput of the three datapath tiers
+  (``scalar`` / ``tile`` / ``batched``) on a functional-mode GEMV, with
+  a bit-identity assertion across tiers. ``--check-functional`` gates
+  the batched tier at >= ``FUNCTIONAL_SPEEDUP_FLOOR`` x scalar.
+* ``cluster`` — the multiprocessing shard fleet, 1 worker vs 2, with
+  bit-identity between fleets. The >= ``CLUSTER_SPEEDUP_FLOOR`` x gate
+  only applies when the machine actually has two CPUs to run on
+  (``cpu_count`` is recorded in the record either way).
+
 Run standalone (``python benchmarks/bench_sim_throughput.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_sim_throughput.py -s``).
 """
@@ -59,6 +70,30 @@ layer while CI measures ``--quick`` (structurally a few x lower because
 fixed per-run costs loom larger on a small layer), and runners are
 noisy. A broken burst kernel reverts cold to ~1x, far below any floor
 this derives."""
+
+FUNCTIONAL_CHANNELS = 2
+"""Channels for the functional section. MAC throughput per channel is
+what the tiers differ on; a reduced channel count keeps the scalar
+reference measurable at the canonical layer size."""
+
+FUNCTIONAL_RUNS = 3
+"""Timed runs per fast tier (after one warm-up); the scalar reference
+gets a single timed run — it is ~100x slower and noise-dominated
+anyway."""
+
+FUNCTIONAL_SPEEDUP_FLOOR = 5.0
+"""``--check-functional`` fails when the batched tier is not at least
+this much faster than the scalar reference. The measured margin is
+~20-100x; a floor this low only trips when vectorization genuinely
+broke."""
+
+CLUSTER_BATCH = 4
+"""Inputs per fleet measurement (one ``gemv_batch`` round-trip)."""
+
+CLUSTER_SPEEDUP_FLOOR = 1.7
+"""Minimum 2-worker-over-1-worker fleet speedup — gated only when the
+benchmarking machine has >= 2 CPUs (a single-core container cannot
+express process parallelism, but its record still pins bit-identity)."""
 
 
 def _make_engine(
@@ -149,6 +184,133 @@ def measure_telemetry_overhead(
     }
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _functional_config():
+    return hbm2e_like_config(
+        num_channels=FUNCTIONAL_CHANNELS, banks_per_channel=16
+    )
+
+
+def measure_functional(quick: bool = False) -> dict:
+    """MAC throughput of the three functional-datapath tiers.
+
+    Each tier runs the same GEMV on the same matrix; outputs must be
+    bit-identical (the tiers' defining contract), and the speedups are
+    steady-state walls relative to the scalar reference.
+    """
+    import numpy as np
+
+    from repro.core.device import NewtonDevice
+    from repro.workloads.generator import generate_layer_data
+
+    m, n = (QUICK_M, QUICK_N) if quick else (M, N)
+    data = generate_layer_data(m, n, seed=3)
+    tiers: dict = {}
+    outputs: dict = {}
+    for tier in ("scalar", "tile", "batched"):
+        device = NewtonDevice(
+            _functional_config(),
+            hbm2e_like_timing(),
+            FULL,
+            functional=True,
+            datapath=tier,
+        )
+        handle = device.load_matrix(data.matrix)
+        device.gemv(handle, data.vector)  # warm-up: stream lowering
+        runs = 1 if tier == "scalar" else FUNCTIONAL_RUNS
+        wall = float("inf")
+        result = None
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            result = device.gemv(handle, data.vector)
+            wall = min(wall, time.perf_counter() - t0)
+        outputs[tier] = result.output
+        tiers[tier] = {
+            "wall_s": round(wall, 6),
+            "macs_per_s": round(m * n / wall),
+        }
+    bit_identical = all(
+        np.array_equal(
+            outputs[tier].view(np.uint32), outputs["scalar"].view(np.uint32)
+        )
+        for tier in ("tile", "batched")
+    )
+    assert bit_identical, "datapath tiers diverged bit-wise"
+    scalar_wall = tiers["scalar"]["wall_s"]
+    return {
+        "m": m,
+        "n": n,
+        "channels": FUNCTIONAL_CHANNELS,
+        "tiers": tiers,
+        "bit_identical": bit_identical,
+        "tile_speedup_vs_scalar": round(
+            scalar_wall / tiers["tile"]["wall_s"], 1
+        ),
+        "batched_speedup_vs_scalar": round(
+            scalar_wall / tiers["batched"]["wall_s"], 1
+        ),
+    }
+
+
+def measure_process_cluster(quick: bool = False) -> dict:
+    """The multiprocessing shard fleet: 1 worker vs 2, bit-identity and
+    wall-clock speedup on a functional batch.
+
+    The speedup is only meaningful with >= 2 CPUs; ``cpu_count`` is
+    recorded so :func:`check_functional` can gate conditionally.
+    """
+    import numpy as np
+
+    from repro.cluster import ProcessShardedCluster
+    from repro.workloads.generator import generate_layer_data
+
+    m, n = (QUICK_M, QUICK_N) if quick else (M, N)
+    data = generate_layer_data(m, n, seed=3)
+    rng = np.random.default_rng(17)
+    vectors = rng.standard_normal((CLUSTER_BATCH, n)).astype(np.float32)
+    walls: dict = {}
+    outputs: dict = {}
+    for devices in (1, 2):
+        with ProcessShardedCluster(
+            devices,
+            config=_functional_config(),
+            timing=hbm2e_like_timing(),
+            opt=FULL,
+            functional=True,
+        ) as fleet:
+            handle = fleet.load_matrix(data.matrix)
+            fleet.gemv_batch(handle, vectors)  # warm-up
+            t0 = time.perf_counter()
+            runs = fleet.gemv_batch(handle, vectors)
+            walls[devices] = time.perf_counter() - t0
+            outputs[devices] = np.stack([run.output for run in runs])
+    bit_identical = bool(
+        np.array_equal(
+            outputs[1].view(np.uint32), outputs[2].view(np.uint32)
+        )
+    )
+    assert bit_identical, "2-worker fleet diverged bit-wise from 1 worker"
+    return {
+        "m": m,
+        "n": n,
+        "batch": CLUSTER_BATCH,
+        "cpu_count": _available_cpus(),
+        "wall_1worker_s": round(walls[1], 6),
+        "wall_2workers_s": round(walls[2], 6),
+        "speedup_2workers": round(walls[1] / walls[2], 2),
+        "bit_identical": bit_identical,
+    }
+
+
 def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> dict:
     """The full benchmark record (both modes plus derived speedups).
 
@@ -184,6 +346,8 @@ def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> d
         "steady_speedup": round(slow["steady_wall_s"] / fast["steady_wall_s"], 2),
         "cold_speedup": round(slow["cold_wall_s"] / fast["cold_wall_s"], 2),
         "telemetry": measure_telemetry_overhead(m, n),
+        "functional": measure_functional(quick),
+        "cluster": measure_process_cluster(quick),
     }
 
 
@@ -260,6 +424,41 @@ def check_cold(record: dict, floor: "float | None") -> bool:
     return record["cold_speedup"] >= floor
 
 
+def check_functional(record: dict) -> "tuple[bool, str]":
+    """Gate the vectorized-datapath sections of a benchmark record.
+
+    Always requires bit-identity (tiers and fleets); requires the
+    batched tier >= ``FUNCTIONAL_SPEEDUP_FLOOR`` x scalar; requires the
+    2-worker fleet >= ``CLUSTER_SPEEDUP_FLOOR`` x only on machines with
+    at least two CPUs. Returns (ok, reason).
+    """
+    functional = record.get("functional")
+    if functional is None:
+        return True, "no functional section (non-canonical record)"
+    if not functional["bit_identical"]:
+        return False, "datapath tiers are not bit-identical"
+    speedup = functional["batched_speedup_vs_scalar"]
+    if speedup < FUNCTIONAL_SPEEDUP_FLOOR:
+        return False, (
+            f"batched tier {speedup}x vs scalar, below the "
+            f"{FUNCTIONAL_SPEEDUP_FLOOR}x floor"
+        )
+    cluster = record.get("cluster")
+    if cluster is not None:
+        if not cluster["bit_identical"]:
+            return False, "process fleet is not bit-identical"
+        if (
+            cluster["cpu_count"] >= 2
+            and cluster["speedup_2workers"] < CLUSTER_SPEEDUP_FLOOR
+        ):
+            return False, (
+                f"2-worker fleet {cluster['speedup_2workers']}x on "
+                f"{cluster['cpu_count']} CPUs, below the "
+                f"{CLUSTER_SPEEDUP_FLOOR}x floor"
+            )
+    return True, f"batched {speedup}x vs scalar"
+
+
 def export_metrics(record: dict, path: Path) -> None:
     """Registry-shaped telemetry JSON: bench gauges + a probe breakdown."""
     from repro.telemetry import MetricsRegistry, validate_metrics
@@ -274,6 +473,17 @@ def export_metrics(record: dict, path: Path) -> None:
         registry.counter("bench.commands_per_run").inc(
             record["slow"]["commands_per_run"]
         )
+        if "functional" in record:
+            registry.gauge("bench.functional_batched_speedup").set(
+                record["functional"]["batched_speedup_vs_scalar"]
+            )
+            registry.gauge("bench.functional_batched_macs_per_s").set(
+                record["functional"]["tiers"]["batched"]["macs_per_s"]
+            )
+        if "cluster" in record:
+            registry.gauge("bench.cluster_2worker_speedup").set(
+                record["cluster"]["speedup_2workers"]
+            )
     else:
         registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])
     engine, layout = _make_engine(True, record["m"], record["n"])
@@ -299,6 +509,8 @@ def test_sim_throughput(once):
         f"{record['telemetry']['overhead_pct']}% exceeds the "
         f"{OVERHEAD_BUDGET_PCT}% budget"
     )
+    functional_ok, reason = check_functional(record)
+    assert functional_ok, reason
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -323,6 +535,14 @@ def main(argv: "list[str] | None" = None) -> int:
         help="exit 1 when cold_speedup falls below the committed "
         "BENCH_sim_throughput.json value x "
         f"{COLD_REGRESSION_TOLERANCE} (generous runner-noise tolerance)",
+    )
+    parser.add_argument(
+        "--check-functional",
+        action="store_true",
+        help="exit 1 when the batched functional datapath falls below "
+        f"{FUNCTIONAL_SPEEDUP_FLOOR}x scalar, any tier/fleet loses "
+        "bit-identity, or (on >= 2 CPUs) the 2-worker fleet falls below "
+        f"{CLUSTER_SPEEDUP_FLOOR}x",
     )
     parser.add_argument(
         "--metrics",
@@ -379,6 +599,13 @@ def main(argv: "list[str] | None" = None) -> int:
             f"floor {cold_floor:.2f}x"
         )
         print(f"cold check OK: {record['cold_speedup']}x ({floor_txt})")
+    if args.check_functional:
+        functional_ok, reason = check_functional(record)
+        if not functional_ok:
+            print(f"FAIL: functional datapath check: {reason}")
+            failed = True
+        else:
+            print(f"functional check OK: {reason}")
     return 1 if failed else 0
 
 

@@ -37,6 +37,7 @@ class NewtonBackend(Backend):
         fast: bool = True,
         channel_workers: int = 0,
         telemetry: bool = True,
+        datapath: Optional[str] = None,
         device: Optional[NewtonDevice] = None,
     ):
         """Wrap an existing ``device``, or build one from the knobs."""
@@ -52,6 +53,7 @@ class NewtonBackend(Backend):
                 fast=fast,
                 channel_workers=channel_workers,
                 telemetry=telemetry,
+                datapath=datapath,
             )
         )
 

@@ -3,15 +3,28 @@
 Compose N :class:`~repro.backends.base.Backend` instances into one
 logical device::
 
-    from repro.cluster import ShardedCluster
+    from repro.cluster import make_cluster
 
-    cluster = ShardedCluster.from_spec("newton", devices=4, functional=True)
+    cluster = make_cluster("newton", devices=4, functional=True)
     handle = cluster.load_matrix(matrix)          # row-sharded 4 ways
     run = cluster.gemv(handle, vector)            # fp32 host reduction
 
-See :mod:`repro.cluster.sharded` for the placement-mode semantics.
+Two executions of the same semantics:
+
+* :class:`ShardedCluster` — in-process (the bit-exact reference, and
+  the right choice for timing-only sweeps where device simulation is
+  cheap);
+* :class:`ProcessShardedCluster` — one spawned worker process per
+  device with shared-memory weight transfer, for real N× wall-clock on
+  functional workloads (``workers="process"``).
+
+See :mod:`repro.cluster.sharded` for the placement-mode semantics and
+:mod:`repro.cluster.process_pool` for the fleet protocol.
 """
 
+from typing import Optional
+
+from repro.cluster.process_pool import ProcessShardedCluster
 from repro.cluster.sharded import (
     REPLICATE,
     SHARD,
@@ -19,11 +32,51 @@ from repro.cluster.sharded import (
     ClusterRun,
     ShardedCluster,
 )
+from repro.cluster.shm import SharedNDArray, ShmSpec
+from repro.errors import ConfigurationError
+
+WORKER_MODES = ("inline", "process")
+"""Recognized cluster execution styles for :func:`make_cluster`."""
+
+
+def make_cluster(
+    backend: str = "newton",
+    devices: int = 1,
+    *,
+    mode: str = SHARD,
+    workers: Optional[str] = None,
+    seed: int = 0,
+    **kwargs,
+):
+    """Build a homogeneous N-device cluster.
+
+    ``workers="inline"`` (the default) composes backends in-process
+    (:meth:`ShardedCluster.from_spec`); ``workers="process"`` spawns the
+    multiprocessing fleet (:class:`ProcessShardedCluster`). Both accept
+    the same backend keyword arguments and are bit-identical in output.
+    """
+    resolved = (workers or "inline").strip().lower()
+    if resolved not in WORKER_MODES:
+        raise ConfigurationError(
+            f"unknown cluster workers style {workers!r}; choose from "
+            f"{WORKER_MODES}"
+        )
+    if resolved == "process":
+        return ProcessShardedCluster(
+            devices, mode=mode, backend=backend, seed=seed, **kwargs
+        )
+    return ShardedCluster.from_spec(backend, devices, mode=mode, **kwargs)
+
 
 __all__ = [
     "SHARD",
     "REPLICATE",
+    "WORKER_MODES",
     "ClusterHandle",
     "ClusterRun",
+    "ProcessShardedCluster",
     "ShardedCluster",
+    "SharedNDArray",
+    "ShmSpec",
+    "make_cluster",
 ]

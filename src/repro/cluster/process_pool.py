@@ -1,0 +1,531 @@
+"""The multiprocessing shard fleet: N devices, N interpreters, no GIL.
+
+:class:`~repro.cluster.sharded.ShardedCluster` composes backends inside
+one process — the right reference semantics, but the functional
+datapath is CPU-bound Python/NumPy, so N in-process devices time-slice
+one core. :class:`ProcessShardedCluster` keeps the exact same placement
+modes, reduction order, and telemetry shape while running every device
+in its own **spawned** worker process, so ``--devices N`` buys ~N× real
+wall-clock.
+
+Design points, each load-bearing:
+
+* **spawn, not fork.** Workers are started with the ``spawn`` context:
+  no inherited locks, no copy-on-write aliasing of the parent's NumPy
+  state, identical behaviour on platforms where fork is unavailable or
+  unsafe. Everything a worker needs travels explicitly through its
+  :class:`multiprocessing.Pipe` (the worker entry point is a
+  module-level function precisely so it pickles under spawn).
+* **shared-memory weight transfer.** ``load_matrix`` places the full
+  matrix in one POSIX shared-memory segment
+  (:class:`~repro.cluster.shm.SharedNDArray`); each worker attaches,
+  copies *its row slice* out, and acknowledges; the parent unlinks
+  immediately. The segment lives for one load, cannot leak (finalizers
+  + atexit sweep), and the matrix crosses the kernel once instead of
+  being pickled N times.
+* **bit-identical reduction.** A shard-mode GEMV broadcasts the input
+  vector, collects per-shard partials, and folds them through the same
+  fp32 :class:`~repro.host.accumulator.HostAccumulator` in the same
+  shard order as the in-process cluster — so outputs are bit-identical
+  to the 1-process cluster and to driving a device directly (pinned by
+  ``tests/cluster/test_process_pool.py``).
+* **deterministic workers.** Worker *i* seeds ``random`` and NumPy's
+  legacy generator from ``SeedSequence([seed, i])`` before building its
+  backend. The simulator itself is deterministic; the seeding pins down
+  any backend that isn't.
+* **telemetry merge.** ``collect_metrics`` gathers each worker's own
+  ``newton-telemetry/v1`` export and namespaces it exactly like the
+  in-process cluster (``devices["device<i>"]``), adding an
+  ``execution`` block recording the fleet shape.
+
+Requests are issued send-all-then-receive-all, so shards genuinely
+overlap; replies are consumed in shard order for determinism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import traceback
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.cluster.sharded import REPLICATE, SHARD, ClusterHandle, ClusterRun
+from repro.cluster.shm import SharedNDArray, ShmSpec
+from repro.core.device import validate_batch_vectors
+from repro.core.layout import partition_rows
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ConfigurationError, ProtocolError, WorkerError
+from repro.host.accumulator import HostAccumulator
+from repro.telemetry import SCHEMA
+
+_MODES = (SHARD, REPLICATE)
+
+JOIN_TIMEOUT_S = 10.0
+"""Grace period for worker shutdown before the parent terminates it."""
+
+
+def derive_worker_seed(seed: int, worker_index: int) -> int:
+    """The deterministic per-worker seed: ``SeedSequence([seed, i])``."""
+    return int(
+        np.random.SeedSequence([seed, worker_index]).generate_state(1)[0]
+    )
+
+
+def _worker_main(
+    conn,
+    worker_index: int,
+    seed: int,
+    backend_name: str,
+    backend_kwargs: dict,
+) -> None:
+    """One fleet worker: build a backend, serve pipe requests until told
+    to stop. Runs in a spawned child process."""
+    worker_seed = derive_worker_seed(seed, worker_index)
+    random.seed(worker_seed)
+    np.random.seed(worker_seed % (2**32))
+
+    from repro.backends.registry import make_backend
+
+    backend = None
+    handles: Dict[int, object] = {}
+    try:
+        try:
+            backend = make_backend(backend_name, **backend_kwargs)
+        except Exception:
+            conn.send(("error", traceback.format_exc()))
+            return
+        conn.send(
+            (
+                "ok",
+                {
+                    "name": backend.name,
+                    "config": backend.config,
+                    "timing": backend.timing,
+                    "functional": backend.functional,
+                },
+            )
+        )
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "shutdown":
+                conn.send(("ok", None))
+                break
+            try:
+                if op == "load":
+                    _, handle_id, spec, lo, hi, n = message
+                    if spec is not None:
+                        shared = SharedNDArray.attach(spec)
+                        try:
+                            shard = np.array(
+                                shared.array[lo:hi], dtype=np.float32
+                            )
+                        finally:
+                            shared.release()
+                        handles[handle_id] = backend.load_matrix(shard)
+                    else:
+                        handles[handle_id] = backend.load_matrix(
+                            m=hi - lo, n=n
+                        )
+                    conn.send(("ok", None))
+                elif op == "gemv_batch":
+                    _, handle_id, vectors, count = message
+                    runs = backend.gemv_batch(
+                        handles[handle_id], vectors, batch=count
+                    )
+                    conn.send(
+                        (
+                            "ok",
+                            [(float(r.cycles), r.output) for r in runs],
+                        )
+                    )
+                elif op == "service":
+                    _, handle_id = message
+                    conn.send(
+                        ("ok", float(backend.service_cycles(handles[handle_id])))
+                    )
+                elif op == "metrics":
+                    conn.send(("ok", backend.collect_metrics()))
+                else:
+                    conn.send(
+                        ("error", f"unknown fleet request {op!r}")
+                    )
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        if backend is not None:
+            backend.close()
+        conn.close()
+
+
+def _terminate_fleet(processes: list, connections: list) -> None:
+    """Finalizer body: make sure no worker outlives the cluster object."""
+    for conn in connections:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=1.0)
+
+
+class ProcessShardedCluster(Backend):
+    """N backend instances, one spawned worker process each."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        devices: int,
+        *,
+        mode: str = SHARD,
+        backend: str = "newton",
+        seed: int = 0,
+        config: Optional[DRAMConfig] = None,
+        timing: Optional[TimingParams] = None,
+        **backend_kwargs,
+    ):
+        if devices <= 0:
+            raise ConfigurationError("a cluster needs at least one device")
+        if mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown cluster mode {mode!r}; choose from {_MODES}"
+            )
+        self.mode = mode
+        self.seed = seed
+        self._backend_name = backend
+        self._next_replica = 0
+        self._next_handle = 0
+        self._closed = False
+
+        kwargs = dict(backend_kwargs)
+        if config is not None:
+            kwargs["config"] = config
+        if timing is not None:
+            kwargs["timing"] = timing
+
+        context = multiprocessing.get_context("spawn")
+        self._connections: List = []
+        self._processes: List = []
+        for index in range(devices):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, index, seed, backend, kwargs),
+                name=f"newton-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        # Even an abandoned (never-closed) cluster must not strand its
+        # workers: the finalizer tears the fleet down on GC or at exit.
+        self._fleet_finalizer = weakref.finalize(
+            self, _terminate_fleet, self._processes, self._connections
+        )
+        # The construction handshake doubles as the context query.
+        descriptions = self._receive_all(range(devices))
+        self._worker_name = descriptions[0]["name"]
+        self._config = descriptions[0]["config"]
+        self._timing = descriptions[0]["timing"]
+        self._functional = all(d["functional"] for d in descriptions)
+
+    # ------------------------------------------------------------------
+    # pipe plumbing
+
+    def _receive(self, index: int):
+        try:
+            status, payload = self._connections[index].recv()
+        except EOFError:
+            raise WorkerError(
+                f"fleet worker {index} died mid-request (pipe closed)"
+            ) from None
+        if status != "ok":
+            raise WorkerError(f"fleet worker {index} failed:\n{payload}")
+        return payload
+
+    def _send(self, index: int, message: tuple) -> None:
+        if self._closed:
+            raise ProtocolError("the cluster has been closed")
+        try:
+            self._connections[index].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerError(
+                f"fleet worker {index} is gone ({exc})"
+            ) from None
+
+    def _receive_all(self, indices) -> list:
+        return [self._receive(index) for index in indices]
+
+    def _broadcast(self, indices, message: tuple) -> list:
+        """Send to every index, then gather replies in index order."""
+        for index in indices:
+            self._send(index, message)
+        return self._receive_all(indices)
+
+    # ------------------------------------------------------------------
+    # Backend context attributes
+
+    @property
+    def devices(self) -> int:
+        """Number of worker processes in the fleet."""
+        return len(self._processes)
+
+    @property
+    def config(self) -> DRAMConfig:  # type: ignore[override]
+        return self._config
+
+    @property
+    def timing(self) -> TimingParams:  # type: ignore[override]
+        return self._timing
+
+    @property
+    def functional(self) -> bool:  # type: ignore[override]
+        return self._functional
+
+    # ------------------------------------------------------------------
+    # residency
+
+    def load_matrix(
+        self,
+        matrix: Optional[np.ndarray] = None,
+        *,
+        m: Optional[int] = None,
+        n: Optional[int] = None,
+    ) -> ClusterHandle:
+        """Place a matrix across the fleet (same modes as the in-process
+        cluster); functional data travels via one shared-memory segment.
+        """
+        if matrix is not None:
+            matrix = np.asarray(matrix, dtype=np.float32)
+            if matrix.ndim != 2:
+                raise ConfigurationError(
+                    f"matrix must be 2-D, got shape {matrix.shape}"
+                )
+            m, n = matrix.shape
+        elif m is None or n is None:
+            raise ConfigurationError("provide a matrix, or both m and n")
+        assert m is not None and n is not None
+        handle = ClusterHandle(m=m, n=n, mode=self.mode)
+        handle_id = self._next_handle
+        self._next_handle += 1
+
+        if self.mode == REPLICATE:
+            slices = [(0, m)] * self.devices
+        else:
+            slices = list(partition_rows(m, self.devices))
+
+        shared: Optional[SharedNDArray] = None
+        spec: Optional[ShmSpec] = None
+        if matrix is not None:
+            shared = SharedNDArray.create(matrix.shape, np.float32)
+            shared.array[:] = matrix
+            spec = shared.spec
+        try:
+            participants = []
+            for index, (lo, hi) in enumerate(slices):
+                if hi == lo:
+                    continue
+                self._send(index, ("load", handle_id, spec, lo, hi, n))
+                participants.append(index)
+                handle.shards.append((index, (lo, hi), handle_id))
+            # Every worker has copied its slice out once it acknowledges;
+            # the segment is then dead weight and is unlinked right away.
+            self._receive_all(participants)
+        finally:
+            if shared is not None:
+                shared.release()
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def gemv(
+        self, handle: ClusterHandle, vector: Optional[np.ndarray] = None
+    ) -> ClusterRun:
+        """One product across the fleet (see :class:`ShardedCluster`
+        for the mode semantics — identical here, just parallel)."""
+        if vector is not None:
+            runs = self.gemv_batch(handle, np.asarray(vector)[None, :])
+        else:
+            runs = self.gemv_batch(handle, batch=1)
+        return runs[0]
+
+    def gemv_batch(
+        self,
+        handle: ClusterHandle,
+        vectors: Optional[np.ndarray] = None,
+        *,
+        batch: Optional[int] = None,
+    ) -> List[ClusterRun]:
+        """A batch of products with one fleet round-trip.
+
+        The whole batch is shipped to every participating worker in one
+        request — shards overlap both across devices *and* across the
+        batch — and reduced per input in shard order, so outputs are
+        bit-identical to running the batch on the in-process cluster.
+        """
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        if vectors is not None:
+            vectors = validate_batch_vectors(vectors, handle.n)
+            count = vectors.shape[0]
+        elif batch is not None:
+            if batch <= 0:
+                raise ProtocolError("batch must be positive")
+            count = batch
+        else:
+            raise ProtocolError("provide vectors or a batch size")
+
+        if self.mode == REPLICATE:
+            return self._replicated_batch(handle, vectors, count)
+
+        indices = [index for index, _, _ in handle.shards]
+        handle_id = handle.shards[0][2]
+        replies = self._broadcast(
+            indices, ("gemv_batch", handle_id, vectors, count)
+        )
+        runs: List[ClusterRun] = []
+        for item in range(count):
+            accumulator = (
+                HostAccumulator(handle.m) if self.functional else None
+            )
+            device_runs: List[Tuple[int, object]] = []
+            for (index, (lo, hi), _), reply in zip(handle.shards, replies):
+                cycles, output = reply[item]
+                device_runs.append((index, (cycles, output)))
+                if accumulator is not None and output is not None:
+                    accumulator.add_partials(np.arange(lo, hi), output)
+            runs.append(
+                ClusterRun(
+                    cycles=float(
+                        max(cycles for _, (cycles, _) in device_runs)
+                    ),
+                    output=(
+                        accumulator.output
+                        if accumulator is not None
+                        else None
+                    ),
+                    device_runs=device_runs,
+                )
+            )
+        return runs
+
+    def _replicated_batch(
+        self,
+        handle: ClusterHandle,
+        vectors: Optional[np.ndarray],
+        count: int,
+    ) -> List[ClusterRun]:
+        """Round-robin the batch across replicas, all in flight at once."""
+        assignments: List[Tuple[int, int, List[int]]] = []
+        per_worker: Dict[int, List[int]] = {}
+        for item in range(count):
+            shard = handle.shards[self._next_replica % len(handle.shards)]
+            self._next_replica += 1
+            per_worker.setdefault(shard[0], []).append(item)
+        for index, items in per_worker.items():
+            handle_id = next(
+                hid for widx, _, hid in handle.shards if widx == index
+            )
+            request_vectors = (
+                vectors[items] if vectors is not None else None
+            )
+            self._send(
+                index,
+                ("gemv_batch", handle_id, request_vectors, len(items)),
+            )
+            assignments.append((index, handle_id, items))
+        runs: List[Optional[ClusterRun]] = [None] * count
+        for index, _, items in assignments:
+            reply = self._receive(index)
+            for item, (cycles, output) in zip(items, reply):
+                runs[item] = ClusterRun(
+                    cycles=float(cycles),
+                    output=output,
+                    device_runs=[(index, (cycles, output))],
+                )
+        return [run for run in runs if run is not None]
+
+    def service_cycles(self, handle: ClusterHandle) -> float:
+        """Deterministic per-request service time (same semantics as the
+        in-process cluster: slowest shard, or one replica)."""
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        if self.mode == REPLICATE:
+            index, _, handle_id = handle.shards[0]
+            self._send(index, ("service", handle_id))
+            return float(self._receive(index))
+        indices = [index for index, _, _ in handle.shards]
+        handle_id = handle.shards[0][2]
+        replies = self._broadcast(indices, ("service", handle_id))
+        return float(max(replies))
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    def collect_metrics(self) -> dict:
+        """The in-process cluster's record shape, gathered from workers.
+
+        ``devices["device<i>"]`` is worker *i*'s own
+        ``newton-telemetry/v1`` export; ``execution`` records the fleet
+        shape (process workers, spawn start method, per-worker seeds).
+        """
+        replies = self._broadcast(range(self.devices), ("metrics",))
+        return {
+            "schema": SCHEMA,
+            "kind": "cluster",
+            "mode": self.mode,
+            "backend": self._worker_name,
+            "devices": {
+                f"device{index}": reply
+                for index, reply in enumerate(replies)
+            },
+            "execution": {
+                "workers": "process",
+                "start_method": "spawn",
+                "seeds": [
+                    derive_worker_seed(self.seed, index)
+                    for index in range(self.devices)
+                ],
+            },
+        }
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the fleet down (idempotent): polite shutdown requests,
+        then the finalizer's terminate for anything unresponsive."""
+        if self._closed:
+            return
+        self._closed = True
+        for index, conn in enumerate(self._connections):
+            try:
+                conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                continue
+        for conn in self._connections:
+            try:
+                if conn.poll(JOIN_TIMEOUT_S):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=JOIN_TIMEOUT_S)
+        self._fleet_finalizer()
+
+    def __enter__(self) -> "ProcessShardedCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -75,6 +75,11 @@ class Step:
     """If set: the global buffer is being repurposed for this chunk."""
     load: Optional[Tuple[int, int]] = None
     """(chunk, subchunk) loaded by an accompanying GWRITE."""
+    load_run: Optional[Tuple[int, int]] = None
+    """(chunk, count): sub-chunks ``0..count-1`` of ``chunk`` loaded by a
+    whole compiled GWRITE run — the batched form of ``load``, emitted by
+    :meth:`RunStep.payload_steps` so the datapath can quantize the block
+    in one vector op."""
     compute: Optional[TileComputeOp] = None
     emit: Optional[EmitOp] = None
     latch: int = 0
@@ -120,10 +125,13 @@ class RunStep:
         The datapath only cares about payload order, not which command
         carried it (see :class:`~repro.core.schedule_cache.StreamSegment`),
         so the compiled path hands the engine these skeleton steps and
-        never materializes the per-command form.
+        never materializes the per-command form. A GWRITE run's loads —
+        always sub-chunks ``0..n-1`` of one chunk, by construction in
+        ``_gwrite_items`` — collapse to a single ``load_run`` step so
+        the buffer fill is one vector op, not ``n`` scalar stores.
         """
-        for load in self.loads:
-            yield Step(load=load)
+        if self.loads:
+            yield Step(load_run=(self.loads[0][0], len(self.loads)))
         if self.compute is not None:
             yield Step(compute=self.compute, latch=self.latch)
 

@@ -1,0 +1,337 @@
+"""Functional-datapath executors: scalar, per-tile, and batched tiers.
+
+The engine's timing machinery and its functional datapath are
+independent state machines: a segment's functional effects depend only
+on the order of its payload-carrying steps (loads, tile computes,
+result emits), never on how the controller scheduled the commands that
+carried them (see :class:`~repro.core.schedule_cache.StreamSegment`).
+That independence is what this module exploits — the same payload
+stream can be *interpreted* at three speeds, all bit-identical:
+
+* ``scalar`` — the hardware-faithful reference: one
+  :class:`~repro.core.mac_unit.BankMacUnit` per bank, one ``compute``
+  per COMP command's sub-chunk. This is the per-command path the paper
+  describes and the bit-level contract everything else is pinned to.
+* ``tile`` — one :func:`~repro.core.mac_unit.tile_compute` call per
+  tile (every bank × sub-chunk of one DRAM row vectorized); the
+  engine's previous default.
+* ``batched`` — the default: whole *buffer groups* of tiles — every
+  tile that reads the same global-buffer chunk — evaluated as one
+  :func:`~repro.numerics.vectorized.batched_tile_compute` call over a
+  ``(tiles, banks, chunk_elems)`` block, with GWRITE runs loading the
+  buffer as one vectorized quantize instead of 32 sub-chunk stores.
+
+The batched tier defers work symbolically: a tile compute *opens a
+slot* (recording the DRAM row and the latch's concrete carry value)
+and parks a slot reference in the latch; a result emit *pops* the
+reference (deferring the host-side accumulation) and resets the latch
+to zero — so the interleaved traversal's compute/emit/compute/emit
+chain on latch 0 batches a whole chunk's tiles into one kernel call.
+Any buffer mutation (a new chunk, a GWRITE) flushes: pending slots are
+evaluated in one vector op, surviving references become concrete latch
+values, and deferred emits apply to the output in their original issue
+order. Because the kernel is bit-identical per tile (see
+:mod:`repro.numerics.vectorized`) and host accumulation replays in
+issue order, the flush is invisible — pinned by the differential suite
+in ``tests/core/test_datapath.py`` across every optimization combo.
+
+Select a tier with the engine's ``datapath=`` argument or the
+``NEWTON_DATAPATH`` environment variable (``batched`` | ``tile`` |
+``scalar``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.command_gen import EmitOp, Step, TileComputeOp
+from repro.core.mac_unit import BankMacUnit, tile_compute
+from repro.errors import ConfigurationError
+from repro.numerics.vectorized import batched_tile_compute
+
+DATAPATHS = ("batched", "tile", "scalar")
+"""Recognized functional-datapath tier names, fastest first."""
+
+DATAPATH_ENV = "NEWTON_DATAPATH"
+"""Environment variable selecting the default tier."""
+
+
+def default_datapath() -> str:
+    """The tier ``NEWTON_DATAPATH`` requests (``batched`` if unset).
+
+    Raises:
+        ConfigurationError: for an unrecognized tier name.
+    """
+    name = os.environ.get(DATAPATH_ENV, "").strip().lower() or "batched"
+    if name not in DATAPATHS:
+        raise ConfigurationError(
+            f"{DATAPATH_ENV}={name!r} is not one of {', '.join(DATAPATHS)}"
+        )
+    return name
+
+
+class FunctionalDatapath:
+    """Base class: buffer bookkeeping shared by every tier.
+
+    Subclasses interpret the compute/emit payloads; loads and chunk
+    invalidations are common. ``step`` is called once per payload step
+    in issue order, ``finish`` once at the end of each run.
+    """
+
+    name = "base"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_buffer_change(self) -> None:
+        """Called before any global-buffer mutation."""
+
+    def on_compute(self, op: TileComputeOp, layout) -> None:
+        raise NotImplementedError
+
+    def on_emit(self, emit: EmitOp, output: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def finish(self, output: np.ndarray) -> None:
+        """End of run: apply any deferred work."""
+
+    # -- the shared interpreter ----------------------------------------
+
+    def step(
+        self, step: Step, padded_vector: np.ndarray, layout, output: np.ndarray
+    ) -> None:
+        engine = self.engine
+        if step.new_chunk is not None:
+            self.on_buffer_change()
+            engine.buffer.invalidate()
+        if step.load_run is not None:
+            chunk, count = step.load_run
+            self.on_buffer_change()
+            per_row = engine.config.elems_per_row
+            k = engine.config.elems_per_col
+            lo = chunk * per_row
+            engine.buffer.load_chunk(
+                padded_vector[lo : lo + count * k], count
+            )
+        if step.load is not None:
+            # Per-command form (uncompiled streams): one GWRITE each.
+            chunk, sub = step.load
+            self.on_buffer_change()
+            k = engine.config.elems_per_col
+            lo = chunk * engine.config.elems_per_row + sub * k
+            engine.buffer.load_subchunk(sub, padded_vector[lo : lo + k])
+        if step.compute is not None:
+            self.on_compute(step.compute, layout)
+        if step.emit is not None:
+            self.on_emit(step.emit, output)
+
+    # -- emit plumbing -------------------------------------------------
+
+    def _apply_emit(
+        self, emit: EmitOp, values: np.ndarray, output: np.ndarray
+    ) -> None:
+        """LUT + fp32 host-side accumulation for one result read."""
+        engine = self.engine
+        if emit.chunk is None and engine.lut is not None:
+            values = engine.lut.apply(values)
+        rows = emit.matrix_rows
+        mask = rows >= 0
+        np.add.at(output, rows[mask], values[mask])
+
+
+class TileDatapath(FunctionalDatapath):
+    """One vectorized :func:`tile_compute` per tile (the previous
+    engine default); computes and emits apply immediately."""
+
+    name = "tile"
+
+    def on_compute(self, op: TileComputeOp, layout) -> None:
+        engine = self.engine
+        matrix_rows = engine._tile_matrix(op.dram_row)
+        engine._latches[:, op.latch] = tile_compute(
+            matrix_rows,
+            engine.buffer.chunk(layout.cols_in_chunk(op.chunk)),
+            engine._latches[:, op.latch],
+            engine.config.mults_per_bank,
+        )
+
+    def on_emit(self, emit: EmitOp, output: np.ndarray) -> None:
+        engine = self.engine
+        values = engine._latches[:, emit.latch].copy()
+        engine._latches[:, emit.latch] = 0.0
+        self._apply_emit(emit, values, output)
+
+
+class ScalarDatapath(FunctionalDatapath):
+    """The hardware-faithful reference: one MAC-unit ``compute`` per
+    COMP command's sub-chunk, per bank.
+
+    Orders of magnitude slower than the vector tiers — it exists as the
+    bit-level contract they are differentially pinned against, and as
+    the measured baseline of the throughput benchmark's functional
+    section.
+    """
+
+    name = "scalar"
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self.units = [
+            BankMacUnit(engine.config, num_latches=engine.opt.result_latches)
+            for _ in range(engine.config.banks_per_channel)
+        ]
+
+    def on_compute(self, op: TileComputeOp, layout) -> None:
+        engine = self.engine
+        matrix_rows = engine._tile_matrix(op.dram_row)
+        chunk_vec = engine.buffer.chunk(layout.cols_in_chunk(op.chunk))
+        k = engine.config.elems_per_col
+        for sub in range(layout.cols_in_chunk(op.chunk)):
+            lo = sub * k
+            input_sub = chunk_vec[lo : lo + k]
+            for bank, unit in enumerate(self.units):
+                unit.compute(
+                    matrix_rows[bank, lo : lo + k], input_sub, latch=op.latch
+                )
+
+    def on_emit(self, emit: EmitOp, output: np.ndarray) -> None:
+        values = np.array(
+            [unit.read_and_clear(emit.latch) for unit in self.units],
+            dtype=np.float32,
+        )
+        self._apply_emit(emit, values, output)
+
+
+class BatchedDatapath(FunctionalDatapath):
+    """Whole buffer groups of tiles evaluated as one vector op.
+
+    See the module docstring for the slot algebra. The invariants that
+    make the deferral exact:
+
+    * the global buffer's contents are constant between flushes (every
+      mutation flushes first), so one captured chunk serves every slot;
+    * DRAM storage is immutable during a run, so each slot's matrix
+      rows can be gathered at flush time;
+    * a latch holds either a concrete value (in ``engine._latches``) or
+      one slot reference — a second compute into a referenced latch, or
+      a compute against a different chunk, flushes first (neither
+      occurs in generated streams; both stay correct);
+    * deferred emits replay in issue order, so the fp32 host
+      accumulation performs the identical operation sequence.
+    """
+
+    name = "batched"
+
+    def __init__(self, engine):
+        super().__init__(engine)
+        self._rows: List[int] = []
+        self._carries: List[np.ndarray] = []
+        self._latch_ref: Dict[int, int] = {}
+        self._chunk_data: Optional[np.ndarray] = None
+        self._chunk_index: Optional[int] = None
+        self._output: Optional[np.ndarray] = None
+        # (emit, slot or None, concrete values or None) in issue order.
+        self._emits: List[
+            Tuple[EmitOp, Optional[int], Optional[np.ndarray]]
+        ] = []
+
+    def _flush(self, output: np.ndarray) -> None:
+        engine = self.engine
+        if self._rows:
+            matrix_tiles = np.stack(
+                [engine._tile_matrix(row) for row in self._rows]
+            )
+            carry = np.stack(self._carries)
+            results = batched_tile_compute(
+                matrix_tiles,
+                self._chunk_data,
+                carry,
+                engine.config.mults_per_bank,
+            )
+            # Latches still holding a slot reference become concrete.
+            for latch, slot in self._latch_ref.items():
+                engine._latches[:, latch] = results[slot]
+        else:
+            results = None
+        for emit, slot, values in self._emits:
+            if slot is not None:
+                values = results[slot]
+            self._apply_emit(emit, values, output)
+        self._rows.clear()
+        self._carries.clear()
+        self._latch_ref.clear()
+        self._emits.clear()
+        self._chunk_data = None
+        self._chunk_index = None
+
+    def on_buffer_change(self) -> None:
+        if self._rows or self._emits:
+            self._flush(self._output)
+
+    def on_compute(self, op: TileComputeOp, layout) -> None:
+        engine = self.engine
+        if op.latch in self._latch_ref or (
+            self._chunk_index is not None and self._chunk_index != op.chunk
+        ):
+            self._flush(self._output)
+        if self._chunk_data is None:
+            self._chunk_data = engine.buffer.chunk(
+                layout.cols_in_chunk(op.chunk)
+            )
+            self._chunk_index = op.chunk
+        slot = len(self._rows)
+        self._rows.append(op.dram_row)
+        self._carries.append(engine._latches[:, op.latch].copy())
+        self._latch_ref[op.latch] = slot
+
+    def on_emit(self, emit: EmitOp, output: np.ndarray) -> None:
+        engine = self.engine
+        slot = self._latch_ref.pop(emit.latch, None)
+        if slot is not None:
+            engine._latches[:, emit.latch] = 0.0
+            self._emits.append((emit, slot, None))
+        else:
+            values = engine._latches[:, emit.latch].copy()
+            engine._latches[:, emit.latch] = 0.0
+            self._emits.append((emit, None, values))
+
+    def step(self, step, padded_vector, layout, output) -> None:
+        # The flush points triggered from on_buffer_change/on_compute
+        # need the output array; stash it for the duration of the step.
+        self._output = output
+        super().step(step, padded_vector, layout, output)
+
+    def finish(self, output: np.ndarray) -> None:
+        self._output = output
+        self._flush(output)
+        self._output = None
+
+
+_TIERS = {
+    "batched": BatchedDatapath,
+    "tile": TileDatapath,
+    "scalar": ScalarDatapath,
+}
+
+
+def make_datapath(name: Optional[str], engine) -> FunctionalDatapath:
+    """Build the requested functional tier for one engine.
+
+    ``None`` defers to ``NEWTON_DATAPATH`` (default ``batched``).
+
+    Raises:
+        ConfigurationError: for an unrecognized tier name.
+    """
+    resolved = (name or default_datapath()).strip().lower()
+    tier = _TIERS.get(resolved)
+    if tier is None:
+        raise ConfigurationError(
+            f"unknown functional datapath {name!r}; expected one of "
+            f"{', '.join(DATAPATHS)}"
+        )
+    return tier(engine)

@@ -3,9 +3,13 @@
 The engine walks a :class:`~repro.core.command_gen.Step` stream, issuing
 every command to the cycle-accurate controller and — in functional mode —
 mirroring the datapath's state: GWRITE loads the global buffer, the final
-compute command of a tile fires the vectorized tile evaluation (bit-exact
-with the per-command MAC path), and READRES drains result latches into
-fp32 host-side partial accumulation.
+compute command of a tile fires the tile evaluation (bit-exact with the
+per-command MAC path), and READRES drains result latches into fp32
+host-side partial accumulation. The functional interpretation itself is
+tiered too (:mod:`repro.core.datapath`): the default ``batched`` tier
+evaluates whole buffer groups of tiles as single vector kernels, with
+``tile`` and per-COMP ``scalar`` tiers selectable via the ``datapath``
+argument or ``NEWTON_DATAPATH`` — all three bit-identical.
 
 A single engine persists across runs: successive layers (or batch inputs)
 execute back-to-back on the same controller clock, so refresh interference
@@ -43,10 +47,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.command_gen import CommandStreamGenerator, Step
+from repro.core.command_gen import CommandStreamGenerator
+from repro.core.datapath import make_datapath
 from repro.core.global_buffer import GlobalBuffer
 from repro.core.layout import Layout, make_layout
-from repro.core.mac_unit import tile_compute
 from repro.core.optimizations import OptimizationConfig
 from repro.core.result import ChannelRunResult, stats_delta, stats_snapshot
 from repro.core.schedule_cache import (
@@ -105,6 +109,7 @@ class NewtonChannelEngine:
         lut: Optional[ActivationLUT] = None,
         fast: bool = True,
         telemetry: bool = True,
+        datapath: Optional[str] = None,
     ):
         self.config = config
         self.timing = timing
@@ -127,7 +132,16 @@ class NewtonChannelEngine:
             (config.banks_per_channel, opt.result_latches), dtype=np.float32
         )
         self._next_free_row = 0
-        self._row_cache: Optional[tuple] = None
+        # Per-run memo of expanded (banks, elems_per_row) float rows:
+        # the interleaved traversal revisits every tile once per chunk,
+        # so expanding storage bits once per run instead of once per
+        # (chunk, tile) removes a whole-matrix decode per chunk. Cleared
+        # at run start — storage may be mutated between runs (scrub).
+        self._row_cache: dict = {}
+        self.datapath = make_datapath(datapath, self)
+        """The functional-datapath tier interpreting this engine's
+        payload steps (see :mod:`repro.core.datapath`); selected by the
+        ``datapath`` argument or ``NEWTON_DATAPATH``."""
         self.schedule_cache = ScheduleCache()
         self._stream_cache = StreamCache()
         self.burst_runs = 0
@@ -174,47 +188,16 @@ class NewtonChannelEngine:
 
     def _tile_matrix(self, dram_row: int) -> np.ndarray:
         """All banks' open-row data as float32 on the bfloat16 grid."""
-        if self._row_cache is not None and self._row_cache[0] == dram_row:
-            return self._row_cache[1]
-        rows = np.stack(
-            [
-                bf16_bits_to_float(storage.row_array(dram_row))
-                for storage in self.channel.storage
-            ]
-        )
-        self._row_cache = (dram_row, rows)
-        return rows
-
-    def _handle_functional(
-        self, step: Step, padded_vector: np.ndarray, layout: Layout
-    ) -> Optional[tuple]:
-        if step.new_chunk is not None:
-            self.buffer.invalidate()
-        if step.load is not None:
-            chunk, sub = step.load
-            k = self.config.elems_per_col
-            data = padded_vector[
-                chunk * self.config.elems_per_row + sub * k :
-                chunk * self.config.elems_per_row + (sub + 1) * k
-            ]
-            self.buffer.load_subchunk(sub, data)
-        if step.compute is not None:
-            op = step.compute
-            matrix_rows = self._tile_matrix(op.dram_row)
-            self._latches[:, op.latch] = tile_compute(
-                matrix_rows,
-                self.buffer.chunk(layout.cols_in_chunk(op.chunk)),
-                self._latches[:, op.latch],
-                self.config.mults_per_bank,
+        rows = self._row_cache.get(dram_row)
+        if rows is None:
+            rows = np.stack(
+                [
+                    bf16_bits_to_float(storage.row_array(dram_row))
+                    for storage in self.channel.storage
+                ]
             )
-        if step.emit is not None:
-            emit = step.emit
-            values = self._latches[:, emit.latch].copy()
-            self._latches[:, emit.latch] = 0.0
-            if emit.chunk is None and self.lut is not None:
-                values = self.lut.apply(values)
-            return (emit.matrix_rows, values)
-        return None
+            self._row_cache[dram_row] = rows
+        return rows
 
     def _segments_for(self, layout: Layout) -> SegmentedStream:
         """The layout's lowered, segmented command stream (memoized)."""
@@ -226,12 +209,6 @@ class NewtonChannelEngine:
             stream = segment_stream(generator, self.schedule_cache)
             self._stream_cache.put(layout, stream)
         return stream
-
-    def _accumulate(self, output: np.ndarray, emitted: tuple) -> None:
-        rows, values = emitted
-        mask = rows >= 0
-        # fp32 host-side reduction of per-chunk partials.
-        np.add.at(output, rows[mask], values[mask])
 
     def run_gemv(
         self,
@@ -262,7 +239,7 @@ class NewtonChannelEngine:
             padded = layout.pad_vector(vector)
         else:
             padded = np.zeros(0, dtype=np.float32)
-        self._row_cache = None
+        self._row_cache.clear()
         use_fast = (
             self.fast and background is None and controller.trace is None
         )
@@ -334,9 +311,13 @@ class NewtonChannelEngine:
                     end = max(end, record.complete)
             if output is not None:
                 for step in segment.functional_steps:
-                    emitted = self._handle_functional(step, padded, layout)
-                    if emitted is not None:
-                        self._accumulate(output, emitted)
+                    self.datapath.step(step, padded, layout, output)
+        if output is not None:
+            # Apply the datapath's deferred work (the batched tier
+            # evaluates whole buffer groups at flush points), then drop
+            # the run's expanded-row memo.
+            self.datapath.finish(output)
+            self._row_cache.clear()
         after = stats_snapshot(controller.stats)
         if self.verifier is not None:
             # Raises VerificationError if this run broke the protocol.

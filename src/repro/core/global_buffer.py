@@ -49,6 +49,29 @@ class GlobalBuffer:
         self._valid[subchunk] = True
         self.loads += 1
 
+    def load_chunk(self, values: np.ndarray, subchunks: int) -> None:
+        """A whole GWRITE run: store sub-chunks ``0..subchunks-1`` at once.
+
+        The batched form of :meth:`load_subchunk` — one vectorized
+        bfloat16 rounding for the block instead of one per sub-chunk
+        (rounding is elementwise, so the result is bit-identical).
+        """
+        if not 0 < subchunks <= self.subchunks:
+            raise ProtocolError(
+                f"GWRITE run of {subchunks} sub-chunks outside "
+                f"[1, {self.subchunks}]"
+            )
+        values = np.asarray(values, dtype=np.float32).reshape(-1)
+        k = self.config.elems_per_col
+        if values.shape != (subchunks * k,):
+            raise ProtocolError(
+                f"GWRITE run of {values.shape[0]} elements; {subchunks} "
+                f"sub-chunks hold {subchunks * k}"
+            )
+        self._data[: subchunks * k] = quantize_bf16(values)
+        self._valid[:subchunks] = True
+        self.loads += subchunks
+
     def read_subchunk(self, subchunk: int) -> np.ndarray:
         """Broadcast one sub-chunk to the banks (COMP's first step)."""
         self._check_index(subchunk)

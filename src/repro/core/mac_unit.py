@@ -20,7 +20,13 @@ import numpy as np
 from repro.dram.config import DRAMConfig
 from repro.errors import ConfigurationError, ProtocolError
 from repro.numerics.adder_tree import AdderTree
-from repro.numerics.bfloat16 import bf16_add, bf16_mul, quantize_bf16
+from repro.numerics.bfloat16 import quantize_bf16
+from repro.numerics.vectorized import (
+    LaneScratch,
+    batched_tile_compute,
+    grid_add,
+    tree_reduce_block,
+)
 
 
 class BankMacUnit:
@@ -34,6 +40,10 @@ class BankMacUnit:
         self.num_latches = num_latches
         self._tree = AdderTree(self.lanes)
         self._latches = np.zeros(num_latches, dtype=np.float32)
+        # Per-call hot-loop scratch: compute() runs once per COMP on the
+        # scalar path, so its operand/product buffers live here rather
+        # than being rebuilt every call.
+        self._scratch = LaneScratch(self.lanes)
         self.macs = 0
 
     def _check_latch(self, latch: int) -> None:
@@ -55,13 +65,14 @@ class BankMacUnit:
                 f"COMP operands must be {self.lanes}-wide sub-chunks, got "
                 f"{a.shape[0]} and {b.shape[0]}"
             )
-        products = bf16_mul(a, b)
-        # The tree's reduction, accumulated into the selected latch.
-        tree_sum = self._tree.reduce(products)
-        self._latches[latch] = bf16_add(
-            self._latches[latch : latch + 1],
-            np.array([tree_sum], dtype=np.float32),
-        )[0]
+        # bf16_mul / adder_tree_reduce / bf16_add semantics, evaluated in
+        # the preallocated scratch (bit-identical; pinned by the property
+        # suite and tests/numerics/test_vectorized.py).
+        products = self._scratch.mul(a, b)
+        tree_sum = self._scratch.tree_reduce(products)
+        self._latches[latch] = self._scratch.accumulate(
+            float(self._latches[latch]), tree_sum
+        )
         self.macs += self.lanes
 
     def latch_value(self, latch: int = 0) -> float:
@@ -116,19 +127,24 @@ def tile_compute(
     if chunk_elems % lanes != 0:
         raise ProtocolError("chunk width must be a whole number of sub-chunks")
     subchunks = chunk_elems // lanes
+    carry = np.asarray(latches, dtype=np.float32)
 
-    products = quantize_bf16(matrix_rows_f32 * input_chunk_f32[None, :])
-    level = products.reshape(banks, subchunks, lanes)
-    while level.shape[-1] > 1:
-        level = bf16_add(level[..., 0::2], level[..., 1::2])
-    tree_sums = level[..., 0]  # (banks, subchunks)
+    if subchunk_order is None:
+        # The common (command-stream) order: delegate to the batched
+        # kernel as a 1-tile block.
+        return batched_tile_compute(
+            np.asarray(matrix_rows_f32, dtype=np.float32)[None, :, :],
+            np.asarray(input_chunk_f32, dtype=np.float32),
+            carry[None, :],
+            lanes,
+        )[0]
 
-    order = (
-        np.arange(subchunks)
-        if subchunk_order is None
-        else np.asarray(subchunk_order, dtype=np.int64)
-    )
-    acc = np.asarray(latches, dtype=np.float32).copy()
-    for s in order:
-        acc = bf16_add(acc, tree_sums[:, s])
+    with np.errstate(over="ignore", invalid="ignore"):
+        products = quantize_bf16(matrix_rows_f32 * input_chunk_f32[None, :])
+    tree_sums = tree_reduce_block(
+        products.reshape(banks, subchunks, lanes)
+    )  # (banks, subchunks)
+    acc = quantize_bf16(carry)
+    for s in np.asarray(subchunk_order, dtype=np.int64):
+        acc = grid_add(acc, tree_sums[:, s])
     return acc

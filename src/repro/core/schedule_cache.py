@@ -128,6 +128,7 @@ def _has_payload(step: Step) -> bool:
     return (
         step.new_chunk is not None
         or step.load is not None
+        or step.load_run is not None
         or step.compute is not None
         or step.emit is not None
     )

@@ -58,3 +58,12 @@ class TelemetryError(ReproError):
     Raised by :func:`repro.telemetry.validate_metrics` when an exported
     breakdown is malformed — e.g. its attributed cycles do not sum to
     the run's end cycle."""
+
+
+class WorkerError(ReproError):
+    """A process-fleet worker failed or died mid-request.
+
+    Raised in the parent by
+    :class:`repro.cluster.process_pool.ProcessShardedCluster` with the
+    worker's own traceback text attached, so the remote failure reads
+    like a local one."""

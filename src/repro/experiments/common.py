@@ -43,12 +43,20 @@ class ExperimentContext:
     """Row-shard each layer across this many devices (tensor parallel)."""
     replicas: int = 1
     """Serving-replica count (the serving study's M/D/c fleet size)."""
+    workers: str = "inline"
+    """Multi-device execution style: ``inline`` composes device
+    backends in-process; ``process`` spawns one worker process per
+    device (see :mod:`repro.cluster.process_pool`)."""
 
     def __post_init__(self) -> None:
         if self.devices < 1:
             raise ConfigurationError("devices must be at least 1")
         if self.replicas < 1:
             raise ConfigurationError("replicas must be at least 1")
+        if self.workers not in ("inline", "process"):
+            raise ConfigurationError(
+                f"workers must be 'inline' or 'process', got {self.workers!r}"
+            )
 
     @property
     def is_default(self) -> bool:
@@ -148,7 +156,7 @@ def newton_layer_cycles(
         handle = device.load_matrix(m=layer.m, n=layer.n)
         return device.gemv(handle).cycles
     from repro.backends import make_backend
-    from repro.cluster import ShardedCluster
+    from repro.cluster import make_cluster
 
     kwargs = dict(
         config=eval_config(banks, channels),
@@ -160,11 +168,18 @@ def newton_layer_cycles(
     if context.devices == 1:
         engine = make_backend(context.backend, **kwargs)
     else:
-        engine = ShardedCluster.from_spec(
-            context.backend, context.devices, **kwargs
+        engine = make_cluster(
+            context.backend,
+            context.devices,
+            workers=context.workers,
+            **kwargs,
         )
     handle = engine.load_matrix(m=layer.m, n=layer.n)
-    return engine.service_cycles(handle)
+    try:
+        return engine.service_cycles(handle)
+    finally:
+        if context.devices > 1 and context.workers == "process":
+            engine.close()
 
 
 def make_baselines(

@@ -154,6 +154,7 @@ def write_metrics(
             "backend": context.backend,
             "devices": context.devices,
             "replicas": context.replicas,
+            "workers": context.workers,
         },
     )
     registry.section("probe", _telemetry_probe())
@@ -288,6 +289,14 @@ def main(argv: "list[str] | None" = None) -> int:
         "default 1)",
     )
     parser.add_argument(
+        "--workers",
+        choices=("inline", "process"),
+        default="inline",
+        help="multi-device execution style: 'inline' composes device "
+        "backends in-process, 'process' spawns one worker process per "
+        "device with shared-memory weight transfer (default: inline)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the selected experiments under cProfile and dump the "
@@ -322,7 +331,10 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.replicas < 1:
         parser.error("--replicas must be at least 1")
     context = ExperimentContext(
-        backend=args.backend, devices=args.devices, replicas=args.replicas
+        backend=args.backend,
+        devices=args.devices,
+        replicas=args.replicas,
+        workers=args.workers,
     )
     requested = args.experiments or ["all"]
     if "verify" in requested:
@@ -400,20 +412,84 @@ def main(argv: "list[str] | None" = None) -> int:
     return 1 if failures else 0
 
 
+FUNCTIONAL_PROFILE_FILES = (
+    "core/datapath.py",
+    "core/mac_unit.py",
+    "core/global_buffer.py",
+    "host/accumulator.py",
+    "numerics/lut.py",
+)
+"""Source files whose self-time counts as *functional datapath* work
+(plus everything under ``repro/numerics/``)."""
+
+TIMING_PROFILE_FILES = (
+    "core/schedule_cache.py",
+    "core/command_gen.py",
+)
+"""Source files whose self-time counts as *timing simulation* work
+(plus everything under ``repro/dram/``)."""
+
+
+def profile_split(stats) -> "Dict[str, float]":
+    """Bucket a profile's self-time: functional vs timing vs other.
+
+    The data-driven target selector the perf roadmap asks for: whether
+    the next optimization should attack the functional datapath
+    (:mod:`repro.numerics`, the datapath tiers) or the timing
+    simulation (:mod:`repro.dram`, lowering, the schedule cache) is
+    read straight off this split instead of guessed. ``stats`` is a
+    ``pstats.Stats``; returns seconds of self-time per bucket.
+    """
+    import os
+
+    buckets = {"functional": 0.0, "timing": 0.0, "other": 0.0}
+    for (filename, _lineno, _name), row in stats.stats.items():
+        tottime = row[2]
+        norm = filename.replace(os.sep, "/")
+        if "repro/numerics/" in norm or norm.endswith(
+            FUNCTIONAL_PROFILE_FILES
+        ):
+            buckets["functional"] += tottime
+        elif "repro/dram/" in norm or norm.endswith(TIMING_PROFILE_FILES):
+            buckets["timing"] += tottime
+        else:
+            buckets["other"] += tottime
+    return buckets
+
+
+def render_profile_split(buckets: "Dict[str, float]") -> str:
+    """The functional/timing split as a small header table."""
+    total = sum(buckets.values()) or 1.0
+    lines = ["time split (self time):"]
+    for label, key in (
+        ("functional datapath", "functional"),
+        ("timing simulation", "timing"),
+        ("other (incl. harness)", "other"),
+    ):
+        seconds = buckets[key]
+        lines.append(
+            f"  {label:<22} {seconds:9.3f}s  ({100.0 * seconds / total:5.1f}%)"
+        )
+    return "\n".join(lines)
+
+
 def write_profile(
     profiler, path: Optional[str], limit: int
 ) -> None:
-    """Dump a cumulative-time profile report to ``path`` or stderr.
+    """Dump a profile report to ``path`` or stderr.
 
-    The hot-spot view future perf work starts from: top ``limit``
-    functions by cumulative time, so the tier boundaries (lowering,
-    burst kernel, replay, functional evaluation) show up by name.
+    Leads with the functional-datapath vs timing-simulation self-time
+    split (:func:`profile_split`) so target selection is data-driven,
+    then the top ``limit`` functions by cumulative time, so the tier
+    boundaries (lowering, burst kernel, replay, functional evaluation)
+    show up by name.
     """
     import io
     import pstats
 
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write(render_profile_split(profile_split(stats)) + "\n\n")
     stats.sort_stats("cumulative").print_stats(limit)
     report = buffer.getvalue()
     if path:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.numerics.bfloat16 import bf16_add, quantize_bf16
+from repro.numerics.vectorized import LaneScratch
 
 
 def adder_tree_reduce(products: np.ndarray) -> float:
@@ -54,6 +55,10 @@ class AdderTree:
         self.width = width
         self._latch = 0.0
         self._dirty = False
+        # Hot-loop scratch: the scalar path reduces one lane vector per
+        # call, so the operand/level/accumulation buffers are allocated
+        # once here instead of per call (see numerics/vectorized.py).
+        self._scratch = LaneScratch(width)
 
     @property
     def pipeline_depth(self) -> int:
@@ -78,16 +83,19 @@ class AdderTree:
         :class:`~repro.core.mac_unit.BankMacUnit`) — the rounding/order
         invariant lives here in one place.
         """
-        return adder_tree_reduce(np.asarray(products, dtype=np.float32))
+        values = np.asarray(products, dtype=np.float32)
+        if values.shape != (self.width,):
+            # Off-width inputs (legal for any power of two) take the
+            # allocating reference path; the scratch is width-shaped.
+            return adder_tree_reduce(values)
+        np.copyto(self._scratch.a, values)
+        self._scratch.quantize(self._scratch.a)
+        return self._scratch.tree_reduce(self._scratch.a)
 
     def feed(self, products: Sequence[float]) -> None:
         """Reduce one set of lane products and accumulate into the latch."""
-        tree_sum = adder_tree_reduce(np.asarray(products, dtype=np.float32))
-        acc = bf16_add(
-            np.array([self._latch], dtype=np.float32),
-            np.array([tree_sum], dtype=np.float32),
-        )
-        self._latch = float(acc[0])
+        tree_sum = self.reduce(products)
+        self._latch = self._scratch.accumulate(self._latch, tree_sum)
         self._dirty = True
 
     def read_and_clear(self) -> float:

@@ -260,6 +260,7 @@ class TestExecutionContextFlags:
             "backend": "ideal",
             "devices": 2,
             "replicas": 1,
+            "workers": "inline",
         }
 
     def test_serving_runs_on_every_backend(self, capsys):
