@@ -22,6 +22,10 @@ Two further sections track the vectorized functional datapath:
   bit-identity between fleets. The >= ``CLUSTER_SPEEDUP_FLOOR`` x gate
   only applies when the machine actually has two CPUs to run on
   (``cpu_count`` is recorded in the record either way).
+* ``serving`` — the virtual-time gateway (:mod:`repro.serving`):
+  simulated requests per wall second, the offline-M/D/c degeneracy
+  error (must be ~0), and the continuous-batching mean batch size on a
+  backlogged stream.
 
 Run standalone (``python benchmarks/bench_sim_throughput.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_sim_throughput.py -s``).
@@ -311,6 +315,78 @@ def measure_process_cluster(quick: bool = False) -> dict:
     }
 
 
+SERVING_REQUESTS = 5000
+SERVING_QUICK_REQUESTS = 1500
+SERVING_SERVICE = 1000.0
+"""Synthetic deterministic service time for the gateway section (the
+section measures the *gateway kernel's* speed and correctness, not a
+backend's)."""
+
+
+def measure_serving(quick: bool = False) -> dict:
+    """The serving gateway: simulation throughput plus two invariants.
+
+    * ``degeneracy_p99_error`` — relative p99 disagreement between the
+      window-0/batch-1 gateway and the offline M/D/c model on the same
+      seeded stream (identical by construction; recorded to catch
+      drift);
+    * ``batched`` — mean continuous-batch size on a stream offered at
+      3x batch-1 capacity (the batcher must saturate toward
+      ``max_batch`` under backlog).
+    """
+    from repro.host.serving import ServingSimulator
+    from repro.serving import (
+        FixedServiceReplica,
+        GatewayConfig,
+        ServingGateway,
+        SLOClass,
+        interarrival_for_load,
+        poisson_trace,
+    )
+
+    requests = SERVING_QUICK_REQUESTS if quick else SERVING_REQUESTS
+    service, load, servers = SERVING_SERVICE, 0.8, 2
+    classes = (SLOClass("interactive"),)
+    offline = ServingSimulator(service, seed=0, servers=servers).simulate(
+        load, requests
+    )
+    trace = poisson_trace(
+        interarrival_for_load(service, load, servers), requests, seed=0
+    )
+    gateway = ServingGateway(
+        lambda: FixedServiceReplica(service),
+        GatewayConfig(window_cycles=0.0, max_batch=1, min_replicas=servers,
+                      classes=classes),
+    )
+    t0 = time.perf_counter()
+    result = gateway.run(trace)
+    wall = time.perf_counter() - t0
+    backlogged = poisson_trace(
+        interarrival_for_load(service, 3.0), requests, seed=1
+    )
+    batched = ServingGateway(
+        lambda: FixedServiceReplica(service),
+        GatewayConfig(window_cycles=2 * service, max_batch=8,
+                      queue_depth=65536, classes=classes),
+    ).run(backlogged)
+    return {
+        "requests": requests,
+        "service_cycles": service,
+        "load": load,
+        "replicas": servers,
+        "wall_s": round(wall, 6),
+        "requests_per_s": round(requests / wall),
+        "degeneracy_p99_error": abs(result.p99 - offline.p99) / offline.p99,
+        "batched": {
+            "load": 3.0,
+            "mean_batch": round(batched.mean_batch, 2),
+            "max_batch_served": batched.max_batch_served,
+            "p99_cycles": round(batched.p99, 1),
+            "shed": batched.shed,
+        },
+    }
+
+
 def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> dict:
     """The full benchmark record (both modes plus derived speedups).
 
@@ -348,6 +424,7 @@ def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> d
         "telemetry": measure_telemetry_overhead(m, n),
         "functional": measure_functional(quick),
         "cluster": measure_process_cluster(quick),
+        "serving": measure_serving(quick),
     }
 
 
@@ -483,6 +560,13 @@ def export_metrics(record: dict, path: Path) -> None:
         if "cluster" in record:
             registry.gauge("bench.cluster_2worker_speedup").set(
                 record["cluster"]["speedup_2workers"]
+            )
+        if "serving" in record:
+            registry.gauge("bench.serving_requests_per_s").set(
+                record["serving"]["requests_per_s"]
+            )
+            registry.gauge("bench.serving_degeneracy_p99_error").set(
+                record["serving"]["degeneracy_p99_error"]
             )
     else:
         registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])

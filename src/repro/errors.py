@@ -60,6 +60,15 @@ class TelemetryError(ReproError):
     the run's end cycle."""
 
 
+class ServingError(ReproError):
+    """The serving gateway was misconfigured or deadlocked.
+
+    Raised by :mod:`repro.serving`: for invalid gateway/traffic
+    configuration (bad trace specs, non-positive windows, unknown SLO
+    classes) and by the virtual-time kernel when every task is blocked
+    with no timer left to fire (a coordination bug in gateway code)."""
+
+
 class WorkerError(ReproError):
     """A process-fleet worker failed or died mid-request.
 

@@ -49,6 +49,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "families": family_study.run,
     "energy": energy_efficiency.run,
     "serving": serving_study.run,
+    "serving-gateway": serving_study.run_gateway,
     "chunk-width": chunk_width_study.run,
 }
 
@@ -193,6 +194,72 @@ def run_verify(count: int, seed: int, report_path: Optional[str]) -> int:
     return 0 if report.ok else 1
 
 
+def run_serve(args, context: ExperimentContext) -> int:
+    """The ``newton-repro serve`` subcommand: the live serving gateway.
+
+    Serves the requested traffic trace (an inline ``kind:key=value``
+    spec or a ``newton-trace/v1`` JSON file) through a fleet of backend
+    replicas with admission control, continuous batching, and — when
+    ``--max-replicas`` exceeds ``--replicas`` — SLO-aware autoscaling.
+    Prints the per-class latency/goodput report; ``--metrics`` writes
+    the full ``newton-telemetry/v1`` export. See
+    ``docs/serving-gateway.md``.
+    """
+    from repro.serving import (
+        GatewayConfig,
+        ServingGateway,
+        backend_replica_factory,
+        default_classes,
+        resolve_trace_argument,
+    )
+    from repro.telemetry import MetricsRegistry
+    from repro.workloads.catalog import layer_by_name
+
+    layer = layer_by_name(args.layer)
+    factory = backend_replica_factory(
+        context.backend,
+        devices=context.devices,
+        workers=context.workers,
+        m=layer.m,
+        n=layer.n,
+        functional=False,
+    )
+    probe = factory()
+    service = probe.service_cycles
+    probe.close()
+    trace = resolve_trace_argument(args.trace, service, context.replicas)
+    config = GatewayConfig(
+        window_cycles=args.window * service,
+        max_batch=args.max_batch,
+        queue_depth=args.queue_depth,
+        min_replicas=context.replicas,
+        max_replicas=max(args.max_replicas or 0, context.replicas),
+        classes=default_classes(service, args.slo),
+    )
+    registry = MetricsRegistry() if args.metrics else None
+    gateway = ServingGateway(factory, config, metrics=registry)
+    try:
+        result = gateway.run(trace)
+    finally:
+        gateway.close()
+    print(result.render())
+    if args.metrics:
+        registry.section(
+            "context",
+            {
+                "backend": context.backend,
+                "devices": context.devices,
+                "replicas": context.replicas,
+                "workers": context.workers,
+                "layer": args.layer,
+                "service_cycles": service,
+            },
+        )
+        registry.write_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """Run the requested experiments (default: all) and print the tables."""
     parser = argparse.ArgumentParser(
@@ -214,9 +281,11 @@ def main(argv: "list[str] | None" = None) -> int:
         nargs="*",
         metavar="EXPERIMENT",
         help=f"which experiments to run (default: all); one of: "
-        f"{', '.join([*EXPERIMENTS, 'all'])} — or the standalone "
-        "'verify' subcommand (protocol-invariant differential fuzzing; "
-        "see --fuzz/--seed/--report and docs/verification.md)",
+        f"{', '.join([*EXPERIMENTS, 'all'])} — or a standalone "
+        "subcommand: 'verify' (protocol-invariant differential fuzzing; "
+        "see --fuzz/--seed/--report and docs/verification.md) or "
+        "'serve' (the live serving gateway; see --trace/--slo and "
+        "docs/serving-gateway.md)",
     )
     parser.add_argument(
         "--out",
@@ -246,6 +315,64 @@ def main(argv: "list[str] | None" = None) -> int:
         default=None,
         help="(verify only) write the fuzz report as JSON "
         "(schema newton-verify/v1; the nightly CI artifact)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="SPEC",
+        default="poisson:load=0.5,requests=1000",
+        help="(serve only) traffic to serve: an inline "
+        "'kind:key=value,...' spec (kinds: poisson, diurnal, bursty) "
+        "or a newton-trace/v1 JSON file (default: "
+        "poisson:load=0.5,requests=1000)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=5.0,
+        metavar="X",
+        help="(serve only) interactive-class p99 budget as a multiple "
+        "of the backend's service time (default 5.0; the bulk class "
+        "gets 4x that)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="(serve only) continuous-batching window as a multiple of "
+        "the service time (default 0: dispatch immediately)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        metavar="N",
+        help="(serve only) largest continuous batch merged into one "
+        "gemv_batch dispatch (default 8)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=512,
+        metavar="N",
+        help="(serve only) admission bound on waiting requests; beyond "
+        "it, low-priority work is shed (default 512)",
+    )
+    parser.add_argument(
+        "--max-replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(serve only) autoscale ceiling; above --replicas the "
+        "gateway scales out when the windowed p99 exceeds the SLO "
+        "budget and back in when idle (default: pinned at --replicas)",
+    )
+    parser.add_argument(
+        "--layer",
+        default="DLRMs1",
+        metavar="NAME",
+        help="(serve only) workload layer whose GEMV each request runs "
+        "(default DLRMs1)",
     )
     parser.add_argument(
         "--jobs",
@@ -346,6 +473,21 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.fuzz < 1:
             parser.error("--fuzz must be at least 1")
         return run_verify(args.fuzz, args.seed, args.report)
+    if "serve" in requested:
+        if requested != ["serve"]:
+            parser.error(
+                "'serve' is a standalone subcommand; do not mix it with "
+                "experiment names"
+            )
+        if args.max_batch < 1:
+            parser.error("--max-batch must be at least 1")
+        if args.queue_depth < 1:
+            parser.error("--queue-depth must be at least 1")
+        if args.window < 0:
+            parser.error("--window must be non-negative")
+        if args.slo <= 0:
+            parser.error("--slo must be positive")
+        return run_serve(args, context)
     unknown = [name for name in requested if name not in EXPERIMENTS and name != "all"]
     if unknown:
         parser.error(

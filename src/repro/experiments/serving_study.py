@@ -4,6 +4,12 @@ Sweeps a Poisson request stream over a DLRM recommendation layer served
 batch-1 by Newton and by the Titan-V-like GPU. The same ~60x service-time
 gap becomes a ~60x sustainable-throughput gap at bounded p99 — the
 quantitative form of the paper's small-batch edge motivation.
+
+:func:`run_gateway` (the ``serving-gateway`` experiment) replays the
+same load sweep through the *live* gateway (:mod:`repro.serving`) in
+its degenerate no-batching configuration and cross-checks the measured
+percentiles against this offline M/D/c model at matched load — the two
+implementations must agree, or one of them is wrong.
 """
 
 from __future__ import annotations
@@ -170,4 +176,160 @@ def run(
                 gpu_batched=batched,
             )
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# gateway mode: the live serving layer vs the offline model
+
+GATEWAY_LOADS: Tuple[float, ...] = (0.2, 0.5, 0.8)
+"""Loads the gateway cross-check replays (the offline sweep's core)."""
+
+
+@dataclass(frozen=True)
+class GatewayRow:
+    """One load's offline-vs-gateway comparison (cycles)."""
+
+    load: float
+    offline_p99: float
+    gateway_p99: float
+    gateway_mean_batch: float
+
+    @property
+    def p99_error(self) -> float:
+        """Relative disagreement between model and gateway."""
+        return abs(self.gateway_p99 - self.offline_p99) / self.offline_p99
+
+
+@dataclass
+class GatewayStudyResult:
+    """The gateway-vs-model cross-check plus one batching showcase."""
+
+    layer_name: str = ""
+    service_cycles: float = 0.0
+    replicas: int = 1
+    requests: int = 0
+    rows: List[GatewayRow] = field(default_factory=list)
+    batched_p99: float = 0.0
+    """p99 of the same 0.8-load stream served with continuous batching
+    (window of two service times, batch cap 8)."""
+    batched_mean_batch: float = 0.0
+
+    @property
+    def max_p99_error(self) -> float:
+        return max(row.p99_error for row in self.rows)
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"{row.load:.2f}",
+                f"{row.offline_p99:,.0f}",
+                f"{row.gateway_p99:,.0f}",
+                f"{100 * row.p99_error:.2f}%",
+            )
+            for row in self.rows
+        ]
+        body = render_table(
+            ["offered load", "offline p99 (cyc)", "gateway p99 (cyc)", "error"],
+            rows,
+            title=(
+                f"Serving gateway vs offline M/D/c, {self.layer_name}: "
+                f"{self.replicas} replica(s), {self.requests} requests"
+            ),
+        )
+        footer = (
+            f"\nmax p99 disagreement {100 * self.max_p99_error:.2f}% "
+            f"(acceptance bound 15%); continuous batching at load 0.8 "
+            f"(window 2x service, batch<=8): p99 {self.batched_p99:,.0f} "
+            f"cycles at mean batch {self.batched_mean_batch:.2f}"
+        )
+        return body + footer
+
+
+def run_gateway(
+    layer_name: str = "DLRMs1",
+    banks: int = common.EVAL_BANKS,
+    channels: int = common.EVAL_CHANNELS,
+    requests: int = 2000,
+    backend: "str | None" = None,
+    devices: "int | None" = None,
+    replicas: "int | None" = None,
+) -> GatewayStudyResult:
+    """The ``serving-gateway`` experiment: live gateway vs offline model.
+
+    For each load, the offline :class:`ServingSimulator` and the
+    :class:`~repro.serving.ServingGateway` (window 0, batch 1 — the
+    M/D/c discipline) serve the *same* seeded Poisson arrival stream;
+    their p99s must agree within the 15% acceptance bound (they agree
+    exactly, by construction). A final continuous-batching run at 0.8
+    load shows what the gateway adds over the offline model.
+    """
+    from repro.serving import (
+        FixedServiceReplica,
+        GatewayConfig,
+        ServingGateway,
+        SLOClass,
+        interarrival_for_load,
+        poisson_trace,
+    )
+
+    context = common.context_overrides(
+        backend=backend, devices=devices, replicas=replicas
+    )
+    layer = layer_by_name(layer_name)
+    service = common.newton_layer_cycles(
+        layer,
+        FULL,
+        banks=banks,
+        channels=channels,
+        backend=context.backend,
+        devices=context.devices,
+    )
+    servers = context.replicas
+    result = GatewayStudyResult(
+        layer_name=layer_name,
+        service_cycles=service,
+        replicas=servers,
+        requests=requests,
+    )
+    classes = (SLOClass("interactive", p99_budget=float("inf")),)
+    for load in GATEWAY_LOADS:
+        offline = ServingSimulator(service, seed=7, servers=servers).simulate(
+            load, requests
+        )
+        trace = poisson_trace(
+            interarrival_for_load(service, load, servers), requests, seed=7
+        )
+        gateway = ServingGateway(
+            lambda: FixedServiceReplica(service),
+            GatewayConfig(
+                window_cycles=0.0,
+                max_batch=1,
+                min_replicas=servers,
+                classes=classes,
+            ),
+        )
+        measured = gateway.run(trace)
+        result.rows.append(
+            GatewayRow(
+                load=load,
+                offline_p99=offline.p99,
+                gateway_p99=measured.p99,
+                gateway_mean_batch=measured.mean_batch,
+            )
+        )
+    trace = poisson_trace(
+        interarrival_for_load(service, 0.8, servers), requests, seed=7
+    )
+    batched = ServingGateway(
+        lambda: FixedServiceReplica(service),
+        GatewayConfig(
+            window_cycles=2 * service,
+            max_batch=8,
+            min_replicas=servers,
+            classes=classes,
+        ),
+    ).run(trace)
+    result.batched_p99 = batched.p99
+    result.batched_mean_batch = batched.mean_batch
     return result

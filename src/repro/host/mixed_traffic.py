@@ -18,12 +18,13 @@ measure the interference in both directions.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence
 
 from repro.dram import commands as cmds
 from repro.dram.commands import Command
-from repro.errors import ConfigurationError, LayoutError
+from repro.errors import ConfigurationError, LayoutError, ProtocolError
 
 
 @dataclass(frozen=True)
@@ -67,8 +68,14 @@ class NonAimTrafficSource:
     """Completion latency of each finished request (data back at host),
     measured from its ``arrival``; the host-visible cost of sharing the
     channel with AiM compute."""
+    completion_mismatches: int = 0
+    """Column-access completions reported with no matching issued
+    request — always a protocol-accounting bug; see
+    :meth:`record_completion`."""
     _cursor: int = field(default=0, repr=False)
-    _arrival_fifo: List[int] = field(default_factory=list, repr=False)
+    # A deque: completions pop from the head once per column access, and
+    # a list's pop(0) is O(n) — O(n^2) across a long interleaved trace.
+    _arrival_fifo: Deque[int] = field(default_factory=deque, repr=False)
 
     def __post_init__(self) -> None:
         if self.per_boundary <= 0:
@@ -114,9 +121,22 @@ class NonAimTrafficSource:
         completes (data back at the host).
 
         Requests are served strictly in order, so completions match the
-        arrival FIFO one column access at a time.
+        arrival FIFO one column access at a time. A column-access
+        completion with an *empty* FIFO means the engine reported a
+        request this source never issued (or reported one twice) — that
+        is an accounting bug, so it is counted in
+        :attr:`completion_mismatches` and raised rather than silently
+        dropped.
         """
         from repro.dram.commands import CommandKind
 
-        if command.kind in (CommandKind.RD, CommandKind.WR) and self._arrival_fifo:
-            self.latencies.append(record.complete - self._arrival_fifo.pop(0))
+        if command.kind not in (CommandKind.RD, CommandKind.WR):
+            return
+        if not self._arrival_fifo:
+            self.completion_mismatches += 1
+            raise ProtocolError(
+                f"non-AiM completion for {command.kind.name} at cycle "
+                f"{record.complete} has no matching issued request "
+                f"({self.issued} issued, {len(self.latencies)} completed)"
+            )
+        self.latencies.append(record.complete - self._arrival_fifo.popleft())

@@ -20,6 +20,26 @@ Two production-scale extensions ride on the same queueing core:
   any :class:`~repro.backends.base.Backend` (or cluster) instead of a
   hand-fed scalar, so the queueing study and the execution engine can
   never drift apart.
+
+Statistic semantics (shared by both serving modes):
+
+* ``max_queue`` is the deepest observed *backlog* — requests arrived
+  but not yet completed. In :meth:`ServingSimulator.simulate` it is
+  sampled at each arrival; in :meth:`ServingSimulator.simulate_batched`
+  at each window close (the largest batch actually dispatched is the
+  separate ``max_batch_served``, which is capped at ``max_batch`` and
+  says nothing about backlog).
+* ``stable`` reflects the *serving mode's own capacity*. Plain serving
+  is stable when ``offered_load < 1``; batched serving defines
+  ``offered_load`` relative to batch-1 capacity (so it is comparable
+  with :meth:`~ServingSimulator.simulate`), but its true capacity is
+  ``max_batch`` requests per ``window_cycles + batch_service(max_batch)``
+  cycles — a batched stream at offered load 2.0 can be perfectly
+  stable. :attr:`ServingResult.effective_load` stores load relative to
+  the true capacity, and ``stable`` derives from it.
+
+The live serving layer built on top of this model lives in
+:mod:`repro.serving` (see ``docs/serving-gateway.md``).
 """
 
 from __future__ import annotations
@@ -39,21 +59,48 @@ class ServingResult:
     """Latency statistics of one simulated request stream."""
 
     offered_load: float
-    """Arrival rate over aggregate service rate (utilization across all
-    replicas; >= 1 is unstable)."""
+    """Arrival rate over aggregate *batch-1* service rate. For plain
+    serving this is fleet utilization; for batched serving it is kept
+    batch-1-relative so Newton-vs-GPU sweeps share an x-axis (see
+    :attr:`effective_load` for utilization of the true capacity)."""
     requests: int
     p50: float
     p95: float
     p99: float
     mean: float
     max_queue: int
+    """Deepest observed backlog (arrived-but-not-completed requests) —
+    sampled per arrival for plain serving, per window close for batched
+    serving. Not the largest batch served; that is
+    :attr:`max_batch_served`."""
     servers: int = 1
     """Replica count the stream was served by."""
+    effective_load: Optional[float] = None
+    """Arrival rate over the serving mode's *true* capacity. Equal to
+    :attr:`offered_load` for plain serving; for batched serving the
+    capacity is ``max_batch / (window_cycles + batch_service(max_batch))``
+    requests per cycle, so a batched stream can run at offered load
+    2.0 with an effective load well under 1. ``None`` (direct
+    construction) falls back to :attr:`offered_load`."""
+    max_batch_served: int = 1
+    """Largest batch dispatched in one service (always 1 for plain
+    serving; capped at ``max_batch`` for batched serving)."""
 
     @property
     def stable(self) -> bool:
-        """Whether the queue could keep up."""
-        return self.offered_load < 1.0
+        """Whether the queue could keep up, for this serving mode.
+
+        Derived from :attr:`effective_load` (the mode's true
+        utilization), not :attr:`offered_load`: a batched stream at
+        batch-1-relative load 2.0 is stable whenever its batching
+        capacity covers the arrival rate.
+        """
+        load = (
+            self.effective_load
+            if self.effective_load is not None
+            else self.offered_load
+        )
+        return load < 1.0
 
 
 class ServingSimulator:
@@ -121,6 +168,13 @@ class ServingSimulator:
             self.metrics.gauge(f"{prefix}.{gauge}").set(getattr(result, gauge))
         self.metrics.gauge(f"{prefix}.max_queue").set(result.max_queue)
         self.metrics.gauge(f"{prefix}.servers").set(result.servers)
+        self.metrics.gauge(f"{prefix}.max_batch_served").set(
+            result.max_batch_served
+        )
+        if result.effective_load is not None:
+            self.metrics.gauge(f"{prefix}.effective_load").set(
+                result.effective_load
+            )
 
     def simulate(
         self, offered_load: float, requests: int = 2000
@@ -175,6 +229,7 @@ class ServingSimulator:
             mean=float(np.mean(latencies)),
             max_queue=max_queue,
             servers=self.servers,
+            effective_load=offered_load,
         )
         self._publish(result, "serving")
         return result
@@ -215,6 +270,7 @@ class ServingSimulator:
         server_free = 0.0
         i = 0
         max_queue = 0
+        max_batch_served = 0
         while i < len(arrivals):
             # The window opens at the first waiting arrival (or when the
             # server frees, if it is backlogged).
@@ -228,13 +284,24 @@ class ServingSimulator:
             ):
                 j += 1
             batch = j - i
+            # Backlog at window close: everything arrived by then minus
+            # everything already served. Previous batches always complete
+            # by window_open (server_free <= window_open), so the backlog
+            # is exactly the waiting requests — including any beyond the
+            # max_batch cap that this batch leaves behind.
+            arrived = int(np.searchsorted(arrivals, window_close, side="right"))
+            max_queue = max(max_queue, arrived - i)
+            max_batch_served = max(max_batch_served, batch)
             start = max(window_close, server_free)
             completion = start + float(batch_service(batch))
             latencies.extend(completion - arrivals[k] for k in range(i, j))
-            max_queue = max(max_queue, batch)
             server_free = completion
             i = j
         lat = np.array(latencies)
+        # True capacity of the batched server: max_batch requests per
+        # full window-plus-service cycle.
+        capacity = max_batch / (window_cycles + float(batch_service(max_batch)))
+        arrival_rate = offered_load / self.service_cycles
         result = ServingResult(
             offered_load=offered_load,
             requests=requests,
@@ -243,6 +310,8 @@ class ServingSimulator:
             p99=float(np.percentile(lat, 99)),
             mean=float(np.mean(lat)),
             max_queue=max_queue,
+            effective_load=arrival_rate / capacity,
+            max_batch_served=max_batch_served,
         )
         self._publish(result, "serving_batched")
         return result
@@ -258,6 +327,13 @@ class ServingSimulator:
         if latency_budget <= self.service_cycles:
             return 0.0
         lo, hi = 0.01, 0.999
+        # Verify the lower bound before trusting bisection: the loop
+        # only ever *raises* lo to loads whose p99 passed, so an
+        # infeasible initial lo would otherwise be returned unchecked
+        # (a budget barely above the bare service time fails even at a
+        # trickle of load, because two near-coincident arrivals queue).
+        if self.simulate(lo, requests).p99 > latency_budget:
+            return 0.0
         if self.simulate(hi, requests).p99 <= latency_budget:
             return hi
         for _ in range(24):

@@ -1,0 +1,80 @@
+"""The live serving layer: gateway, traffic, and its async kernel.
+
+This package promotes the offline M/D/c study in
+:mod:`repro.host.serving` into a running request gateway (ROADMAP item
+1): deterministic virtual-time coroutines (:mod:`repro.serving.loop`)
+drive an admission-controlled, continuously-batched, autoscaled fleet
+of backend replicas (:mod:`repro.serving.gateway`) against seeded
+traffic traces (:mod:`repro.serving.traffic`). See
+``docs/serving-gateway.md`` for the architecture.
+"""
+
+from repro.serving.gateway import (
+    BackendReplica,
+    ClassStats,
+    FixedServiceReplica,
+    GatewayConfig,
+    GatewayResult,
+    SLOClass,
+    ServingGateway,
+    backend_replica_factory,
+    default_classes,
+)
+from repro.serving.loop import (
+    SimEvent,
+    SimFuture,
+    SimQueue,
+    SimTask,
+    VirtualLoop,
+    first_of,
+)
+from repro.serving.traffic import (
+    DEFAULT_CLASS,
+    TRACE_KINDS,
+    TRACE_SCHEMA,
+    Trace,
+    TraceRequest,
+    TraceSpec,
+    bursty_trace,
+    diurnal_trace,
+    interarrival_for_load,
+    make_trace,
+    parse_trace_spec,
+    poisson_trace,
+    resolve_trace_argument,
+    trace_from_json,
+    trace_to_json,
+)
+
+__all__ = [
+    "BackendReplica",
+    "ClassStats",
+    "DEFAULT_CLASS",
+    "FixedServiceReplica",
+    "GatewayConfig",
+    "GatewayResult",
+    "SLOClass",
+    "ServingGateway",
+    "SimEvent",
+    "SimFuture",
+    "SimQueue",
+    "SimTask",
+    "TRACE_KINDS",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceRequest",
+    "TraceSpec",
+    "VirtualLoop",
+    "backend_replica_factory",
+    "bursty_trace",
+    "default_classes",
+    "diurnal_trace",
+    "first_of",
+    "interarrival_for_load",
+    "make_trace",
+    "parse_trace_spec",
+    "poisson_trace",
+    "resolve_trace_argument",
+    "trace_from_json",
+    "trace_to_json",
+]

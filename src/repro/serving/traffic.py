@@ -1,0 +1,457 @@
+"""Seed-deterministic traffic traces for the serving gateway.
+
+The paper motivates Newton with edge inference — requests arriving one
+at a time, wanting bounded tails — and Oliveira et al.'s edge-to-cloud
+PIM study (PAPERS.md) spans exactly the traffic spectrum generated
+here:
+
+* :func:`poisson_trace` — the memoryless baseline, the same arrival
+  process the offline :class:`~repro.host.serving.ServingSimulator`
+  draws, so gateway-vs-model cross-checks can share an arrival stream
+  bit for bit;
+* :func:`diurnal_trace` — a sinusoidally rate-modulated day: the
+  load-follows-users shape autoscalers are sized against;
+* :func:`bursty_trace` — a two-state Markov-modulated Poisson process
+  (MMPP-2): calm traffic punctuated by dwell-limited bursts at a
+  multiple of the base rate, the worst case for tail latency and the
+  trace the autoscaler demonstrably scales out (and back in) on.
+
+Every generator is a pure function of its seed (``numpy`` Generator
+streams), so traces replay identically across runs, machines, and the
+CLI/CI. Traces serialize to a ``newton-trace/v1`` JSON document
+(:func:`trace_to_json` / :func:`trace_from_json`) and the CLI accepts
+either a file path or an inline ``kind:key=value,...`` spec
+(:func:`parse_trace_spec`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ServingError
+
+TRACE_SCHEMA = "newton-trace/v1"
+"""Schema stamp of a serialized trace document."""
+
+DEFAULT_CLASS = "interactive"
+"""Class assigned when a trace does not mix request classes."""
+
+TRACE_KINDS = ("poisson", "diurnal", "bursty")
+"""Recognized generator kinds for :func:`make_trace` and trace specs."""
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a trace: an arrival cycle and an SLO class."""
+
+    arrival: float
+    cls: str = DEFAULT_CLASS
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An arrival-ordered request stream plus its provenance."""
+
+    kind: str
+    seed: int
+    mean_interarrival: float
+    requests: Tuple[TraceRequest, ...]
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Cycles from time zero to the last arrival."""
+        return self.requests[-1].arrival if self.requests else 0.0
+
+    @property
+    def classes(self) -> Tuple[str, ...]:
+        """The distinct request classes, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for request in self.requests:
+            seen.setdefault(request.cls, None)
+        return tuple(seen)
+
+
+def _validate(mean_interarrival: float, requests: int) -> None:
+    if mean_interarrival <= 0:
+        raise ServingError("mean interarrival must be positive")
+    if requests <= 0:
+        raise ServingError("a trace needs at least one request")
+
+
+def _assign_classes(
+    n: int,
+    class_mix: Optional[Sequence[Tuple[str, float]]],
+    rng: np.random.Generator,
+) -> Tuple[str, ...]:
+    """Class labels for ``n`` arrivals (weighted, seed-deterministic)."""
+    if not class_mix:
+        return (DEFAULT_CLASS,) * n
+    names = [name for name, _ in class_mix]
+    weights = np.array([weight for _, weight in class_mix], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ServingError(
+            f"class mix weights must be non-negative and not all zero, "
+            f"got {class_mix}"
+        )
+    picks = rng.choice(len(names), size=n, p=weights / weights.sum())
+    return tuple(names[i] for i in picks)
+
+
+def interarrival_for_load(
+    service_cycles: float, offered_load: float, servers: int = 1
+) -> float:
+    """The mean interarrival putting a fleet at ``offered_load``.
+
+    Matches :meth:`repro.host.serving.ServingSimulator.simulate`'s
+    convention exactly: load is relative to the *aggregate* capacity
+    ``servers / service_cycles``, so a trace built from this mean and
+    the simulator's own load sweep describe the same stream.
+    """
+    if service_cycles <= 0:
+        raise ServingError("service_cycles must be positive")
+    if offered_load <= 0:
+        raise ServingError("offered load must be positive")
+    if servers < 1:
+        raise ServingError("at least one server is required")
+    return service_cycles / (offered_load * servers)
+
+
+def poisson_trace(
+    mean_interarrival: float,
+    requests: int,
+    seed: int = 0,
+    *,
+    class_mix: Optional[Sequence[Tuple[str, float]]] = None,
+) -> Trace:
+    """A homogeneous Poisson stream.
+
+    Draws the identical exponential stream the offline simulator draws
+    for the same ``(mean, requests, seed)`` — one
+    ``default_rng(seed).exponential(mean, size=requests)`` cumsum — so a
+    degenerate gateway (no window, batch 1) replays the M/D/c study's
+    arrivals exactly.
+    """
+    _validate(mean_interarrival, requests)
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.exponential(mean_interarrival, size=requests))
+    classes = _assign_classes(requests, class_mix, rng)
+    return Trace(
+        kind="poisson",
+        seed=seed,
+        mean_interarrival=float(mean_interarrival),
+        requests=tuple(
+            TraceRequest(float(t), cls) for t, cls in zip(arrivals, classes)
+        ),
+    )
+
+
+def diurnal_trace(
+    mean_interarrival: float,
+    requests: int,
+    seed: int = 0,
+    *,
+    period: float,
+    amplitude: float = 0.6,
+    class_mix: Optional[Sequence[Tuple[str, float]]] = None,
+) -> Trace:
+    """A sinusoidally rate-modulated day of traffic.
+
+    The instantaneous arrival rate is ``base * (1 + amplitude *
+    sin(2*pi*t/period))``: each interarrival is drawn from an
+    exponential whose mean tracks the current phase, giving smooth
+    peak/trough alternation with overall mean rate ~``1/base``.
+    """
+    _validate(mean_interarrival, requests)
+    if period <= 0:
+        raise ServingError("the diurnal period must be positive")
+    if not 0 <= amplitude < 1:
+        raise ServingError("amplitude must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    arrivals = np.empty(requests, dtype=np.float64)
+    now = 0.0
+    for i in range(requests):
+        rate_scale = 1.0 + amplitude * math.sin(2 * math.pi * now / period)
+        now += rng.exponential(mean_interarrival / rate_scale)
+        arrivals[i] = now
+    classes = _assign_classes(requests, class_mix, rng)
+    return Trace(
+        kind="diurnal",
+        seed=seed,
+        mean_interarrival=float(mean_interarrival),
+        requests=tuple(
+            TraceRequest(float(t), cls) for t, cls in zip(arrivals, classes)
+        ),
+        params={"period": float(period), "amplitude": float(amplitude)},
+    )
+
+
+def bursty_trace(
+    mean_interarrival: float,
+    requests: int,
+    seed: int = 0,
+    *,
+    burst_factor: float = 8.0,
+    calm_dwell: float = 40.0,
+    burst_dwell: float = 8.0,
+    class_mix: Optional[Sequence[Tuple[str, float]]] = None,
+) -> Trace:
+    """A two-state MMPP: calm traffic with exponential-dwell bursts.
+
+    The process alternates between a *calm* state and a *burst* state
+    at ``burst_factor`` times the calm rate; dwell times are
+    exponential with means ``calm_dwell`` / ``burst_dwell`` (in units
+    of the calm mean interarrival). The calm rate is normalized so the
+    *long-run average* interarrival equals ``mean_interarrival`` — a
+    bursty trace at load L offers the same average load as a Poisson
+    trace at load L, just unevenly. This is the canonical bursty-edge
+    traffic model and the autoscaler's acceptance trace: bursts drive
+    the windowed p99 over budget, calm stretches let it scale back in.
+    """
+    _validate(mean_interarrival, requests)
+    if burst_factor < 1:
+        raise ServingError("burst_factor must be at least 1")
+    if calm_dwell <= 0 or burst_dwell <= 0:
+        raise ServingError("dwell times must be positive")
+    # Long-run rate = calm_rate * (f_calm + burst_factor * f_burst)
+    # where f_* are the dwell time fractions; scale the calm mean so
+    # that long-run rate is exactly 1 / mean_interarrival.
+    calm_fraction = calm_dwell / (calm_dwell + burst_dwell)
+    rate_factor = calm_fraction + burst_factor * (1.0 - calm_fraction)
+    mean_interarrival = mean_interarrival * rate_factor
+    rng = np.random.default_rng(seed)
+    arrivals = np.empty(requests, dtype=np.float64)
+    now = 0.0
+    bursting = False
+    # Next state flip, in absolute cycles.
+    flip = now + rng.exponential(calm_dwell * mean_interarrival)
+    for i in range(requests):
+        while True:
+            mean = mean_interarrival / (burst_factor if bursting else 1.0)
+            gap = rng.exponential(mean)
+            if now + gap <= flip:
+                now += gap
+                break
+            # The state flips before this arrival lands: restart the
+            # (memoryless) draw from the flip point in the new state.
+            now = flip
+            bursting = not bursting
+            dwell = burst_dwell if bursting else calm_dwell
+            flip = now + rng.exponential(dwell * mean_interarrival)
+        arrivals[i] = now
+    classes = _assign_classes(requests, class_mix, rng)
+    return Trace(
+        kind="bursty",
+        seed=seed,
+        mean_interarrival=float(mean_interarrival / rate_factor),
+        requests=tuple(
+            TraceRequest(float(t), cls) for t, cls in zip(arrivals, classes)
+        ),
+        params={
+            "burst_factor": float(burst_factor),
+            "calm_dwell": float(calm_dwell),
+            "burst_dwell": float(burst_dwell),
+        },
+    )
+
+
+def make_trace(
+    kind: str,
+    mean_interarrival: float,
+    requests: int,
+    seed: int = 0,
+    *,
+    class_mix: Optional[Sequence[Tuple[str, float]]] = None,
+    **params: float,
+) -> Trace:
+    """Build a trace by generator kind (the string-keyed factory)."""
+    if kind == "poisson":
+        return poisson_trace(
+            mean_interarrival, requests, seed, class_mix=class_mix, **params
+        )
+    if kind == "diurnal":
+        params.setdefault("period", 200.0 * mean_interarrival)
+        return diurnal_trace(
+            mean_interarrival, requests, seed, class_mix=class_mix, **params
+        )
+    if kind == "bursty":
+        return bursty_trace(
+            mean_interarrival, requests, seed, class_mix=class_mix, **params
+        )
+    raise ServingError(
+        f"unknown trace kind {kind!r}; choose from {TRACE_KINDS}"
+    )
+
+
+# ----------------------------------------------------------------------
+# trace spec parsing (the CLI's --trace argument)
+
+_SPEC_KEYS = {
+    "load",
+    "requests",
+    "seed",
+    "period",
+    "amplitude",
+    "burst_factor",
+    "calm_dwell",
+    "burst_dwell",
+}
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A parsed ``kind:key=value,...`` trace description.
+
+    The spec is service-time-agnostic: ``load`` is a fraction of the
+    serving fleet's aggregate capacity, resolved into a concrete mean
+    interarrival only once the backend's service time is known
+    (:meth:`build`).
+    """
+
+    kind: str
+    load: float = 0.5
+    requests: int = 1000
+    seed: int = 0
+    class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def build(self, service_cycles: float, servers: int = 1) -> Trace:
+        """The concrete trace at this spec's load for a given fleet."""
+        mean = interarrival_for_load(service_cycles, self.load, servers)
+        return make_trace(
+            self.kind,
+            mean,
+            self.requests,
+            self.seed,
+            class_mix=self.class_mix,
+            **self.params,
+        )
+
+
+def parse_trace_spec(spec: str) -> TraceSpec:
+    """Parse ``kind:key=value,...`` (e.g. ``poisson:load=0.8,requests=2000``).
+
+    Recognized keys: ``load``, ``requests``, ``seed``, the kind-specific
+    shape parameters (``period``, ``amplitude``, ``burst_factor``,
+    ``calm_dwell``, ``burst_dwell``), and ``classes`` — a ``+``-joined
+    list of ``name:weight`` pairs (``classes=interactive:0.8+bulk:0.2``).
+    """
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind not in TRACE_KINDS:
+        raise ServingError(
+            f"unknown trace kind {kind!r} in spec {spec!r}; choose from "
+            f"{TRACE_KINDS}"
+        )
+    load, requests, seed = 0.5, 1000, 0
+    class_mix: Optional[Tuple[Tuple[str, float], ...]] = None
+    params: Dict[str, float] = {}
+    for item in filter(None, (part.strip() for part in rest.split(","))):
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ServingError(f"malformed trace spec item {item!r} in {spec!r}")
+        if key == "classes":
+            pairs = []
+            for pair in value.split("+"):
+                name, sep2, weight = pair.partition(":")
+                if not sep2:
+                    raise ServingError(
+                        f"malformed class mix {value!r}: want name:weight"
+                    )
+                pairs.append((name.strip(), float(weight)))
+            class_mix = tuple(pairs)
+            continue
+        if key not in _SPEC_KEYS:
+            raise ServingError(
+                f"unknown trace spec key {key!r} in {spec!r}; choose from "
+                f"{sorted(_SPEC_KEYS | {'classes'})}"
+            )
+        if key == "load":
+            load = float(value)
+        elif key == "requests":
+            requests = int(value)
+        elif key == "seed":
+            seed = int(value)
+        else:
+            params[key] = float(value)
+    if load <= 0:
+        raise ServingError("trace load must be positive")
+    if requests <= 0:
+        raise ServingError("a trace needs at least one request")
+    return TraceSpec(
+        kind=kind,
+        load=load,
+        requests=requests,
+        seed=seed,
+        class_mix=class_mix,
+        params=params,
+    )
+
+
+def resolve_trace_argument(
+    argument: str, service_cycles: float, servers: int = 1
+) -> Trace:
+    """The CLI's ``--trace`` semantics: a JSON file path, or an inline
+    spec resolved against the backend's measured service time."""
+    path = Path(argument)
+    if path.suffix == ".json" or path.exists():
+        return trace_from_json(path)
+    return parse_trace_spec(argument).build(service_cycles, servers)
+
+
+# ----------------------------------------------------------------------
+# serialization (newton-trace/v1)
+
+def trace_to_json(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write the trace as a ``newton-trace/v1`` JSON document."""
+    target = Path(path)
+    document = {
+        "schema": TRACE_SCHEMA,
+        "kind": trace.kind,
+        "seed": trace.seed,
+        "mean_interarrival": trace.mean_interarrival,
+        "params": trace.params,
+        "requests": [
+            {"arrival": request.arrival, "class": request.cls}
+            for request in trace.requests
+        ],
+    }
+    target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def trace_from_json(path: Union[str, Path]) -> Trace:
+    """Load a ``newton-trace/v1`` document (arrivals must be sorted)."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if document.get("schema") != TRACE_SCHEMA:
+        raise ServingError(
+            f"{path}: unknown trace schema {document.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA})"
+        )
+    requests = tuple(
+        TraceRequest(float(item["arrival"]), str(item.get("class", DEFAULT_CLASS)))
+        for item in document["requests"]
+    )
+    arrivals = [request.arrival for request in requests]
+    if arrivals != sorted(arrivals):
+        raise ServingError(f"{path}: trace arrivals are not sorted")
+    return Trace(
+        kind=str(document.get("kind", "file")),
+        seed=int(document.get("seed", 0)),
+        mean_interarrival=float(document.get("mean_interarrival", 0.0) or 0.0),
+        requests=requests,
+        params={
+            key: float(value)
+            for key, value in dict(document.get("params", {})).items()
+        },
+    )

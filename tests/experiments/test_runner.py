@@ -25,6 +25,7 @@ class TestRunner:
             "families",
             "energy",
             "serving",
+            "serving-gateway",
             "chunk-width",
         }
         assert set(EXPERIMENTS) == expected

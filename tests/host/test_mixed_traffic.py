@@ -145,3 +145,47 @@ class TestNonAimLatency:
         assert len(lats) == 6
         assert lats == sorted(lats)
         assert lats[-1] > lats[0] + 4 * 200  # ~a tile of queueing per step
+
+
+class TestCompletionAccounting:
+    """Regressions for the arrival-FIFO bookkeeping."""
+
+    def _completed_source(self):
+        engine = make_engine()
+        layout = engine.add_matrix(64, 512)
+        traffic = NonAimTrafficSource(
+            [NonAimRequest(bank=0, row=300, col=0, arrival=0)],
+            per_boundary=1,
+        )
+        engine.run_gemv(layout, background=traffic)
+        assert traffic.issued == 1 and len(traffic.latencies) == 1
+        return traffic
+
+    def test_unmatched_completion_raises_and_counts(self):
+        """Regression: a column-access completion with an empty arrival
+        FIFO used to be silently dropped; it must be counted and raised
+        as a protocol violation."""
+        from repro.dram import commands as cmds
+        from repro.errors import ProtocolError
+
+        traffic = self._completed_source()
+
+        class FakeRecord:
+            complete = 12345
+
+        with pytest.raises(ProtocolError, match="no matching issued"):
+            traffic.record_completion(
+                cmds.rd(bank=0, col=0, auto_precharge=True), FakeRecord()
+            )
+        assert traffic.completion_mismatches == 1
+        # Non-column commands are ignored, matched or not.
+        traffic.record_completion(cmds.act(bank=0, row=300), FakeRecord())
+        assert traffic.completion_mismatches == 1
+
+    def test_arrival_fifo_is_a_deque(self):
+        """The FIFO pops from the head once per completion; a list's
+        pop(0) made long interleaved traces O(n^2)."""
+        from collections import deque
+
+        traffic = NonAimTrafficSource([], per_boundary=1)
+        assert isinstance(traffic._arrival_fifo, deque)

@@ -74,6 +74,17 @@ class TestServingSimulator:
         # An impossible budget (below the service time) admits nothing.
         assert sim.max_stable_load(latency_budget=50.0) == 0.0
 
+    def test_max_stable_load_verifies_lower_bound(self):
+        """Regression: a budget just above the bare service time fails
+        even at a trickle of load (two near-coincident arrivals queue),
+        and the bisection must report 0.0 — it used to return its
+        *unverified* initial lower bound of 0.01."""
+        sim = ServingSimulator(100.0, seed=0)
+        # At seed 0 the 0.01-load stream's p99 is ~122 cycles: over a
+        # 105-cycle budget, so no strictly positive load is feasible.
+        assert sim.simulate(0.01, requests=2000).p99 > 105.0
+        assert sim.max_stable_load(latency_budget=105.0) == 0.0
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             ServingSimulator(0.0)
@@ -177,7 +188,51 @@ class TestBatchedServing:
             requests=800,
             max_batch=16,
         )
-        assert result.max_queue <= 16
+        assert result.max_batch_served <= 16
+
+    def test_max_queue_is_backlog_not_batch_size(self):
+        """Regression: max_queue used to report the largest batch
+        *served* (so it could never exceed max_batch); it must report
+        the deepest waiting backlog, which at 10x load with a batch cap
+        of 16 grows far beyond the cap."""
+        sim = ServingSimulator(100.0, seed=3)
+        result = sim.simulate_batched(
+            offered_load=10.0,
+            window_cycles=1000.0,
+            batch_service=lambda k: 100.0,
+            requests=800,
+            max_batch=16,
+        )
+        assert result.max_queue > 16  # backlog, not batch size
+        assert result.max_batch_served == 16
+
+    def test_batched_max_queue_matches_brute_force(self):
+        """The searchsorted backlog must equal a direct recomputation
+        of waiting requests at each window close."""
+        service, seed, requests = 100.0, 7, 400
+        window, max_batch, load = 300.0, 8, 2.0
+        result = ServingSimulator(service, seed=seed).simulate_batched(
+            load,
+            window_cycles=window,
+            batch_service=lambda k: service + 10.0 * k,
+            requests=requests,
+            max_batch=max_batch,
+        )
+        rng = np.random.default_rng(seed)
+        arrivals = np.cumsum(
+            rng.exponential(service / load, size=requests)
+        )
+        server_free, i, expected = 0.0, 0, 0
+        while i < len(arrivals):
+            close = max(arrivals[i], server_free) + window
+            j = i
+            while j < len(arrivals) and arrivals[j] <= close and j - i < max_batch:
+                j += 1
+            waiting = sum(1 for t in arrivals if t <= close) - i
+            expected = max(expected, waiting)
+            server_free = max(close, server_free) + service + 10.0 * (j - i)
+            i = j
+        assert result.max_queue == expected
 
     def test_window_accumulates_a_batch(self):
         """At heavy load an uncapped window collects many requests."""
@@ -212,9 +267,43 @@ class TestBatchedServing:
             batch_service=lambda k: 100.0 + k,
             requests=400,
         )
-        assert not plain.stable and not batched.stable
+        assert not plain.stable
         assert plain.p99 >= 100.0
         assert batched.p99 >= 100.0
+
+    def test_batched_stability_is_mode_aware(self):
+        """Regression: ``.stable`` used to check ``offered_load < 1``
+        for batched results too, but batched load is *batch-1*-relative
+        — a batched stream at load 2.0 whose batching capacity covers
+        the arrival rate is perfectly stable, and must say so."""
+        sim = ServingSimulator(100.0, seed=9)
+        # Capacity: 64 requests / (100 + 164) cycles >> arrival rate
+        # of 2.0/100: the backlog never grows.
+        stable = sim.simulate_batched(
+            2.0,
+            window_cycles=100.0,
+            batch_service=lambda k: 100.0 + k,
+            requests=600,
+        )
+        assert stable.offered_load == 2.0
+        assert stable.effective_load < 1.0
+        assert stable.stable
+        # Same offered load with no real batching capacity (max_batch=2
+        # and linear batch service) genuinely cannot keep up.
+        unstable = sim.simulate_batched(
+            2.5,
+            window_cycles=100.0,
+            batch_service=lambda k: 100.0 * k,
+            requests=600,
+            max_batch=2,
+        )
+        assert unstable.effective_load > 1.0
+        assert not unstable.stable
+
+    def test_plain_result_effective_load_matches_offered(self):
+        result = ServingSimulator(100.0, seed=1).simulate(0.7, requests=300)
+        assert result.effective_load == result.offered_load
+        assert result.stable
 
 
 class TestMultiServer:

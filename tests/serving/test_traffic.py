@@ -1,0 +1,181 @@
+"""Seed-deterministic traffic generation and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.host.serving import ServingSimulator
+from repro.serving.traffic import (
+    TRACE_SCHEMA,
+    TraceSpec,
+    bursty_trace,
+    diurnal_trace,
+    interarrival_for_load,
+    make_trace,
+    parse_trace_spec,
+    poisson_trace,
+    resolve_trace_argument,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+class TestPoisson:
+    def test_deterministic_by_seed(self):
+        a = poisson_trace(100.0, 500, seed=3)
+        b = poisson_trace(100.0, 500, seed=3)
+        assert a == b
+        c = poisson_trace(100.0, 500, seed=4)
+        assert a != c
+
+    def test_mean_rate_close_to_nominal(self):
+        trace = poisson_trace(100.0, 20_000, seed=1)
+        gaps = np.diff([0.0] + [r.arrival for r in trace.requests])
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.05)
+
+    def test_shares_rng_stream_with_offline_simulator(self):
+        """The gateway-vs-model cross-check hinges on this: the same
+        (mean, requests, seed) draws the simulator's exact arrivals."""
+        service, load, servers, seed, n = 1000.0, 0.8, 2, 0, 400
+        mean = interarrival_for_load(service, load, servers)
+        trace = poisson_trace(mean, n, seed=seed)
+        rng = np.random.default_rng(seed)
+        expected = np.cumsum(
+            rng.exponential(service / (load * servers), size=n)
+        )
+        got = np.array([r.arrival for r in trace.requests])
+        assert np.array_equal(got, expected)
+
+    def test_class_mix_is_weighted_and_deterministic(self):
+        mix = (("interactive", 0.7), ("bulk", 0.3))
+        trace = poisson_trace(50.0, 5000, seed=2, class_mix=mix)
+        counts = {"interactive": 0, "bulk": 0}
+        for request in trace.requests:
+            counts[request.cls] += 1
+        assert counts["interactive"] / 5000 == pytest.approx(0.7, abs=0.03)
+        again = poisson_trace(50.0, 5000, seed=2, class_mix=mix)
+        assert trace == again
+
+
+class TestShapedTraffic:
+    def test_diurnal_rate_tracks_phase(self):
+        period = 20_000.0
+        trace = diurnal_trace(
+            100.0, 10_000, seed=1, period=period, amplitude=0.8
+        )
+        arrivals = np.array([r.arrival for r in trace.requests])
+        # Peak half-phases (sin > 0) should hold more arrivals than
+        # trough half-phases.
+        phase = np.sin(2 * np.pi * arrivals / period)
+        assert np.sum(phase > 0) > 1.3 * np.sum(phase < 0)
+
+    def test_bursty_interarrivals_are_overdispersed(self):
+        """An MMPP-2's gap CV must exceed a Poisson stream's (~1)."""
+        bursty = bursty_trace(100.0, 10_000, seed=5, burst_factor=10.0)
+        gaps = np.diff([r.arrival for r in bursty.requests])
+        cv = np.std(gaps) / np.mean(gaps)
+        assert cv > 1.3
+
+    def test_arrivals_always_sorted(self):
+        for kind in ("poisson", "diurnal", "bursty"):
+            trace = make_trace(kind, 100.0, 1000, seed=7)
+            arrivals = [r.arrival for r in trace.requests]
+            assert arrivals == sorted(arrivals)
+            assert trace.kind == kind
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            poisson_trace(0.0, 10)
+        with pytest.raises(ServingError):
+            poisson_trace(10.0, 0)
+        with pytest.raises(ServingError):
+            diurnal_trace(10.0, 10, period=-1.0)
+        with pytest.raises(ServingError):
+            diurnal_trace(10.0, 10, period=100.0, amplitude=1.5)
+        with pytest.raises(ServingError):
+            bursty_trace(10.0, 10, burst_factor=0.5)
+        with pytest.raises(ServingError):
+            make_trace("weibull", 10.0, 10)
+
+
+class TestSpecParsing:
+    def test_inline_spec_round_trip(self):
+        spec = parse_trace_spec(
+            "bursty:load=0.7,requests=250,seed=9,burst_factor=4"
+        )
+        assert spec == TraceSpec(
+            kind="bursty",
+            load=0.7,
+            requests=250,
+            seed=9,
+            params={"burst_factor": 4.0},
+        )
+        trace = spec.build(service_cycles=1000.0, servers=2)
+        assert len(trace) == 250
+        assert trace.mean_interarrival == pytest.approx(1000.0 / (0.7 * 2))
+
+    def test_class_mix_spec(self):
+        spec = parse_trace_spec(
+            "poisson:load=0.5,classes=interactive:0.8+bulk:0.2"
+        )
+        assert spec.class_mix == (("interactive", 0.8), ("bulk", 0.2))
+
+    def test_bad_specs_rejected(self):
+        for bad in (
+            "weibull:load=0.5",
+            "poisson:load",
+            "poisson:banana=1",
+            "poisson:load=0",
+            "poisson:classes=interactive",
+        ):
+            with pytest.raises(ServingError):
+                parse_trace_spec(bad)
+
+    def test_matches_simulator_load_convention(self):
+        """A spec at load L and the offline simulator at load L describe
+        the same arrival stream."""
+        service, load, n = 500.0, 0.6, 300
+        trace = parse_trace_spec(f"poisson:load={load},requests={n}").build(
+            service, servers=1
+        )
+        sim = ServingSimulator(service, seed=0)
+        rng = np.random.default_rng(0)
+        sim_arrivals = np.cumsum(
+            rng.exponential(service / load, size=n)
+        )
+        assert np.array_equal(
+            [r.arrival for r in trace.requests], sim_arrivals
+        )
+        del sim  # the convention is the simulator's; see its simulate()
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        trace = bursty_trace(
+            100.0, 200, seed=3, class_mix=(("interactive", 1.0),)
+        )
+        path = trace_to_json(trace, tmp_path / "trace.json")
+        loaded = trace_from_json(path)
+        assert loaded == trace
+
+    def test_schema_stamp_required(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/v9", "requests": []}')
+        with pytest.raises(ServingError, match="schema"):
+            trace_from_json(path)
+
+    def test_unsorted_arrivals_rejected(self, tmp_path):
+        path = tmp_path / "unsorted.json"
+        path.write_text(
+            '{"schema": "%s", "requests": '
+            '[{"arrival": 5.0}, {"arrival": 1.0}]}' % TRACE_SCHEMA
+        )
+        with pytest.raises(ServingError, match="not sorted"):
+            trace_from_json(path)
+
+    def test_resolve_argument_path_vs_spec(self, tmp_path):
+        trace = poisson_trace(100.0, 50, seed=1)
+        path = trace_to_json(trace, tmp_path / "t.json")
+        assert resolve_trace_argument(str(path), 100.0) == trace
+        inline = resolve_trace_argument("poisson:load=0.5,requests=50", 100.0)
+        assert len(inline) == 50
