@@ -99,6 +99,21 @@ CLUSTER_SPEEDUP_FLOOR = 1.7
 benchmarking machine has >= 2 CPUs (a single-core container cannot
 express process parallelism, but its record still pins bit-identity)."""
 
+FUSED_SHAPES = ((1024, 1024), (4096, 1024), (1024, 4096))
+"""The three distinct GEMV shapes of a BERT-large encoder block."""
+
+FUSED_SAVED_FLOOR = 1000.0
+"""``--check-fused`` fails when the summed steady-state saving of the
+fused lowering across the BERT-large block shapes (refresh off — with
+refresh on the saving can be absorbed by cadence pinning) falls below
+this many cycles. The committed measurement is ~1,476 cycles (one
+GWRITE command per 512-element input chunk elided from each stream);
+the floor only trips when fusion stops eliding GWRITEs at all."""
+
+DECODE_STEPS = 8
+DECODE_QUICK_STEPS = 4
+"""Tokens decoded by the bench's KV-cache session (quick: CI)."""
+
 
 def _make_engine(
     fast: bool, m: int = M, n: int = N, *, telemetry: bool = True
@@ -315,6 +330,168 @@ def measure_process_cluster(quick: bool = False) -> dict:
     }
 
 
+def measure_fused(quick: bool = False) -> dict:
+    """Fused (GWRITE-less) lowering vs the host round trip.
+
+    Timing side: per-shape steady-state cycles over the BERT-large block
+    shapes with refresh off, each mode on its own fresh engine (see
+    :mod:`repro.experiments.fused_layer_study` for the refresh-on
+    story). Functional side: one fused-vs-unfused GEMV pair must be
+    bit-identical — fusion's defining contract.
+    """
+    import numpy as np
+
+    from repro.backends import make_backend
+    from repro.workloads.generator import generate_layer_data
+
+    shapes = FUSED_SHAPES[:1] if quick else FUSED_SHAPES
+    rows = []
+    for m, n in shapes:
+        per_mode = {}
+        for fused in (False, True):
+            engine = make_backend(
+                "newton",
+                config=hbm2e_like_config(),
+                timing=hbm2e_like_timing(),
+                opt=FULL,
+                functional=False,
+                refresh_enabled=False,
+            )
+            handle = engine.load_matrix(m=m, n=n)
+            engine.gemv(handle, fused_input=fused)  # cold: caches warm
+            per_mode[fused] = float(
+                engine.gemv(handle, fused_input=fused).cycles
+            )
+            engine.close()
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "roundtrip_cycles": per_mode[False],
+                "fused_cycles": per_mode[True],
+                "saved_cycles": per_mode[False] - per_mode[True],
+            }
+        )
+    data = generate_layer_data(QUICK_M, QUICK_N, seed=3)
+    outputs = {}
+    for fused in (False, True):
+        engine = make_backend(
+            "newton",
+            config=_functional_config(),
+            timing=hbm2e_like_timing(),
+            opt=FULL,
+            functional=True,
+        )
+        handle = engine.load_matrix(data.matrix)
+        outputs[fused] = engine.gemv(
+            handle, data.vector, fused_input=fused
+        ).output
+        engine.close()
+    bit_identical = bool(
+        np.array_equal(
+            outputs[True].view(np.uint32), outputs[False].view(np.uint32)
+        )
+    )
+    assert bit_identical, "fused GEMV diverged bit-wise from round-trip"
+    return {
+        "refresh_enabled": False,
+        "shapes": rows,
+        "saved_cycles_total": sum(r["saved_cycles"] for r in rows),
+        "bit_identical": bit_identical,
+    }
+
+
+def measure_decode(quick: bool = False) -> dict:
+    """Session-based decode: KV-cache stepping throughput + per-step tail.
+
+    Runs the decode scenario graph through a fused
+    :class:`~repro.host.graph_runtime.GraphSession` (wall-clock steps/s,
+    fused-GEMV fraction, host bytes the bank-resident cache avoided),
+    then replays the measured per-step service time through the serving
+    gateway as multi-step decode sessions for per-step p50/p99.
+    """
+    from repro.backends import make_backend
+    from repro.serving import (
+        FixedServiceReplica,
+        GatewayConfig,
+        ServingGateway,
+        SLOClass,
+        Trace,
+        decode_sessions,
+    )
+    from repro.workloads.scenarios import scenario_model
+
+    import numpy as np
+
+    steps = DECODE_QUICK_STEPS if quick else DECODE_STEPS
+    spec = scenario_model("decode", d=128, window=steps, blocks=1)
+    runs: dict = {}
+    for fused in (True, False):
+        engine = make_backend(
+            "newton",
+            config=_functional_config(),
+            timing=hbm2e_like_timing(),
+            opt=FULL,
+            functional=True,
+        )
+        session = engine.open_session(spec, fused=fused, seed=0)
+        try:
+            t0 = time.perf_counter()
+            step_results = session.run_steps(steps)
+            runs[fused] = {
+                "wall": time.perf_counter() - t0,
+                "results": step_results,
+                "kv_bytes_saved": session.kv_bytes_saved,
+            }
+        finally:
+            session.close()
+            engine.close()
+    bit_identical = all(
+        np.array_equal(
+            f.output.view(np.uint32), u.output.view(np.uint32)
+        )
+        for f, u in zip(runs[True]["results"], runs[False]["results"])
+    )
+    assert bit_identical, "fused decode session diverged from unfused"
+    results = runs[True]["results"]
+    wall = runs[True]["wall"]
+    kv_bytes_saved = runs[True]["kv_bytes_saved"]
+    step_cycles = sum(r.total_cycles for r in results) / steps
+    gateway = ServingGateway(
+        lambda: FixedServiceReplica(step_cycles),
+        GatewayConfig(
+            max_batch=4,
+            classes=(SLOClass("decode", p99_budget=float("inf")),),
+        ),
+    )
+    try:
+        served = gateway.run(
+            Trace(kind="sessions", seed=0, mean_interarrival=0.0, requests=()),
+            decode_sessions(4, steps=steps, interarrival=2.0 * step_cycles),
+        )
+    finally:
+        gateway.close()
+    assert served.sessions is not None
+    return {
+        "steps": steps,
+        "wall_s": round(wall, 6),
+        "steps_per_s": round(steps / wall, 2),
+        "step_cycles_mean": round(step_cycles, 1),
+        "fused_gemvs": sum(r.fused_gemvs for r in results),
+        "gemvs": sum(r.gemvs for r in results),
+        "kv_bytes_saved": kv_bytes_saved,
+        "bit_identical": bit_identical,
+        "gateway": {
+            "sessions": served.sessions.offered,
+            "step_p50_cycles": round(served.sessions.step_p50, 1),
+            "step_p99_cycles": round(served.sessions.step_p99, 1),
+            "mean_session_makespan": round(
+                served.sessions.mean_makespan, 1
+            ),
+        },
+    }
+
+
 SERVING_REQUESTS = 5000
 SERVING_QUICK_REQUESTS = 1500
 SERVING_SERVICE = 1000.0
@@ -425,6 +602,8 @@ def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> d
         "functional": measure_functional(quick),
         "cluster": measure_process_cluster(quick),
         "serving": measure_serving(quick),
+        "fused": measure_fused(quick),
+        "decode": measure_decode(quick),
     }
 
 
@@ -536,6 +715,36 @@ def check_functional(record: dict) -> "tuple[bool, str]":
     return True, f"batched {speedup}x vs scalar"
 
 
+def check_fused(record: dict) -> "tuple[bool, str]":
+    """Gate the fused-lowering sections of a benchmark record.
+
+    Requires bit-identity (fused GEMV and fused decode session) and a
+    summed refresh-off steady-state saving across the BERT-large block
+    shapes of at least ``FUSED_SAVED_FLOOR`` cycles. Quick records run
+    one shape, so only that shape's saving must be positive. Returns
+    (ok, reason).
+    """
+    fused = record.get("fused")
+    if fused is None:
+        return True, "no fused section (non-canonical record)"
+    if not fused["bit_identical"]:
+        return False, "fused GEMV is not bit-identical to the round trip"
+    saved = fused["saved_cycles_total"]
+    floor = FUSED_SAVED_FLOOR if len(fused["shapes"]) == len(FUSED_SHAPES) else 1.0
+    if saved < floor:
+        return False, (
+            f"fused lowering saved {saved:,.0f} cycles across "
+            f"{len(fused['shapes'])} shape(s), below the {floor:,.0f} floor"
+        )
+    decode = record.get("decode")
+    if decode is not None:
+        if not decode["bit_identical"]:
+            return False, "fused decode session is not bit-identical"
+        if decode["fused_gemvs"] <= 0:
+            return False, "decode session fused zero GEMVs"
+    return True, f"fused lowering saved {saved:,.0f} cycles (refresh off)"
+
+
 def export_metrics(record: dict, path: Path) -> None:
     """Registry-shaped telemetry JSON: bench gauges + a probe breakdown."""
     from repro.telemetry import MetricsRegistry, validate_metrics
@@ -568,6 +777,17 @@ def export_metrics(record: dict, path: Path) -> None:
             registry.gauge("bench.serving_degeneracy_p99_error").set(
                 record["serving"]["degeneracy_p99_error"]
             )
+        if "fused" in record:
+            registry.gauge("bench.fused_saved_cycles").set(
+                record["fused"]["saved_cycles_total"]
+            )
+        if "decode" in record:
+            registry.gauge("bench.decode_steps_per_s").set(
+                record["decode"]["steps_per_s"]
+            )
+            registry.gauge("bench.decode_kv_bytes_saved").set(
+                record["decode"]["kv_bytes_saved"]
+            )
     else:
         registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])
     engine, layout = _make_engine(True, record["m"], record["n"])
@@ -595,6 +815,8 @@ def test_sim_throughput(once):
     )
     functional_ok, reason = check_functional(record)
     assert functional_ok, reason
+    fused_ok, reason = check_fused(record)
+    assert fused_ok, reason
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -627,6 +849,14 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{FUNCTIONAL_SPEEDUP_FLOOR}x scalar, any tier/fleet loses "
         "bit-identity, or (on >= 2 CPUs) the 2-worker fleet falls below "
         f"{CLUSTER_SPEEDUP_FLOOR}x",
+    )
+    parser.add_argument(
+        "--check-fused",
+        action="store_true",
+        help="exit 1 when the fused (GWRITE-less) lowering loses "
+        "bit-identity or its summed refresh-off saving across the "
+        f"BERT-large block shapes falls below {FUSED_SAVED_FLOOR:,.0f} "
+        "cycles",
     )
     parser.add_argument(
         "--metrics",
@@ -690,6 +920,13 @@ def main(argv: "list[str] | None" = None) -> int:
             failed = True
         else:
             print(f"functional check OK: {reason}")
+    if args.check_fused:
+        fused_ok, reason = check_fused(record)
+        if not fused_ok:
+            print(f"FAIL: fused lowering check: {reason}")
+            failed = True
+        else:
+            print(f"fused check OK: {reason}")
     return 1 if failed else 0
 
 

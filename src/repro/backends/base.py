@@ -98,6 +98,11 @@ class Backend(ABC):
         """
         from repro.workloads.generator import generate_layer_data
 
+        if getattr(spec, "requires_session", False):
+            raise ProtocolError(
+                f"{spec.name} carries stateful (non-fc) layers; open a "
+                "session (open_session) to load and run it"
+            )
         handles = {}
         for i, layer in enumerate(spec.layers):
             if not layer.on_newton:
@@ -109,13 +114,46 @@ class Backend(ABC):
                 handles[layer.name] = self.load_matrix(m=layer.m, n=layer.n)
         return handles
 
+    def store_matrix(self, handle, matrix: np.ndarray) -> None:
+        """Rewrite a resident matrix's data in place (functional only).
+
+        The handle keeps its placement; only the data changes — the
+        primitive behind the bank-resident KV-cache arenas, which are
+        allocated once at session open and grown in place across decode
+        steps. Untimed, like ``load_matrix``.
+        """
+        raise ProtocolError(
+            f"backend {self.name!r} does not support in-place matrix updates"
+        )
+
     # ------------------------------------------------------------------
     # execution
 
     @abstractmethod
-    def gemv(self, handle, vector: Optional[np.ndarray] = None):
+    def gemv(self, handle, vector: Optional[np.ndarray] = None, *, fused_input: bool = False):
         """One matrix-vector product; returns a run with ``cycles`` and
-        (functionally) ``output``."""
+        (functionally) ``output``.
+
+        ``fused_input=True`` declares the input already device-resident
+        (fused-layer dataflow): the host GWRITE round trip is elided
+        from the modeled timing while outputs stay bit-identical.
+        Backends without a fused model simply ignore the flag.
+        """
+
+    def open_session(self, spec, *, fused: bool = True, seed: int = 0):
+        """Open a model-graph execution session over this backend.
+
+        Returns a :class:`~repro.host.graph_runtime.GraphSession` whose
+        ``step(inputs)`` walks the model's layer graph keeping
+        activations device-resident between fusable layers (and KV-cache
+        arenas bank-resident across decode steps); ``close()`` releases
+        session state. ``fused=False`` pins the session to today's
+        per-layer host round-trip path — bit-identical outputs, more
+        cycles.
+        """
+        from repro.host.graph_runtime import GraphSession
+
+        return GraphSession(self, spec, fused=fused, seed=seed)
 
     def gemv_batch(
         self,

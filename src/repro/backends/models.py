@@ -86,10 +86,28 @@ class _ModelBackend(Backend):
             )
         return ModelHandle(m=m, n=n, matrix=matrix if self.functional else None)
 
+    def store_matrix(self, handle: ModelHandle, matrix: np.ndarray) -> None:
+        """Swap the resident data in place (shape-checked, untimed)."""
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.shape != (handle.m, handle.n):
+            raise LayoutError(
+                f"matrix of shape {matrix.shape}; the handle holds "
+                f"({handle.m}, {handle.n})"
+            )
+        if not self.functional:
+            raise ProtocolError("store_matrix needs a functional backend")
+        handle.matrix = matrix
+
     def gemv(
-        self, handle: ModelHandle, vector: Optional[np.ndarray] = None
+        self,
+        handle: ModelHandle,
+        vector: Optional[np.ndarray] = None,
+        *,
+        fused_input: bool = False,
     ) -> BackendRun:
         cycles = float(self._predict_cycles(handle.m, handle.n))
+        if fused_input:
+            cycles = max(0.0, cycles - self._fused_discount(handle.m, handle.n))
         output = None
         if self.functional:
             if vector is None:
@@ -112,6 +130,11 @@ class _ModelBackend(Backend):
 
     def _predict_cycles(self, m: int, n: int) -> float:
         raise NotImplementedError
+
+    def _fused_discount(self, m: int, n: int) -> float:
+        """Cycles a device-resident input saves (closed-form models have
+        no host-transfer term by default, so nothing is discounted)."""
+        return 0.0
 
     def collect_metrics(self) -> dict:
         return {
@@ -143,6 +166,13 @@ class AnalyticalBackend(_ModelBackend):
         return self.model.predicted_layer_cycles(
             m, n, channels=self.config.num_channels
         )
+
+    def _fused_discount(self, m: int, n: int) -> float:
+        """The closed form's GWRITE term — exactly what a fused,
+        device-resident input elides (see
+        :meth:`~repro.baselines.analytical.AnalyticalModel.predicted_gwrite_cycles`).
+        """
+        return self.model.predicted_gwrite_cycles(n)
 
 
 class IdealBackend(_ModelBackend):

@@ -83,10 +83,17 @@ class NewtonBackend(Backend):
     ) -> MatrixHandle:
         return self.device.load_matrix(matrix, m=m, n=n)
 
+    def store_matrix(self, handle: MatrixHandle, matrix: np.ndarray) -> None:
+        self.device.store_matrix(handle, matrix)
+
     def gemv(
-        self, handle: MatrixHandle, vector: Optional[np.ndarray] = None
+        self,
+        handle: MatrixHandle,
+        vector: Optional[np.ndarray] = None,
+        *,
+        fused_input: bool = False,
     ) -> GemvRunResult:
-        return self.device.gemv(handle, vector)
+        return self.device.gemv(handle, vector, fused_input=fused_input)
 
     def gemv_batch(
         self,

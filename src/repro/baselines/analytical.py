@@ -72,6 +72,25 @@ class AnalyticalModel:
     # ------------------------------------------------------------------
     # whole-layer extension
 
+    def predicted_gwrite_cycles(self, n: int) -> float:
+        """The global-buffer loading term of the whole-layer model.
+
+        One GWRITE command slot per sub-chunk, once per chunk — the host
+        round-trip cost a fused (device-resident) input elides.
+        """
+        if n <= 0:
+            raise ConfigurationError("dimensions must be positive")
+        cfg = self.config
+        t = self.timing
+        total = 0.0
+        remaining = n
+        while remaining > 0:
+            chunk_elems = min(remaining, cfg.elems_per_row)
+            cols = -(-chunk_elems // cfg.elems_per_col)
+            total += cols * t.t_cmd
+            remaining -= chunk_elems
+        return total
+
     def predicted_layer_cycles(self, m: int, n: int, channels: int = 1) -> float:
         """Whole-layer extension of the per-row model.
 

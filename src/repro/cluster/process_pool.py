@@ -133,11 +133,45 @@ def _worker_main(
                             m=hi - lo, n=n
                         )
                     conn.send(("ok", None))
+                elif op == "store":
+                    _, handle_id, spec, lo, hi = message
+                    shared = SharedNDArray.attach(spec)
+                    try:
+                        shard = np.array(
+                            shared.array[lo:hi], dtype=np.float32
+                        )
+                    finally:
+                        shared.release()
+                    backend.store_matrix(handles[handle_id], shard)
+                    conn.send(("ok", None))
                 elif op == "gemv_batch":
-                    _, handle_id, vectors, count = message
-                    runs = backend.gemv_batch(
-                        handles[handle_id], vectors, batch=count
-                    )
+                    _, handle_id, vectors, count, fused = message
+                    if fused:
+                        # gemv_batch has no fused surface (batches share
+                        # no residency); fused requests run per-vector.
+                        if vectors is not None:
+                            batch = validate_batch_vectors(
+                                vectors, backend.handle_shape(handles[handle_id])[1]
+                            )
+                            runs = [
+                                backend.gemv(
+                                    handles[handle_id],
+                                    batch[i],
+                                    fused_input=True,
+                                )
+                                for i in range(batch.shape[0])
+                            ]
+                        else:
+                            runs = [
+                                backend.gemv(
+                                    handles[handle_id], fused_input=True
+                                )
+                                for _ in range(count)
+                            ]
+                    else:
+                        runs = backend.gemv_batch(
+                            handles[handle_id], vectors, batch=count
+                        )
                     conn.send(
                         (
                             "ok",
@@ -347,18 +381,51 @@ class ProcessShardedCluster(Backend):
                 shared.release()
         return handle
 
+    def store_matrix(self, handle: ClusterHandle, matrix: np.ndarray) -> None:
+        """Rewrite a resident matrix in place across the fleet.
+
+        Same slice semantics as :meth:`ShardedCluster.store_matrix`; the
+        data travels through one shared-memory segment like
+        :meth:`load_matrix`, and every worker re-stores its slice
+        against its existing handle (placement untouched).
+        """
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.shape != (handle.m, handle.n):
+            raise ConfigurationError(
+                f"store shape {matrix.shape} does not match the resident "
+                f"matrix ({handle.m}, {handle.n})"
+            )
+        shared = SharedNDArray.create(matrix.shape, np.float32)
+        shared.array[:] = matrix
+        try:
+            participants = []
+            for index, (lo, hi), handle_id in handle.shards:
+                self._send(index, ("store", handle_id, shared.spec, lo, hi))
+                participants.append(index)
+            self._receive_all(participants)
+        finally:
+            shared.release()
+
     # ------------------------------------------------------------------
     # execution
 
     def gemv(
-        self, handle: ClusterHandle, vector: Optional[np.ndarray] = None
+        self,
+        handle: ClusterHandle,
+        vector: Optional[np.ndarray] = None,
+        *,
+        fused_input: bool = False,
     ) -> ClusterRun:
         """One product across the fleet (see :class:`ShardedCluster`
         for the mode semantics — identical here, just parallel)."""
         if vector is not None:
-            runs = self.gemv_batch(handle, np.asarray(vector)[None, :])
+            runs = self.gemv_batch(
+                handle, np.asarray(vector)[None, :], fused_input=fused_input
+            )
         else:
-            runs = self.gemv_batch(handle, batch=1)
+            runs = self.gemv_batch(handle, batch=1, fused_input=fused_input)
         return runs[0]
 
     def gemv_batch(
@@ -367,6 +434,7 @@ class ProcessShardedCluster(Backend):
         vectors: Optional[np.ndarray] = None,
         *,
         batch: Optional[int] = None,
+        fused_input: bool = False,
     ) -> List[ClusterRun]:
         """A batch of products with one fleet round-trip.
 
@@ -388,12 +456,12 @@ class ProcessShardedCluster(Backend):
             raise ProtocolError("provide vectors or a batch size")
 
         if self.mode == REPLICATE:
-            return self._replicated_batch(handle, vectors, count)
+            return self._replicated_batch(handle, vectors, count, fused_input)
 
         indices = [index for index, _, _ in handle.shards]
         handle_id = handle.shards[0][2]
         replies = self._broadcast(
-            indices, ("gemv_batch", handle_id, vectors, count)
+            indices, ("gemv_batch", handle_id, vectors, count, fused_input)
         )
         runs: List[ClusterRun] = []
         for item in range(count):
@@ -426,6 +494,7 @@ class ProcessShardedCluster(Backend):
         handle: ClusterHandle,
         vectors: Optional[np.ndarray],
         count: int,
+        fused_input: bool = False,
     ) -> List[ClusterRun]:
         """Round-robin the batch across replicas, all in flight at once."""
         assignments: List[Tuple[int, int, List[int]]] = []
@@ -443,7 +512,13 @@ class ProcessShardedCluster(Backend):
             )
             self._send(
                 index,
-                ("gemv_batch", handle_id, request_vectors, len(items)),
+                (
+                    "gemv_batch",
+                    handle_id,
+                    request_vectors,
+                    len(items),
+                    fused_input,
+                ),
             )
             assignments.append((index, handle_id, items))
         runs: List[Optional[ClusterRun]] = [None] * count

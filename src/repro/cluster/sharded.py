@@ -176,11 +176,34 @@ class ShardedCluster(Backend):
             handle.shards.append((index, (lo, hi), sub))
         return handle
 
+    def store_matrix(self, handle: ClusterHandle, matrix: np.ndarray) -> None:
+        """Rewrite a resident matrix in place across the cluster.
+
+        Each shard-mode device stores its row slice; replicate mode
+        stores the full matrix on every replica. Placement is untouched
+        — the in-place-growth primitive behind session KV-cache arenas,
+        lifted to N devices.
+        """
+        if not handle.shards:
+            raise ProtocolError("the cluster handle has no placements")
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.shape != (handle.m, handle.n):
+            raise LayoutError(
+                f"store shape {matrix.shape} does not match the resident "
+                f"matrix ({handle.m}, {handle.n})"
+            )
+        for index, (lo, hi), sub in handle.shards:
+            self.backends[index].store_matrix(sub, matrix[lo:hi])
+
     # ------------------------------------------------------------------
     # execution
 
     def gemv(
-        self, handle: ClusterHandle, vector: Optional[np.ndarray] = None
+        self,
+        handle: ClusterHandle,
+        vector: Optional[np.ndarray] = None,
+        *,
+        fused_input: bool = False,
     ) -> ClusterRun:
         """One matrix-vector product across the cluster.
 
@@ -189,7 +212,9 @@ class ShardedCluster(Backend):
         host folds the disjoint partial outputs through the fp32
         :class:`~repro.host.accumulator.HostAccumulator` reduction.
         Replicate mode: the next replica (round-robin) serves the whole
-        request.
+        request. ``fused_input`` passes straight through to every
+        participating device — shard mode broadcasts the same vector, so
+        an input resident on one device is resident on all.
         """
         if not handle.shards:
             raise ProtocolError("the cluster handle has no placements")
@@ -198,7 +223,7 @@ class ShardedCluster(Backend):
                 self._next_replica % len(handle.shards)
             ]
             self._next_replica += 1
-            run = self.backends[index].gemv(sub, vector)
+            run = self.backends[index].gemv(sub, vector, fused_input=fused_input)
             return ClusterRun(
                 cycles=float(run.cycles),
                 output=run.output,
@@ -207,7 +232,7 @@ class ShardedCluster(Backend):
         device_runs: List[Tuple[int, object]] = []
         accumulator = HostAccumulator(handle.m) if self.functional else None
         for index, (lo, hi), sub in handle.shards:
-            run = self.backends[index].gemv(sub, vector)
+            run = self.backends[index].gemv(sub, vector, fused_input=fused_input)
             device_runs.append((index, run))
             if accumulator is not None and run.output is not None:
                 accumulator.add_partials(np.arange(lo, hi), run.output)

@@ -231,8 +231,41 @@ class NewtonDevice:
             )
         return self._executor
 
-    def gemv(self, handle: MatrixHandle, vector: Optional[np.ndarray] = None) -> GemvRunResult:
-        """One matrix-vector product; channels execute in parallel."""
+    def store_matrix(
+        self, handle: MatrixHandle, matrix: np.ndarray
+    ) -> None:
+        """Rewrite a resident matrix's data in place (functional only).
+
+        The handle keeps its DRAM placements; only the stored bits
+        change — the residency-update primitive behind the bank-resident
+        KV-cache, whose arena is allocated once and grown in place
+        across decode steps. Untimed, like :meth:`load_matrix`.
+        """
+        if not self.functional:
+            raise ProtocolError("store_matrix needs a functional device")
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.shape != (handle.m, handle.n):
+            raise LayoutError(
+                f"matrix of shape {matrix.shape}; the handle holds "
+                f"({handle.m}, {handle.n})"
+            )
+        for channel, (lo, hi), layout in handle.placements:
+            self.engines[channel].update_matrix(layout, matrix[lo:hi])
+
+    def gemv(
+        self,
+        handle: MatrixHandle,
+        vector: Optional[np.ndarray] = None,
+        *,
+        fused_input: bool = False,
+    ) -> GemvRunResult:
+        """One matrix-vector product; channels execute in parallel.
+
+        ``fused_input=True`` marks the input as already channel-resident
+        (fused-layer dataflow): every channel elides the host GWRITEs
+        from its command stream while loading its buffer identically, so
+        outputs are bit-identical and only cycles change.
+        """
         if not handle.placements:
             raise ProtocolError("the matrix handle has no placements")
         executor = (
@@ -243,13 +276,17 @@ class NewtonDevice:
             # gathered in placement order, so the run is deterministic.
             channel_results = list(
                 executor.map(
-                    lambda p: self.engines[p[0]].run_gemv(p[2], vector),
+                    lambda p: self.engines[p[0]].run_gemv(
+                        p[2], vector, fused_input=fused_input
+                    ),
                     handle.placements,
                 )
             )
         else:
             channel_results = [
-                self.engines[channel].run_gemv(layout, vector)
+                self.engines[channel].run_gemv(
+                    layout, vector, fused_input=fused_input
+                )
                 for channel, _, layout in handle.placements
             ]
         output = np.zeros(handle.m, dtype=np.float32) if self.functional else None

@@ -149,6 +149,16 @@ class NewtonChannelEngine:
         self.burst_commands = 0
         """Commands those runs covered (each one skipped the per-command
         constraint solver; see :mod:`repro.dram.burst`)."""
+        self.fused_runs = 0
+        """GEMVs executed with a channel-resident input (fused-layer
+        dataflow: the host GWRITE round trip was elided)."""
+        self.fused_skipped_gwrites = 0
+        """GWRITE commands those fused runs kept off the command bus."""
+        self.fused_saved_cycles = 0
+        """Estimated command-slot cycles the elided GWRITEs would have
+        occupied (``skipped * max(t_cmd, t_ccd)``, the homogeneous-run
+        stride). An estimate for telemetry only — the measured saving is
+        the fused-vs-round-trip end-cycle difference."""
         # Opt-in protocol verification (NEWTON_CHECK_INVARIANTS=1): the
         # verifier installs itself as the controller's trace recorder,
         # which also forces the per-command tier so it sees every
@@ -183,6 +193,20 @@ class NewtonChannelEngine:
                 self.channel.storage[bank].write_row(row, bits)
         return layout
 
+    def update_matrix(self, layout: Layout, matrix: np.ndarray) -> None:
+        """Rewrite a resident matrix's data in place (functional only).
+
+        The in-place residency update behind the bank-resident KV-cache:
+        decode appends a row/column to an arena whose DRAM rows were
+        allocated once at session open. Like :meth:`add_matrix`, the
+        write itself is not timed (the host streams it alongside compute,
+        exactly as the paper's occasional ECC scrub re-loads are).
+        """
+        if not self.functional:
+            raise ProtocolError("update_matrix needs a functional engine")
+        for bank, row, bits in layout.place(matrix):
+            self.channel.storage[bank].write_row(row, bits)
+
     # ------------------------------------------------------------------
     # execution
 
@@ -199,15 +223,22 @@ class NewtonChannelEngine:
             self._row_cache[dram_row] = rows
         return rows
 
-    def _segments_for(self, layout: Layout) -> SegmentedStream:
-        """The layout's lowered, segmented command stream (memoized)."""
-        stream = self._stream_cache.get(layout)
+    def _segments_for(self, layout: Layout, *, fused: bool = False) -> SegmentedStream:
+        """The layout's lowered, segmented command stream (memoized).
+
+        The fused (GWRITE-less) lowering is cached separately from the
+        round-trip one — same layout, different command identity — so a
+        session that alternates fused and unfused runs replays each
+        schedule from its own cache entries.
+        """
+        key = (layout, True) if fused else layout
+        stream = self._stream_cache.get(key)
         if stream is None:
             generator = CommandStreamGenerator(
                 self.config, self.timing, self.opt, layout
             )
-            stream = segment_stream(generator, self.schedule_cache)
-            self._stream_cache.put(layout, stream)
+            stream = segment_stream(generator, self.schedule_cache, fused=fused)
+            self._stream_cache.put(key, stream)
         return stream
 
     def run_gemv(
@@ -215,6 +246,8 @@ class NewtonChannelEngine:
         layout: Layout,
         vector: Optional[np.ndarray] = None,
         background=None,
+        *,
+        fused_input: bool = False,
     ) -> ChannelRunResult:
         """Execute one matrix-vector product on this channel's slice.
 
@@ -230,9 +263,23 @@ class NewtonChannelEngine:
                 interfere with in-flight AiM row operations. Background
                 traffic (like tracing) disables the steady-state fast
                 path for the run.
+            fused_input: the input vector is already channel-resident
+                (fused-layer dataflow), so the stream's host GWRITEs are
+                elided from the command bus; outputs stay bit-identical.
+                Ignored when the protocol verifier is attached — the
+                verifier checks the *host* protocol, whose
+                GWRITE-before-COMP rule a fused stream intentionally
+                bypasses.
         """
         controller = self.channel.controller
-        stream = self._segments_for(layout)
+        fused = fused_input and self.verifier is None
+        stream = self._segments_for(layout, fused=fused)
+        if fused:
+            self.fused_runs += 1
+            self.fused_skipped_gwrites += stream.skipped_gwrites
+            self.fused_saved_cycles += stream.skipped_gwrites * max(
+                self.timing.t_cmd, self.timing.t_ccd
+            )
         if self.functional:
             if vector is None:
                 raise ProtocolError("functional mode requires an input vector")

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.command_gen import CommandStreamGenerator, RunStep, Step
-from repro.dram.commands import CommandRun
+from repro.dram.commands import CommandKind, CommandRun
 from repro.dram.fastpath import ControllerDelta, Signature
 
 MAX_DELTA_ENTRIES = 8192
@@ -87,6 +87,12 @@ class SegmentedStream:
     """One layout's full command stream, lowered and segmented once."""
 
     segments: List[StreamSegment] = field(default_factory=list)
+    skipped_gwrites: int = 0
+    """GWRITE commands elided from a fused lowering (0 for the ordinary
+    round-trip stream). The functional buffer loads are kept — a fused
+    design fills the global buffer from the result latches / activation
+    buffer instead of the host, so the data still arrives, just not over
+    the command bus (see :func:`segment_stream`)."""
 
     @property
     def total_commands(self) -> int:
@@ -173,7 +179,10 @@ class ScheduleCache:
 
 
 def segment_stream(
-    generator: CommandStreamGenerator, cache: ScheduleCache
+    generator: CommandStreamGenerator,
+    cache: ScheduleCache,
+    *,
+    fused: bool = False,
 ) -> SegmentedStream:
     """Lower a generator's compiled stream into barrier-delimited segments.
 
@@ -183,6 +192,17 @@ def segment_stream(
     payloads (loads, the tile compute) are re-attached as skeleton steps
     in issue order. A barrier always flushes the open segment, so no run
     ever straddles a refresh decision point.
+
+    With ``fused=True`` the lowering models a fused-layer dataflow: the
+    input activation is already channel-resident (produced by the
+    previous layer, or still held from a sibling layer's load), so the
+    host's GWRITE runs are dropped from the *timing* side while their
+    buffer-fill payloads stay on the *functional* side — outputs are
+    bit-identical to the round-trip stream by construction, only the
+    command-bus occupancy changes. The elided command count is recorded
+    on the stream (:attr:`SegmentedStream.skipped_gwrites`). Fused
+    segments intern under their own (GWRITE-less) keys, so the replay
+    cache never conflates the two schedules.
     """
     stream = SegmentedStream()
     barrier = 0
@@ -210,6 +230,11 @@ def segment_stream(
 
     for item in generator.gemv_items():
         if isinstance(item, RunStep):
+            if fused and item.run.kind is CommandKind.GWRITE:
+                # Fused: the buffer fill happens off the command bus.
+                stream.skipped_gwrites += item.run.count
+                functional.extend(item.payload_steps())
+                continue
             items.append(item.run)
             n_commands += item.run.count
             functional.extend(item.payload_steps())
@@ -219,8 +244,11 @@ def segment_stream(
             barrier = item.barrier_cycles
             continue
         if item.command is not None:
-            items.append(item.command)
-            n_commands += 1
+            if fused and item.command.kind is CommandKind.GWRITE:
+                stream.skipped_gwrites += 1
+            else:
+                items.append(item.command)
+                n_commands += 1
         if _has_payload(item):
             functional.append(item)
     flush()

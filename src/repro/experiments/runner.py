@@ -23,6 +23,7 @@ from repro.experiments import (
     fig11_batch_ideal,
     fig12_batch_gpu,
     fig13_power,
+    fused_layer_study,
     latch_variant,
     mixed_traffic_study,
     model_validation,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "serving": serving_study.run,
     "serving-gateway": serving_study.run_gateway,
     "chunk-width": chunk_width_study.run,
+    "fused-layers": fused_layer_study.run,
 }
 
 
@@ -181,7 +183,13 @@ def run_verify(count: int, seed: int, report_path: Optional[str]) -> int:
         print(
             f"[{result.case.index + 1:>3}/{count}] {status}  "
             f"{result.commands} commands, {result.checks} checks  "
-            f"({result.case.opt().label}, devices={result.case.devices})",
+            f"({result.case.opt().label}, devices={result.case.devices}"
+            + (
+                f", graph={result.case.graph}"
+                if result.case.graph != "none"
+                else ""
+            )
+            + ")",
             file=sys.stderr,
         )
 
@@ -253,6 +261,169 @@ def run_serve(args, context: ExperimentContext) -> int:
                 "workers": context.workers,
                 "layer": args.layer,
                 "service_cycles": service,
+            },
+        )
+        registry.write_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    return 0
+
+
+def run_scenario(args, context: ExperimentContext) -> int:
+    """The ``newton-repro --scenario`` subcommand: session-based graphs.
+
+    Opens a :class:`~repro.host.graph_runtime.GraphSession` over the
+    selected backend (or cluster) for one of the LLM-serving scenario
+    graphs — ``decode`` (bank-resident KV-cache), ``moe`` (routed
+    experts), ``lora`` (low-rank adapters) — and decodes ``--seq-len``
+    steps. The fused run is always differentially checked against an
+    unfused twin (bit-identity is the contract, not a hope), and decode
+    additionally replays the measured per-step service time through the
+    serving gateway as a multi-step session traffic class, reporting
+    per-step p50/p99. See ``docs/model-graphs.md``.
+    """
+    import numpy as np
+
+    from repro.backends import make_backend
+    from repro.cluster import make_cluster
+    from repro.serving import (
+        GatewayConfig,
+        ServingGateway,
+        SLOClass,
+        decode_sessions,
+    )
+    from repro.serving.gateway import FixedServiceReplica
+    from repro.serving.traffic import Trace
+    from repro.telemetry import MetricsRegistry
+    from repro.utils.tables import render_table
+    from repro.workloads.scenarios import scenario_model
+
+    kwargs = {"window": args.seq_len} if args.scenario == "decode" else {}
+    spec = scenario_model(args.scenario, **kwargs)
+
+    def build_backend():
+        if context.devices > 1:
+            return make_cluster(
+                context.backend,
+                context.devices,
+                workers=context.workers,
+                functional=True,
+            )
+        return make_backend(context.backend, functional=True)
+
+    engine = build_backend()
+    session = engine.open_session(spec, fused=args.fused, seed=args.seed)
+    try:
+        results = session.run_steps(args.seq_len)
+        kv_bytes_saved = session.kv_bytes_saved
+        kv_tokens = session.kv_tokens
+    finally:
+        session.close()
+        engine.close()
+
+    # Differential twin with the opposite fusion setting: outputs must
+    # be bit-identical (fusion only elides command-bus work).
+    twin_engine = build_backend()
+    twin = twin_engine.open_session(
+        spec, fused=not args.fused, seed=args.seed
+    )
+    try:
+        twin_results = twin.run_steps(args.seq_len)
+    finally:
+        twin.close()
+        twin_engine.close()
+    for ours, theirs in zip(results, twin_results):
+        if not np.array_equal(ours.output, theirs.output):
+            print(
+                f"FUSION MISMATCH at step {ours.step_index}: fused and "
+                "unfused outputs differ",
+                file=sys.stderr,
+            )
+            return 1
+
+    rows = [
+        (
+            f"{r.step_index}",
+            f"{r.newton_cycles:,.0f}",
+            f"{r.host_cycles + r.exposed_pipeline_cycles:,.0f}",
+            f"{r.fused_gemvs}/{r.gemvs}",
+        )
+        for r in results
+    ]
+    mode = "fused" if args.fused else "unfused"
+    print(
+        render_table(
+            ["step", "newton (cyc)", "host (cyc)", "fused GEMVs"],
+            rows,
+            title=(
+                f"Scenario {args.scenario!r} ({mode}), "
+                f"{args.seq_len} steps on {context.backend}"
+                + (f" x{context.devices}" if context.devices > 1 else "")
+            ),
+        )
+    )
+    total = sum(r.total_cycles for r in results)
+    fused_total = sum(r.fused_gemvs for r in results)
+    gemv_total = sum(r.gemvs for r in results)
+    print(
+        f"\ntotal {total:,.0f} cycles; {fused_total}/{gemv_total} GEMVs "
+        f"ran with buffer-resident inputs; fused==unfused outputs "
+        f"bit-identical over {args.seq_len} steps"
+        + (
+            f"; KV-cache kept {kv_bytes_saved:,} bytes off the host "
+            f"interface ({kv_tokens})"
+            if kv_tokens
+            else ""
+        )
+    )
+
+    registry = MetricsRegistry() if args.metrics else None
+    gateway_result = None
+    if args.scenario == "decode":
+        # Per-step latency through the live gateway: sessions are the
+        # decode traffic class, each step's deadline its class budget.
+        step_cycles = float(
+            np.mean([r.total_cycles for r in results])
+        )
+        config = GatewayConfig(
+            max_batch=4,
+            min_replicas=context.replicas,
+            classes=(
+                SLOClass("decode", priority=2, p99_budget=args.slo * step_cycles),
+            ),
+        )
+        gateway = ServingGateway(
+            lambda: FixedServiceReplica(step_cycles), config,
+            metrics=registry,
+        )
+        try:
+            gateway_result = gateway.run(
+                Trace(
+                    kind="sessions", seed=args.seed,
+                    mean_interarrival=0.0, requests=(),
+                ),
+                decode_sessions(
+                    max(2 * context.replicas, 4),
+                    steps=args.seq_len,
+                    interarrival=2.0 * step_cycles,
+                ),
+            )
+        finally:
+            gateway.close()
+        print()
+        print(gateway_result.render())
+    if registry is not None:
+        registry.section(
+            "scenario",
+            {
+                "name": args.scenario,
+                "fused": args.fused,
+                "seq_len": args.seq_len,
+                "backend": context.backend,
+                "devices": context.devices,
+                "total_cycles": total,
+                "fused_gemvs": fused_total,
+                "gemvs": gemv_total,
+                "kv_bytes_saved": kv_bytes_saved,
             },
         )
         registry.write_json(args.metrics)
@@ -375,6 +546,33 @@ def main(argv: "list[str] | None" = None) -> int:
         "(default DLRMs1)",
     )
     parser.add_argument(
+        "--scenario",
+        choices=("decode", "moe", "lora"),
+        default=None,
+        help="run a session-based model-graph scenario instead of "
+        "experiments: 'decode' (bank-resident KV-cache, one token per "
+        "step), 'moe' (routed experts), 'lora' (low-rank adapters); "
+        "honors --backend/--devices/--workers, always differentially "
+        "checks fused vs unfused (see docs/model-graphs.md)",
+    )
+    parser.add_argument(
+        "--seq-len",
+        type=int,
+        default=16,
+        metavar="N",
+        help="(scenario only) decode steps to run / KV-cache window "
+        "(default 16)",
+    )
+    parser.add_argument(
+        "--fused",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="(scenario only) fused execution: chained activations stay "
+        "buffer/latch-resident and skip the host GWRITE round trip "
+        "(--no-fused pins the per-layer round-trip path; outputs are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -464,6 +662,17 @@ def main(argv: "list[str] | None" = None) -> int:
         workers=args.workers,
     )
     requested = args.experiments or ["all"]
+    if args.scenario is not None:
+        if args.experiments:
+            parser.error(
+                "--scenario is a standalone subcommand; do not mix it "
+                "with experiment names"
+            )
+        if args.seq_len < 1:
+            parser.error("--seq-len must be at least 1")
+        if args.slo <= 0:
+            parser.error("--slo must be positive")
+        return run_scenario(args, context)
     if "verify" in requested:
         if requested != ["verify"]:
             parser.error(

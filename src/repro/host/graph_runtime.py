@@ -1,0 +1,517 @@
+"""Session-based model-graph execution with fused-layer dataflow.
+
+The stateless path (:class:`~repro.host.runtime.NewtonRuntime`) runs a
+model layer by layer, the host round-tripping every activation through a
+fresh GWRITE. A :class:`GraphSession` — opened via
+``backend.open_session(spec)`` on any :class:`~repro.backends.base.Backend`
+(a raw Newton device wrapped in a backend, the closed-form models, an
+inline or multiprocess cluster) — keeps state *on the device* between
+calls:
+
+* **Fused activations.** When a layer's input vector is already
+  device-resident — the previous layer's output chained through
+  streaming element-wise transforms, a sibling layer's identical input
+  still in the global buffer, or the raw result latches of the GEMV just
+  executed — the session runs the GEMV with ``fused_input=True``: the
+  engine lowers a GWRITE-less command stream (the buffer fill happens
+  off the command bus, from the latch/activation path), so cycles drop
+  while the functional payloads — and therefore the outputs — stay
+  **bit-identical** to the round-trip path. ``fused=False`` pins the
+  session to the round-trip lowering for differential comparison.
+* **Bank-resident KV-cache.** ``attention`` layers allocate K/V arenas
+  at window capacity when the session opens and grow them in place
+  (``backend.store_matrix``) one token per :meth:`GraphSession.step`.
+  Scores and context are window-sized GEMVs against the arenas —
+  constant per-step shape, so decode settles into the steady-state
+  replay tier — and the cached tokens never re-cross the host interface
+  (:attr:`GraphSession.kv_bytes_saved` counts the avoided traffic).
+  Unwritten arena slots hold exact zeros; scoring against them and
+  masking before the softmax is bit-identical to scoring only the
+  written prefix, because bfloat16 multiply/add against an exact zero
+  is exact.
+* **Stateful layer kinds.** ``moe`` routes each token through
+  ``top_k`` of ``experts`` resident expert matrices (router GEMV +
+  host top-k + fp32-weighted expert sum); ``lora`` runs the frozen base
+  GEMV plus the ``B @ (A @ x)`` low-rank delta, with the A→B chain and
+  the base/A input reuse both fused.
+
+Functional math deliberately reuses the stateless runtime's helpers
+(`_fit_vector`, `_batchnorm`, the LSTM recurrence shape rule), so on a
+plain FC graph an unfused session's outputs are bit-identical to
+``NewtonRuntime.run`` — and a fused session's outputs are bit-identical
+to both, differing only in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.errors import ProtocolError
+from repro.host.cells import LSTMCell
+from repro.host.pipeline import PipelineModel
+from repro.host.runtime import NewtonRuntime
+from repro.numerics.activation import apply_activation
+from repro.workloads.generator import generate_layer_data, generate_vector
+from repro.workloads.spec import LayerSpec, ModelSpec
+
+
+def _scenario_seed(seed: int, layer_index: int, part: int) -> int:
+    """Deterministic sub-seed for a layer's auxiliary matrices.
+
+    Part 0 is the layer's primary matrix and matches the stateless
+    runtime's ``seed + i`` exactly (the bit-identity anchor); auxiliary
+    parts (experts, LoRA A/B, routers) hash through ``SeedSequence`` so
+    they never collide with another layer's stream.
+    """
+    if part == 0:
+        return seed + layer_index
+    return int(
+        np.random.SeedSequence([seed, layer_index, part]).generate_state(1)[0]
+    )
+
+
+@dataclass
+class _LayerState:
+    """Per-layer residency handles plus any recurrent/cache state."""
+
+    spec: LayerSpec
+    handles: Dict[str, object] = field(default_factory=dict)
+    cell: Optional[LSTMCell] = None
+    # attention-only: host-side fp32 mirrors of the bank-resident arenas
+    k_host: Optional[np.ndarray] = None
+    v_host: Optional[np.ndarray] = None
+    tokens: int = 0
+
+
+@dataclass
+class LayerStepRun:
+    """Execution record of one layer within one session step."""
+
+    name: str
+    kind: str
+    on_newton: bool
+    cycles: float
+    exposed_cycles: float = 0.0
+    gemvs: int = 0
+    fused_gemvs: int = 0
+
+
+@dataclass
+class SessionStepResult:
+    """One :meth:`GraphSession.step`'s execution record."""
+
+    step_index: int
+    layer_runs: List[LayerStepRun]
+    output: Optional[np.ndarray] = None
+
+    @property
+    def newton_cycles(self) -> float:
+        return sum(r.cycles for r in self.layer_runs if r.on_newton)
+
+    @property
+    def host_cycles(self) -> float:
+        return sum(r.cycles for r in self.layer_runs if not r.on_newton)
+
+    @property
+    def exposed_pipeline_cycles(self) -> float:
+        return sum(r.exposed_cycles for r in self.layer_runs)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.newton_cycles + self.host_cycles + self.exposed_pipeline_cycles
+
+    @property
+    def gemvs(self) -> int:
+        return sum(r.gemvs for r in self.layer_runs)
+
+    @property
+    def fused_gemvs(self) -> int:
+        return sum(r.fused_gemvs for r in self.layer_runs)
+
+
+class GraphSession:
+    """Model-graph execution state held open across steps.
+
+    Open through :meth:`repro.backends.base.Backend.open_session`; call
+    :meth:`step` once per token/input and :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        backend,
+        spec: ModelSpec,
+        *,
+        fused: bool = True,
+        seed: int = 0,
+        host_model: Optional[GpuModel] = None,
+        pipeline: Optional[PipelineModel] = None,
+    ):
+        if not backend.functional:
+            raise ProtocolError(
+                "graph sessions need a functional backend (fusion residency "
+                "and KV-cache state are data-dependent); use the stateless "
+                "runtime for timing-only sweeps"
+            )
+        self.backend = backend
+        self.spec = spec
+        self.fused = fused
+        self.seed = seed
+        self.host_model = (
+            host_model
+            if host_model is not None
+            else titan_v_like(backend.config, backend.timing)
+        )
+        self.pipeline = pipeline or PipelineModel(backend.config, backend.timing)
+        self.steps_run = 0
+        self.kv_bytes_saved = 0
+        """Host-transfer bytes the bank-resident KV-cache avoided: per
+        decode step, everything but the newly appended token would have
+        had to be resent (bfloat16 K and V) were the cache host-side."""
+        self._closed = False
+        # Fusion provenance: vectors currently device-resident (the last
+        # GEMV's input still in the global buffer, its raw output in the
+        # result latches, and the last chained activation). A host layer
+        # clears them — its round trip breaks residency.
+        self._resident: List[np.ndarray] = []
+        self._layers: List[_LayerState] = []
+        for i, layer in enumerate(spec.layers):
+            state = _LayerState(spec=layer)
+            self._layers.append(state)
+            if not layer.on_newton:
+                continue
+            if layer.kind == "fc":
+                data = generate_layer_data(
+                    layer.m, layer.n, seed=_scenario_seed(seed, i, 0)
+                )
+                state.handles["w"] = backend.load_matrix(data.matrix)
+                if layer.output_transform == "lstm_cell":
+                    state.cell = LSTMCell(hidden=layer.m // 4)
+            elif layer.kind == "attention":
+                state.k_host = np.zeros(
+                    (layer.window, layer.n), dtype=np.float32
+                )
+                state.v_host = np.zeros(
+                    (layer.n, layer.window), dtype=np.float32
+                )
+                state.handles["k"] = backend.load_matrix(state.k_host)
+                state.handles["v"] = backend.load_matrix(state.v_host)
+            elif layer.kind == "moe":
+                router = generate_layer_data(
+                    layer.experts, layer.n, seed=_scenario_seed(seed, i, 1)
+                )
+                state.handles["router"] = backend.load_matrix(router.matrix)
+                for j in range(layer.experts):
+                    expert = generate_layer_data(
+                        layer.m, layer.n, seed=_scenario_seed(seed, i, 2 + j)
+                    )
+                    state.handles[f"expert{j}"] = backend.load_matrix(
+                        expert.matrix
+                    )
+            elif layer.kind == "lora":
+                base = generate_layer_data(
+                    layer.m, layer.n, seed=_scenario_seed(seed, i, 0)
+                )
+                lora_a = generate_layer_data(
+                    layer.rank, layer.n, seed=_scenario_seed(seed, i, 1)
+                )
+                lora_b = generate_layer_data(
+                    layer.m, layer.rank, seed=_scenario_seed(seed, i, 2)
+                )
+                state.handles["base"] = backend.load_matrix(base.matrix)
+                state.handles["a"] = backend.load_matrix(lora_a.matrix)
+                state.handles["b"] = backend.load_matrix(lora_b.matrix)
+
+    # ------------------------------------------------------------------
+    # fusion provenance
+
+    def _fusable(self, vector: np.ndarray) -> bool:
+        """Whether ``vector`` is device-resident (GWRITE elidable)."""
+        if not self.fused:
+            return False
+        return any(
+            candidate.shape == vector.shape
+            and np.array_equal(candidate, vector)
+            for candidate in self._resident
+        )
+
+    def _gemv(self, handle, vector: np.ndarray):
+        """One GEMV with automatic fused-input detection.
+
+        Returns ``(run, fused)``; afterwards the input (global buffer)
+        and the raw output (result latches) are both resident.
+        """
+        fused = self._fusable(vector)
+        run = self.backend.gemv(handle, vector, fused_input=fused)
+        self._resident = [vector]
+        if run.output is not None:
+            self._resident.append(run.output)
+        return run, fused
+
+    # ------------------------------------------------------------------
+    # layer execution
+
+    def _first_newton_width(self) -> int:
+        for layer in self.spec.layers:
+            if layer.on_newton:
+                return layer.n
+        raise ProtocolError(f"{self.spec.name}: no Newton layers to run")
+
+    def _layer_input(
+        self, state: _LayerState, x: np.ndarray
+    ) -> np.ndarray:
+        """The stateless runtime's input rule (LSTM recurrence included)."""
+        layer = state.spec
+        if layer.output_transform == "lstm_cell" and state.cell is not None:
+            hidden = layer.m // 4
+            if layer.n >= 2 * hidden:
+                feed = NewtonRuntime._fit_vector(x, layer.n - hidden)
+                return np.concatenate([feed, state.cell.h]).astype(np.float32)
+        return NewtonRuntime._fit_vector(x, layer.n)
+
+    def _advance(
+        self, state: _LayerState, out: np.ndarray
+    ) -> np.ndarray:
+        """The stateless runtime's post-GEMV transform chain.
+
+        Everything here streams with the result readout (activation,
+        LSTM cell update, the pipelined normalization), so the advanced
+        vector stays a fusion candidate — it can feed the next layer's
+        COMP stream straight from the latch path.
+        """
+        layer = state.spec
+        out = apply_activation(layer.activation, out)
+        if layer.output_transform == "lstm_cell" and state.cell is not None:
+            out = state.cell.step(out)
+        if layer.batchnorm:
+            out = NewtonRuntime._batchnorm(out)
+        out = out.astype(np.float32)
+        self._resident.append(out)
+        return out
+
+    def _run_fc(self, state: _LayerState, x: np.ndarray):
+        vector = self._layer_input(state, x)
+        run, fused = self._gemv(state.handles["w"], vector)
+        record = LayerStepRun(
+            name=state.spec.name,
+            kind="fc",
+            on_newton=True,
+            cycles=float(run.cycles),
+            exposed_cycles=self.pipeline.exposed_cycles(
+                batchnorm=state.spec.batchnorm
+            ),
+            gemvs=1,
+            fused_gemvs=int(fused),
+        )
+        return self._advance(state, run.output), record
+
+    def _run_attention(self, state: _LayerState, x: np.ndarray):
+        """Cached self-attention: append the token, score, contextualize.
+
+        The incoming activation (the v-projection chain's output) serves
+        as query and as the appended K/V token — the projections are the
+        preceding FC layers. K rows past the cached prefix are exact
+        zeros, so the full-window score GEMV equals the prefix GEMV on
+        the written rows; the softmax masks to the prefix, and the
+        re-zero-padded weight vector makes the V GEMV exact in turn.
+        """
+        layer = state.spec
+        assert state.k_host is not None and state.v_host is not None
+        if state.tokens >= layer.window:
+            raise ProtocolError(
+                f"{layer.name}: KV-cache window ({layer.window} tokens) "
+                "exhausted; open a session with a larger window"
+            )
+        query = NewtonRuntime._fit_vector(x, layer.n)
+        state.k_host[state.tokens] = query
+        state.v_host[:, state.tokens] = query
+        state.tokens += 1
+        # In-place arena growth: residency handles are untouched, only
+        # the stored bits change; the transfer is one token, not t.
+        self.backend.store_matrix(state.handles["k"], state.k_host)
+        self.backend.store_matrix(state.handles["v"], state.v_host)
+        self.kv_bytes_saved += 2 * 2 * layer.n * (state.tokens - 1)
+
+        scores_run, scores_fused = self._gemv(state.handles["k"], query)
+        scores = np.asarray(scores_run.output, dtype=np.float32)
+        prefix = scores[: state.tokens].astype(np.float32)
+        # fp32 softmax over the cached prefix (stable shift), re-padded
+        # with exact zeros so the V GEMV sees the full window width.
+        shifted = np.exp(prefix - np.max(prefix))
+        weights = np.zeros(layer.window, dtype=np.float32)
+        weights[: state.tokens] = (shifted / np.sum(shifted)).astype(
+            np.float32
+        )
+        # The weights are host-produced: the context GEMV always pays
+        # its GWRITE (never fused), matching the physical dataflow.
+        self._resident = []
+        context_run, _ = self._gemv(state.handles["v"], weights)
+        record = LayerStepRun(
+            name=layer.name,
+            kind="attention",
+            on_newton=True,
+            cycles=float(scores_run.cycles) + float(context_run.cycles),
+            exposed_cycles=self.pipeline.exposed_cycles(
+                batchnorm=layer.batchnorm
+            ),
+            gemvs=2,
+            fused_gemvs=int(scores_fused),
+        )
+        return self._advance(state, context_run.output), record
+
+    def _run_moe(self, state: _LayerState, x: np.ndarray):
+        """Router GEMV, host top-k, fp32-weighted selected experts."""
+        layer = state.spec
+        vector = NewtonRuntime._fit_vector(x, layer.n)
+        router_run, router_fused = self._gemv(state.handles["router"], vector)
+        logits = np.asarray(router_run.output, dtype=np.float32)
+        # Deterministic top-k: sort by (-logit, index) so ties break low.
+        order = np.lexsort((np.arange(layer.experts), -logits))
+        selected = np.sort(order[: layer.top_k])
+        shifted = np.exp(
+            logits[selected] - np.max(logits[selected])
+        ).astype(np.float32)
+        gate = (shifted / np.sum(shifted)).astype(np.float32)
+
+        cycles = float(router_run.cycles)
+        fused_gemvs = int(router_fused)
+        mixed = np.zeros(layer.m, dtype=np.float32)
+        for weight, j in zip(gate, selected):
+            run, fused = self._gemv(state.handles[f"expert{int(j)}"], vector)
+            cycles += float(run.cycles)
+            fused_gemvs += int(fused)
+            mixed += np.float32(weight) * np.asarray(
+                run.output, dtype=np.float32
+            )
+        # The gate-weighted sum is a host reduction: the combined vector
+        # is not device-resident.
+        self._resident = []
+        record = LayerStepRun(
+            name=layer.name,
+            kind="moe",
+            on_newton=True,
+            cycles=cycles,
+            exposed_cycles=self.pipeline.exposed_cycles(
+                batchnorm=layer.batchnorm
+            ),
+            gemvs=1 + len(selected),
+            fused_gemvs=fused_gemvs,
+        )
+        state_out = mixed.astype(np.float32)
+        out = apply_activation(layer.activation, state_out)
+        if layer.batchnorm:
+            out = NewtonRuntime._batchnorm(out)
+        return out.astype(np.float32), record
+
+    def _run_lora(self, state: _LayerState, x: np.ndarray):
+        """Frozen base GEMV plus the fused low-rank delta chain."""
+        layer = state.spec
+        vector = NewtonRuntime._fit_vector(x, layer.n)
+        base_run, base_fused = self._gemv(state.handles["base"], vector)
+        a_run, a_fused = self._gemv(state.handles["a"], vector)
+        b_run, b_fused = self._gemv(
+            state.handles["b"], np.asarray(a_run.output, dtype=np.float32)
+        )
+        combined = (
+            np.asarray(base_run.output, dtype=np.float32)
+            + np.asarray(b_run.output, dtype=np.float32)
+        ).astype(np.float32)
+        # base + delta is a host add of two device streams.
+        self._resident = []
+        record = LayerStepRun(
+            name=layer.name,
+            kind="lora",
+            on_newton=True,
+            cycles=float(base_run.cycles)
+            + float(a_run.cycles)
+            + float(b_run.cycles),
+            exposed_cycles=self.pipeline.exposed_cycles(
+                batchnorm=layer.batchnorm
+            ),
+            gemvs=3,
+            fused_gemvs=int(base_fused) + int(a_fused) + int(b_fused),
+        )
+        out = apply_activation(layer.activation, combined)
+        if layer.batchnorm:
+            out = NewtonRuntime._batchnorm(out)
+        return out.astype(np.float32), record
+
+    # ------------------------------------------------------------------
+    # the session surface
+
+    def step(
+        self, input_vector: Optional[np.ndarray] = None
+    ) -> SessionStepResult:
+        """One pass through the graph (one token for decode models).
+
+        Recurrent cells and KV-cache arenas persist across steps; a
+        fresh seeded input is generated per step when none is given
+        (mirroring the stateless runtime's ``run_sequence``).
+        """
+        if self._closed:
+            raise ProtocolError("the session is closed")
+        x = (
+            np.asarray(input_vector, dtype=np.float32)
+            if input_vector is not None
+            else generate_vector(
+                self._first_newton_width(), seed=self.seed + self.steps_run
+            )
+        )
+        layer_runs: List[LayerStepRun] = []
+        for state in self._layers:
+            layer = state.spec
+            if not layer.on_newton:
+                cycles = self.host_model.host_op_cycles(
+                    layer.host_flops, layer.host_bytes
+                )
+                layer_runs.append(
+                    LayerStepRun(
+                        name=layer.name,
+                        kind=layer.kind,
+                        on_newton=False,
+                        cycles=cycles,
+                    )
+                )
+                # A host stage round-trips the activation.
+                self._resident = []
+                continue
+            runner = {
+                "fc": self._run_fc,
+                "attention": self._run_attention,
+                "moe": self._run_moe,
+                "lora": self._run_lora,
+            }[layer.kind]
+            x, record = runner(state, x)
+            layer_runs.append(record)
+        result = SessionStepResult(
+            step_index=self.steps_run, layer_runs=layer_runs, output=x
+        )
+        self.steps_run += 1
+        return result
+
+    def run_steps(self, steps: int) -> List[SessionStepResult]:
+        """Decode ``steps`` tokens back to back."""
+        if steps <= 0:
+            raise ProtocolError("a session run needs at least one step")
+        return [self.step() for _ in range(steps)]
+
+    @property
+    def kv_tokens(self) -> Dict[str, int]:
+        """Cached tokens per attention layer."""
+        return {
+            state.spec.name: state.tokens
+            for state in self._layers
+            if state.spec.kind == "attention"
+        }
+
+    def close(self) -> None:
+        """End the session: drop residency tracking and refuse new steps.
+
+        Idempotent. Backend residency (weights, arenas) is left to the
+        backend's own lifecycle — sessions do not own the device.
+        """
+        self._closed = True
+        self._resident = []

@@ -122,6 +122,12 @@ class NewtonRuntime:
 
     def load_model(self, spec: ModelSpec, seed: int = 0) -> LoadedModel:
         """Make every FC layer's weights resident in the backend."""
+        if spec.requires_session:
+            raise ProtocolError(
+                f"{spec.name} carries stateful (non-fc) layers; run it "
+                "through backend.open_session(spec) instead of the "
+                "stateless per-layer runtime"
+            )
         handles: Dict[str, object] = {}
         weights: Dict[str, np.ndarray] = {}
         cells: Dict[str, LSTMCell] = {}

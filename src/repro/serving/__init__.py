@@ -12,12 +12,15 @@ traffic traces (:mod:`repro.serving.traffic`). See
 from repro.serving.gateway import (
     BackendReplica,
     ClassStats,
+    DecodeSessionSpec,
     FixedServiceReplica,
     GatewayConfig,
     GatewayResult,
     SLOClass,
     ServingGateway,
+    SessionStats,
     backend_replica_factory,
+    decode_sessions,
     default_classes,
 )
 from repro.serving.loop import (
@@ -50,11 +53,13 @@ __all__ = [
     "BackendReplica",
     "ClassStats",
     "DEFAULT_CLASS",
+    "DecodeSessionSpec",
     "FixedServiceReplica",
     "GatewayConfig",
     "GatewayResult",
     "SLOClass",
     "ServingGateway",
+    "SessionStats",
     "SimEvent",
     "SimFuture",
     "SimQueue",
@@ -67,6 +72,7 @@ __all__ = [
     "VirtualLoop",
     "backend_replica_factory",
     "bursty_trace",
+    "decode_sessions",
     "default_classes",
     "diurnal_trace",
     "first_of",

@@ -85,6 +85,46 @@ def default_classes(
 
 
 @dataclass(frozen=True)
+class DecodeSessionSpec:
+    """One multi-step decode session offered to the gateway.
+
+    A session is a chain of ``steps`` dependent requests: step *t+1*
+    enters the waiting queue only when step *t* completes (the KV-cache
+    makes decode steps strictly serial), each step individually subject
+    to its class's per-step p99 budget. Sessions ride the same
+    admission, batching, and autoscaling machinery as one-shot requests
+    — a decode step batches with whatever else is waiting.
+    """
+
+    arrival: float
+    """Virtual cycle the session's first step arrives."""
+    steps: int
+    """Tokens to decode (requests the session contributes)."""
+    cls: str = "decode"
+    """SLO class every step is accounted under."""
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ServingError("session arrival must be non-negative")
+        if self.steps < 1:
+            raise ServingError("a decode session needs at least one step")
+
+
+def decode_sessions(
+    count: int, steps: int, interarrival: float, *, cls: str = "decode"
+) -> Tuple[DecodeSessionSpec, ...]:
+    """``count`` equally spaced sessions of ``steps`` tokens each."""
+    if count < 1:
+        raise ServingError("need at least one session")
+    if interarrival < 0:
+        raise ServingError("interarrival must be non-negative")
+    return tuple(
+        DecodeSessionSpec(arrival=i * interarrival, steps=steps, cls=cls)
+        for i in range(count)
+    )
+
+
+@dataclass(frozen=True)
 class GatewayConfig:
     """Gateway policy knobs (all times in DRAM cycles)."""
 
@@ -271,6 +311,20 @@ class ClassStats:
 
 
 @dataclass(frozen=True)
+class SessionStats:
+    """Decode-session aggregates: per-step latency tail and makespans."""
+
+    offered: int
+    completed: int
+    aborted: int
+    steps_completed: int
+    step_p50: float
+    step_p99: float
+    mean_makespan: float
+    """Mean first-arrival-to-last-completion span of completed sessions."""
+
+
+@dataclass(frozen=True)
 class GatewayResult:
     """One gateway run's measurements (the statistics half of the
     orchestrator/stats split)."""
@@ -295,6 +349,8 @@ class GatewayResult:
     replicas_final: int
     replicas_max: int
     service_cycles: float
+    sessions: Optional[SessionStats] = None
+    """Decode-session aggregates (``None`` when none were offered)."""
 
     @property
     def shed_rate(self) -> float:
@@ -341,6 +397,19 @@ class GatewayResult:
             registry.counter(f"{base}.slo_met").inc(stats.slo_met)
             registry.gauge(f"{base}.p50").set(stats.p50)
             registry.gauge(f"{base}.p99").set(stats.p99)
+        if self.sessions is not None:
+            base = f"{prefix}.sessions"
+            registry.counter(f"{base}.offered").inc(self.sessions.offered)
+            registry.counter(f"{base}.completed").inc(self.sessions.completed)
+            registry.counter(f"{base}.aborted").inc(self.sessions.aborted)
+            registry.counter(f"{base}.steps_completed").inc(
+                self.sessions.steps_completed
+            )
+            registry.gauge(f"{base}.step_p50").set(self.sessions.step_p50)
+            registry.gauge(f"{base}.step_p99").set(self.sessions.step_p99)
+            registry.gauge(f"{base}.mean_makespan").set(
+                self.sessions.mean_makespan
+            )
         registry.section(
             prefix,
             {
@@ -399,6 +468,14 @@ class GatewayResult:
             f"{self.replicas_max} peak ->{self.replicas_final} final, "
             f"makespan {self.makespan:,.0f} cycles"
         )
+        if self.sessions is not None:
+            s = self.sessions
+            footer += (
+                f"\ndecode sessions: {s.completed}/{s.offered} completed"
+                f" ({s.aborted} aborted), {s.steps_completed} steps, "
+                f"per-step p50 {s.step_p50:,.0f} / p99 {s.step_p99:,.0f} "
+                f"cycles, mean session makespan {s.mean_makespan:,.0f}"
+            )
         return body + footer
 
 
@@ -408,12 +485,42 @@ class GatewayResult:
 class _Pending:
     """One admitted request waiting for a batch slot."""
 
-    __slots__ = ("cls", "arrival", "admitted")
+    __slots__ = ("cls", "arrival", "admitted", "session")
 
-    def __init__(self, cls: SLOClass, arrival: float, admitted: float):
+    def __init__(
+        self,
+        cls: SLOClass,
+        arrival: float,
+        admitted: float,
+        session: "Optional[_SessionState]" = None,
+    ):
         self.cls = cls
         self.arrival = arrival
         self.admitted = admitted
+        self.session = session
+
+
+class _SessionState:
+    """A live decode session: remaining steps and per-step latencies."""
+
+    __slots__ = (
+        "spec",
+        "cls",
+        "arrival",
+        "steps_done",
+        "step_latencies",
+        "completion",
+        "aborted",
+    )
+
+    def __init__(self, spec: DecodeSessionSpec, cls: SLOClass, arrival: float):
+        self.spec = spec
+        self.cls = cls
+        self.arrival = arrival
+        self.steps_done = 0
+        self.step_latencies: List[float] = []
+        self.completion: Optional[float] = None
+        self.aborted = False
 
 
 class ServingGateway:
@@ -458,6 +565,9 @@ class ServingGateway:
         self._active_count = 0
         self._next_replica_index = 0
         self._source_done = False
+        self._sources_open = 0
+        self._sessions: List[_SessionState] = []
+        self._open_sessions = 0
         self._serve_tasks: List[SimTask] = []
         self._recent: Deque[Tuple[float, float]] = deque()
         self._completions: List[Tuple[str, float, float, float, int]] = []
@@ -520,16 +630,59 @@ class ServingGateway:
             if request.arrival > loop.now:
                 await loop.timer_at(request.arrival)
             self._admit(request.cls)
-        self._source_done = True
+        self._source_end()
+
+    async def _session_source(
+        self, sessions: "Tuple[DecodeSessionSpec, ...]"
+    ) -> None:
+        """Open each decode session at its arrival (first step only —
+        later steps are re-admitted by :meth:`_serve` on completion)."""
+        loop = self._loop
+        for spec in sorted(sessions, key=lambda s: s.arrival):
+            if spec.arrival > loop.now:
+                await loop.timer_at(spec.arrival)
+            state = _SessionState(
+                spec, self._resolve_class(spec.cls), loop.now
+            )
+            self._sessions.append(state)
+            self._open_sessions += 1
+            self._admit_step(state)
+        self._source_end()
+
+    def _source_end(self) -> None:
+        self._sources_open -= 1
+        if self._sources_open <= 0:
+            self._source_done = True
         self._arrival_event.set()
 
-    def _admit(self, cls_name: str) -> None:
+    @property
+    def _drained(self) -> bool:
+        """No future arrivals possible: every arrival source finished
+        and no session can re-admit a continuation step."""
+        return self._source_done and self._open_sessions == 0
+
+    def _resolve_class(self, cls_name: str) -> SLOClass:
         cls = self._classes.get(cls_name)
         if cls is None:
             raise ServingError(
                 f"trace request class {cls_name!r} has no SLO class; "
                 f"configured: {sorted(self._classes)}"
             )
+        return cls
+
+    def _admit(self, cls_name: str) -> None:
+        cls = self._resolve_class(cls_name)
+        now = self._loop.now
+        self._enqueue(_Pending(cls, now, now))
+
+    def _admit_step(self, session: _SessionState) -> None:
+        """Admit a session's next step (its first, or a continuation
+        entering as the previous step completes)."""
+        now = self._loop.now
+        self._enqueue(_Pending(session.cls, now, now, session=session))
+
+    def _enqueue(self, pending: _Pending) -> None:
+        cls = pending.cls
         self._counts["requests"] += 1
         self._class_counts[cls.name]["requests"] += 1
         if self._waiting_total >= self.config.queue_depth:
@@ -537,15 +690,30 @@ class ServingGateway:
             if victim_cls is None:
                 self._counts["shed"] += 1
                 self._class_counts[cls.name]["shed"] += 1
+                if pending.session is not None:
+                    # A dropped continuation orphans its KV-cache: the
+                    # whole session aborts rather than stalling forever.
+                    self._abort_session(pending.session)
                 return
-            self._waiting[victim_cls.name].pop()  # newest of that class
+            victim = self._waiting[victim_cls.name].pop()  # newest of class
             self._waiting_total -= 1
             self._counts["shed"] += 1
             self._class_counts[victim_cls.name]["shed"] += 1
-        now = self._loop.now
-        self._waiting[cls.name].append(_Pending(cls, now, now))
+            if victim.session is not None:
+                self._abort_session(victim.session)
+        self._waiting[cls.name].append(pending)
         self._waiting_total += 1
         self._counts["admitted"] += 1
+        self._arrival_event.set()
+
+    def _abort_session(self, session: _SessionState) -> None:
+        session.aborted = True
+        self._close_session(session)
+
+    def _close_session(self, session: _SessionState) -> None:
+        self._open_sessions -= 1
+        # The batcher may be blocked waiting for this session's next
+        # step; wake it so the drain condition is re-checked.
         self._arrival_event.set()
 
     def _shed_victim(self, incoming: SLOClass) -> Optional[SLOClass]:
@@ -580,16 +748,21 @@ class ServingGateway:
         config = self.config
         while True:
             if self._waiting_total == 0:
-                if self._source_done:
+                if self._drained:
                     return
                 self._arrival_event.clear()
+                # Re-check after the clear: a continuation or session
+                # close between the check and the clear must not strand
+                # the batcher on an already-consumed event.
+                if self._drained:
+                    return
                 await self._arrival_event.wait_future()
                 continue
             # Deadline trigger: the batch closes when the oldest waiter
             # has aged window_cycles (or instantly for a zero window).
             while (
                 self._waiting_total < config.max_batch
-                and not self._source_done
+                and not self._drained
             ):
                 deadline = self._oldest_admitted() + config.window_cycles
                 if config.window_cycles <= 0 or loop.now >= deadline:
@@ -624,6 +797,17 @@ class ServingGateway:
                 (pending.cls.name, pending.arrival, start, completion, size)
             )
             self._recent.append((completion, latency))
+            session = pending.session
+            if session is not None and not session.aborted:
+                session.step_latencies.append(latency)
+                session.steps_done += 1
+                if session.steps_done >= session.spec.steps:
+                    session.completion = completion
+                    self._close_session(session)
+                else:
+                    # The decode dependency chain: the next token's
+                    # request exists only now that this one finished.
+                    self._admit_step(session)
         if replica.active:
             self._free.put_nowait(replica)
         else:
@@ -675,7 +859,11 @@ class ServingGateway:
             else:
                 idle_intervals = 0
 
-    async def _main(self, trace: Trace) -> None:
+    async def _main(
+        self,
+        trace: Trace,
+        sessions: Tuple[DecodeSessionSpec, ...] = (),
+    ) -> None:
         loop = self._loop
         for _ in range(self.config.min_replicas):
             self._spawn_replica()
@@ -693,12 +881,20 @@ class ServingGateway:
             if self.config.autoscale_window is not None
             else 50.0 * self._service_estimate
         )
+        self._sources_open = 1 + (1 if sessions else 0)
         source = loop.create_task(self._source(trace), name="source")
+        session_source = None
+        if sessions:
+            session_source = loop.create_task(
+                self._session_source(sessions), name="sessions"
+            )
         batcher = loop.create_task(self._batcher(), name="batcher")
         autoscaler = None
         if self.config.replica_ceiling > self.config.min_replicas:
             autoscaler = loop.create_task(self._autoscaler(), name="autoscaler")
         await source.future
+        if session_source is not None:
+            await session_source.future
         await batcher.future
         for task in self._serve_tasks:
             await task.future
@@ -708,17 +904,26 @@ class ServingGateway:
 
     # -- entry point ----------------------------------------------------
 
-    def run(self, trace: Trace) -> GatewayResult:
-        """Serve the whole trace; returns the measured statistics.
+    def run(
+        self,
+        trace: Trace,
+        sessions: Tuple[DecodeSessionSpec, ...] = (),
+    ) -> GatewayResult:
+        """Serve the whole trace (plus any decode sessions); returns the
+        measured statistics.
 
-        Deterministic: the same trace (hence seed) and configuration
-        produce the identical result on every run.
+        Deterministic: the same trace (hence seed), sessions, and
+        configuration produce the identical result on every run.
         """
-        if not trace.requests:
+        if not trace.requests and not sessions:
             raise ServingError("cannot serve an empty trace")
         loop = VirtualLoop()
         self._reset(loop)
-        loop.run_until_complete(self._main(trace), name="gateway")
+        for spec in sessions:
+            # Fail fast, before any coroutine is created: a session
+            # with an unconfigured class must not start the run.
+            self._resolve_class(spec.cls)
+        loop.run_until_complete(self._main(trace, sessions), name="gateway")
         result = self._build_result(trace)
         if self.metrics is not None:
             result.publish(self.metrics)
@@ -776,6 +981,45 @@ class ServingGateway:
             (completion for _, _, _, completion, _ in self._completions),
             default=0.0,
         )
+        session_stats: Optional[SessionStats] = None
+        if self._sessions:
+            step_latencies = np.array(
+                [
+                    latency
+                    for session in self._sessions
+                    for latency in session.step_latencies
+                ]
+            )
+            finished = [
+                session
+                for session in self._sessions
+                if session.completion is not None
+            ]
+            session_stats = SessionStats(
+                offered=len(self._sessions),
+                completed=len(finished),
+                aborted=sum(1 for s in self._sessions if s.aborted),
+                steps_completed=int(step_latencies.size),
+                step_p50=(
+                    float(np.percentile(step_latencies, 50))
+                    if step_latencies.size
+                    else 0.0
+                ),
+                step_p99=(
+                    float(np.percentile(step_latencies, 99))
+                    if step_latencies.size
+                    else 0.0
+                ),
+                mean_makespan=(
+                    float(
+                        np.mean(
+                            [s.completion - s.arrival for s in finished]
+                        )
+                    )
+                    if finished
+                    else 0.0
+                ),
+            )
         return GatewayResult(
             trace_kind=trace.kind,
             trace_seed=trace.seed,
@@ -797,4 +1041,5 @@ class ServingGateway:
             replicas_final=self._active_count,
             replicas_max=max(count for _, count in self._timeline),
             service_cycles=self._service_estimate,
+            sessions=session_stats,
         )

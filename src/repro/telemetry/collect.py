@@ -93,6 +93,15 @@ def engine_metrics(engine, *, end: Optional[int] = None) -> dict:
         "runs": engine.burst_runs,
         "commands": engine.burst_commands,
     }
+    record["fused"] = {
+        # Fused-layer dataflow savings: cycles the elided host GWRITEs
+        # would have occupied. Deliberately NOT a cycle_attribution
+        # bucket — those sum to the end cycle, and these cycles never
+        # happened (see docs/model-graphs.md).
+        "runs": getattr(engine, "fused_runs", 0),
+        "skipped_gwrites": getattr(engine, "fused_skipped_gwrites", 0),
+        "estimated_saved_cycles": getattr(engine, "fused_saved_cycles", 0),
+    }
     verifier = getattr(engine, "verifier", None)
     record["verify"] = {
         # The opt-in NEWTON_CHECK_INVARIANTS=1 hook (repro.verify.hook).

@@ -21,6 +21,19 @@ The case passes only if every tier produces bit-identical outputs and
 identical start/end cycles, the invariant checker finds zero violations,
 and the oracle re-derives every recorded issue cycle exactly.
 
+A minority of cases additionally draw a **graph-execution family**
+(``case.graph`` in ``decode`` / ``moe`` / ``lora``): a scenario graph
+from :mod:`repro.workloads.scenarios` runs as a multi-step
+:class:`~repro.host.graph_runtime.GraphSession` under the case's
+geometry/timing/opt knobs, and the harness checks that (a) the fused
+lowering is bit-identical to the round-trip lowering at every step and
+never costs more cycles, (b) the fast-tier session agrees with the
+per-command reference tier on outputs *and* cycles, and (c) on 2-device
+cases the sharded session matches the single-device one bit-wise. This
+extends the differential net to stateful command streams — in-place
+``store_matrix`` arena growth, fused ``COMP`` chains, expert routing —
+that one-shot GEMV cases never produce.
+
 Failures shrink automatically: a greedy pass re-runs the case under
 simplifying transforms (drop the batch, drop the second device, disable
 refresh, halve the workload, revert knobs to their defaults) and keeps
@@ -75,6 +88,10 @@ _REFRESH_TIMING = {
     REFRESH_STANDARD: (3900, 350),
 }
 
+GRAPH_NONE = "none"
+GRAPH_FAMILIES = ("decode", "moe", "lora")
+"""Scenario graphs a case may draw as its graph-execution family."""
+
 ControllerMutator = Callable[[object], None]
 
 
@@ -98,6 +115,7 @@ class FuzzCase:
     t_cmd: int
     t_ccd: int
     devices: int
+    graph: str = GRAPH_NONE
 
     def config(self) -> DRAMConfig:
         return hbm2e_like_config(banks_per_channel=self.banks).with_overrides(
@@ -133,7 +151,7 @@ class FuzzCase:
             f"case #{self.index} (seed {self.seed}): {self.m}x{self.n} "
             f"batch={self.batch} banks={self.banks} opt={self.opt().label} "
             f"refresh={self.refresh} t_cmd={self.t_cmd} t_ccd={self.t_ccd} "
-            f"devices={self.devices}"
+            f"devices={self.devices} graph={self.graph}"
         )
 
     def to_dict(self) -> dict:
@@ -171,6 +189,9 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         t_cmd=pick([4, 2, 7], [3, 1, 1]),
         t_ccd=pick([4, 2, 6], [3, 1, 1]),
         devices=2 if (m >= 2 and rng.random() < 0.3) else 1,
+        # Drawn last so adding the family kept every earlier field of a
+        # given (seed, index) identical to previous harness versions.
+        graph=pick([GRAPH_NONE, *GRAPH_FAMILIES], [7, 1, 1, 1]),
     )
 
 
@@ -232,6 +253,92 @@ def _run_engine(
     return engine, results
 
 
+def _graph_spec(case: FuzzCase):
+    """Draw the family's (graph, step count) from the case's own stream.
+
+    Offset from :meth:`FuzzCase.case_seed` so the dims are independent
+    of the base GEMV workload draw but still reproducible from
+    ``(seed, index)`` alone.
+    """
+    from repro.workloads.scenarios import decode_model, lora_model, moe_model
+
+    rng = np.random.default_rng(case.case_seed() + 1)
+    d = int(rng.choice([8, 16, 24]))
+    steps = int(rng.integers(2, 5))
+    if case.graph == "decode":
+        return decode_model(d=d, window=steps, blocks=1), steps
+    if case.graph == "moe":
+        return moe_model(d=d, experts=3, top_k=2, blocks=1), steps
+    return lora_model(d=d, rank=2, blocks=2), steps
+
+
+def _graph_backend(case: FuzzCase, *, fast: bool) -> NewtonBackend:
+    return NewtonBackend(
+        case.config(),
+        case.timing(),
+        opt=case.opt(),
+        functional=True,
+        refresh_enabled=case.refresh_enabled,
+        fast=fast,
+    )
+
+
+def _run_graph_family(case: FuzzCase, out: CaseResult) -> None:
+    """Session differentials: fused vs unfused, tiers, and the shard."""
+    spec, steps = _graph_spec(case)
+    seed = case.case_seed()
+
+    def run_session(engine, *, fused: bool):
+        session = engine.open_session(spec, fused=fused, seed=seed)
+        try:
+            return session.run_steps(steps)
+        finally:
+            session.close()
+            engine.close()
+
+    unfused = run_session(_graph_backend(case, fast=True), fused=False)
+    fused = run_session(_graph_backend(case, fast=True), fused=True)
+    reference = run_session(_graph_backend(case, fast=False), fused=False)
+
+    for i, (u, f) in enumerate(zip(unfused, fused)):
+        if not np.array_equal(u.output, f.output):
+            out.failures.append(
+                f"graph {case.graph} step {i}: fused output differs "
+                "from the round-trip lowering"
+            )
+    fused_total = sum(r.total_cycles for r in fused)
+    unfused_total = sum(r.total_cycles for r in unfused)
+    if fused_total > unfused_total:
+        out.failures.append(
+            f"graph {case.graph}: fused session cost {fused_total:,.0f} "
+            f"cycles > round-trip {unfused_total:,.0f}"
+        )
+    for i, (u, r) in enumerate(zip(unfused, reference)):
+        if not np.array_equal(u.output, r.output):
+            out.failures.append(
+                f"graph {case.graph} step {i}: fast-tier session output "
+                "differs from the per-command reference"
+            )
+        if u.total_cycles != r.total_cycles:
+            out.failures.append(
+                f"graph {case.graph} step {i}: fast-tier session cycles "
+                f"{u.total_cycles:,.0f} != per-command reference "
+                f"{r.total_cycles:,.0f}"
+            )
+
+    if case.devices == 2:
+        cluster = ShardedCluster(
+            [_graph_backend(case, fast=True) for _ in range(case.devices)]
+        )
+        sharded = run_session(cluster, fused=True)
+        for i, (f, s) in enumerate(zip(fused, sharded)):
+            if not np.array_equal(f.output, s.output):
+                out.failures.append(
+                    f"graph {case.graph} step {i}: {case.devices}-device "
+                    "session output differs from the single-device one"
+                )
+
+
 def run_case(
     case: FuzzCase, *, controller_mutator: Optional[ControllerMutator] = None
 ) -> CaseResult:
@@ -284,6 +391,10 @@ def run_case(
                     f"run {i}: {case.devices}-device shard output differs "
                     "from the single-device reference"
                 )
+
+    # --- graph-execution family: multi-step session differentials
+    if case.graph != GRAPH_NONE:
+        _run_graph_family(case, out)
 
     # --- protocol invariants on the reference tier's trace
     try:
@@ -345,6 +456,7 @@ def _shrink_candidates(case: FuzzCase) -> List[FuzzCase]:
     candidates = [
         evolve(batch=1),
         evolve(devices=1),
+        evolve(graph=GRAPH_NONE),
         evolve(refresh=REFRESH_OFF),
         evolve(m=max(1, case.m // 2)),
         evolve(n=max(1, case.n // 2)),
@@ -426,6 +538,8 @@ class FuzzReport:
     seed: int
     requested: int
     cases_run: int = 0
+    graph_cases: int = 0
+    """Cases that additionally ran a graph-session family."""
     commands_verified: int = 0
     checks: int = 0
     violations_found: int = 0
@@ -440,7 +554,8 @@ class FuzzReport:
     def render(self) -> str:
         lines = [
             f"fuzz: {self.cases_run}/{self.requested} cases "
-            f"(seed {self.seed}) — "
+            f"(seed {self.seed}, {self.graph_cases} with graph "
+            f"sessions) — "
             f"{self.commands_verified} commands verified, "
             f"{self.checks} invariant checks, "
             f"{self.violations_found} violation(s), "
@@ -460,6 +575,7 @@ class FuzzReport:
             "seed": self.seed,
             "requested": self.requested,
             "cases_run": self.cases_run,
+            "graph_cases": self.graph_cases,
             "commands_verified": self.commands_verified,
             "checks": self.checks,
             "violations_found": self.violations_found,
@@ -497,6 +613,8 @@ def fuzz(
         case = generate_case(seed, index)
         result = run_case(case, controller_mutator=controller_mutator)
         report.cases_run += 1
+        if case.graph != GRAPH_NONE:
+            report.graph_cases += 1
         report.commands_verified += result.commands
         report.checks += result.checks
         report.violations_found += len(result.violations)

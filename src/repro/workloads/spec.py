@@ -40,6 +40,12 @@ class BenchmarkLayer:
         return 2 * self.m * self.n
 
 
+LAYER_KINDS = ("fc", "attention", "moe", "lora")
+"""Graph-layer kinds the session executor understands: plain FC GEMV,
+attention against a bank-resident KV-cache arena, sparse MoE expert
+dispatch, and LoRA low-rank adaptation (base + B@(A@x) delta)."""
+
+
 @dataclass(frozen=True)
 class LayerSpec:
     """One layer of an end-to-end model graph."""
@@ -64,16 +70,54 @@ class LayerSpec:
     "lstm_cell" (split fused gates [i|f|g|o] and run the LSTM update;
     requires ``m`` to be four times the hidden width)."""
 
+    kind: str = "fc"
+    """Graph-layer kind (see :data:`LAYER_KINDS`). Non-``fc`` kinds are
+    executed by the session graph executor
+    (:mod:`repro.host.graph_runtime`); the stateless per-layer runtime
+    only understands ``fc``."""
+
+    window: int = 0
+    """``attention`` layers: KV-cache arena capacity in tokens. The
+    arena is allocated bank-resident at this capacity when a session
+    opens and grows in place across decode steps."""
+
+    experts: int = 0
+    """``moe`` layers: number of expert FC matrices (each ``m x n``)."""
+
+    top_k: int = 0
+    """``moe`` layers: experts selected per token by the router."""
+
+    rank: int = 0
+    """``lora`` layers: low-rank adapter width (A is ``rank x n``,
+    B is ``m x rank``)."""
+
     def __post_init__(self) -> None:
+        if self.kind not in LAYER_KINDS:
+            raise ConfigurationError(
+                f"{self.name}: unknown layer kind {self.kind!r} "
+                f"(expected one of {LAYER_KINDS})"
+            )
         if self.on_newton:
             if self.m <= 0 or self.n <= 0:
                 raise ConfigurationError(
                     f"{self.name}: Newton layers need positive dimensions"
                 )
-        elif self.host_flops <= 0 and self.host_bytes <= 0:
-            raise ConfigurationError(
-                f"{self.name}: host layers need host_flops or host_bytes"
-            )
+            if self.host_flops > 0 or self.host_bytes > 0:
+                raise ConfigurationError(
+                    f"{self.name}: host_flops/host_bytes describe host-side "
+                    "layers; a Newton layer cannot carry host work "
+                    "(split it into an on_newton=False layer)"
+                )
+        else:
+            if self.host_flops <= 0 and self.host_bytes <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: host layers need host_flops or host_bytes"
+                )
+            if self.kind != "fc":
+                raise ConfigurationError(
+                    f"{self.name}: {self.kind!r} layers execute on Newton "
+                    "(on_newton=False is only for plain host stages)"
+                )
         if self.activation not in ACTIVATIONS:
             raise ConfigurationError(
                 f"{self.name}: unknown activation {self.activation!r}"
@@ -85,6 +129,50 @@ class LayerSpec:
         if self.output_transform == "lstm_cell" and self.m % 4 != 0:
             raise ConfigurationError(
                 f"{self.name}: lstm_cell needs m divisible by 4 (fused gates)"
+            )
+        if self.kind == "attention":
+            if self.window <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: attention layers need a positive window "
+                    "(KV-cache capacity)"
+                )
+            if self.m != self.window:
+                raise ConfigurationError(
+                    f"{self.name}: attention layers score against the cache, "
+                    f"so m must equal window (got m={self.m}, "
+                    f"window={self.window})"
+                )
+        elif self.window != 0:
+            raise ConfigurationError(
+                f"{self.name}: window only applies to attention layers"
+            )
+        if self.kind == "moe":
+            if self.experts < 2:
+                raise ConfigurationError(
+                    f"{self.name}: moe layers need at least 2 experts"
+                )
+            if not 0 < self.top_k <= self.experts:
+                raise ConfigurationError(
+                    f"{self.name}: top_k must be in [1, experts] "
+                    f"(got top_k={self.top_k}, experts={self.experts})"
+                )
+        elif self.experts != 0 or self.top_k != 0:
+            raise ConfigurationError(
+                f"{self.name}: experts/top_k only apply to moe layers"
+            )
+        if self.kind == "lora":
+            if self.rank <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: lora layers need a positive rank"
+                )
+            if self.rank >= min(self.m, self.n):
+                raise ConfigurationError(
+                    f"{self.name}: lora rank {self.rank} is not low-rank for "
+                    f"a {self.m}x{self.n} base"
+                )
+        elif self.rank != 0:
+            raise ConfigurationError(
+                f"{self.name}: rank only applies to lora layers"
             )
 
 
@@ -104,6 +192,12 @@ class ModelSpec:
     def newton_layers(self) -> List[LayerSpec]:
         """The FC layers Newton accelerates."""
         return [layer for layer in self.layers if layer.on_newton]
+
+    @property
+    def requires_session(self) -> bool:
+        """Whether the graph carries stateful (non-``fc``) layers that
+        only the session executor (``Backend.open_session``) can run."""
+        return any(layer.kind != "fc" for layer in self.layers)
 
     @property
     def total_fc_bytes(self) -> int:

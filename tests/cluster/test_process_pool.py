@@ -215,3 +215,37 @@ class TestMakeCluster:
     def test_rejects_unknown_style(self):
         with pytest.raises(ConfigurationError):
             make_cluster("newton", 1, workers="thread", **_kwargs())
+
+
+class TestStoreAndFusedAcrossWorkers:
+    """store_matrix and fused GEMVs are invisible-semantics too."""
+
+    def test_store_matrix_matches_inprocess(self, fleet2, inproc2, data):
+        fresh = generate_layer_data(M, N, seed=31)
+        fhandle = fleet2.load_matrix(data.matrix)
+        ihandle = inproc2.load_matrix(data.matrix)
+        fleet2.store_matrix(fhandle, fresh.matrix)
+        inproc2.store_matrix(ihandle, fresh.matrix)
+        _assert_runs_equal(
+            fleet2.gemv(fhandle, fresh.vector),
+            inproc2.gemv(ihandle, fresh.vector),
+        )
+
+    def test_store_matrix_shape_validated(self, fleet2, data):
+        handle = fleet2.load_matrix(data.matrix)
+        with pytest.raises(ConfigurationError):
+            fleet2.store_matrix(
+                handle, np.zeros((M // 2, N), dtype=np.float32)
+            )
+
+    def test_fused_gemv_matches_inprocess(self, fleet2, inproc2, data):
+        fhandle = fleet2.load_matrix(data.matrix)
+        ihandle = inproc2.load_matrix(data.matrix)
+        fused = fleet2.gemv(fhandle, data.vector, fused_input=True)
+        _assert_runs_equal(
+            fused, inproc2.gemv(ihandle, data.vector, fused_input=True)
+        )
+        roundtrip = fleet2.gemv(fhandle, data.vector)
+        assert np.array_equal(
+            fused.output.view(np.uint32), roundtrip.output.view(np.uint32)
+        )

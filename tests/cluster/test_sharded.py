@@ -268,3 +268,63 @@ class TestClusterTelemetry:
             assert sub["schema"] == SCHEMA
             assert sub["kind"] == "device"
             assert "channels" in sub
+
+
+class TestStoreAndFused:
+    """In-place arena updates and fused GEMVs across the shard boundary."""
+
+    def test_store_matrix_updates_shards_in_place(self):
+        data = generate_layer_data(64, 32, seed=1)
+        cluster = ShardedCluster(
+            [_newton_backend(functional=True) for _ in range(2)], mode=SHARD
+        )
+        handle = cluster.load_matrix(np.zeros_like(data.matrix))
+        vector = generate_vector(32, seed=2)
+        assert np.all(cluster.gemv(handle, vector).output == 0.0)
+        cluster.store_matrix(handle, data.matrix)
+        single = ShardedCluster([_newton_backend(functional=True)])
+        shandle = single.load_matrix(data.matrix)
+        assert np.array_equal(
+            cluster.gemv(handle, vector).output,
+            single.gemv(shandle, vector).output,
+        )
+
+    def test_store_matrix_shape_validated(self):
+        cluster = ShardedCluster([_newton_backend(functional=True)])
+        handle = cluster.load_matrix(np.zeros((8, 8), dtype=np.float32))
+        with pytest.raises(LayoutError):
+            cluster.store_matrix(handle, np.zeros((4, 8), dtype=np.float32))
+
+    @pytest.mark.parametrize("devices", [1, 2])
+    def test_fused_gemv_bit_identical_and_cheaper(self, devices):
+        data = generate_layer_data(128, 64, seed=3)
+        vector = generate_vector(64, seed=4)
+        cluster = ShardedCluster(
+            [_newton_backend(functional=True) for _ in range(devices)],
+            mode=SHARD,
+        )
+        handle = cluster.load_matrix(data.matrix)
+        roundtrip = cluster.gemv(handle, vector)
+        fused = cluster.gemv(handle, vector, fused_input=True)
+        assert np.array_equal(
+            fused.output.view(np.uint32), roundtrip.output.view(np.uint32)
+        )
+        assert fused.cycles < roundtrip.cycles
+
+    def test_session_over_cluster_matches_single_device(self):
+        from repro.workloads.scenarios import decode_model
+
+        spec = decode_model(d=32, window=4, blocks=1)
+        outputs = {}
+        for devices in (1, 2):
+            cluster = ShardedCluster(
+                [_newton_backend(functional=True) for _ in range(devices)],
+                mode=SHARD,
+            )
+            session = cluster.open_session(spec, fused=True, seed=0)
+            try:
+                outputs[devices] = [r.output for r in session.run_steps(3)]
+            finally:
+                session.close()
+        for one, two in zip(outputs[1], outputs[2]):
+            assert np.array_equal(one.view(np.uint32), two.view(np.uint32))

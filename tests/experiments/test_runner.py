@@ -27,6 +27,7 @@ class TestRunner:
             "serving",
             "serving-gateway",
             "chunk-width",
+            "fused-layers",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -272,3 +273,46 @@ class TestExecutionContextFlags:
             assert main(["serving", "--backend", backend]) == 0
             out = capsys.readouterr().out
             assert "Edge serving" in out
+
+
+class TestScenarioDispatch:
+    """`newton-repro --scenario` (the session/graph standalone mode)."""
+
+    def test_decode_runs_with_differential_twin(self, capsys):
+        assert main(["--scenario", "decode", "--seq-len", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'decode'" in out
+        assert "fused==unfused outputs bit-identical" in out
+        assert "KV-cache" in out
+        assert "decode" in out  # the gateway per-step class table
+
+    @pytest.mark.parametrize("scenario", ["moe", "lora"])
+    def test_other_scenarios_run(self, scenario, capsys):
+        assert main(["--scenario", scenario, "--seq-len", "2"]) == 0
+        out = capsys.readouterr().out
+        assert f"Scenario {scenario!r}" in out
+
+    def test_no_fused_pins_roundtrip(self, capsys):
+        assert main(["--scenario", "lora", "--seq-len", "2", "--no-fused"]) == 0
+        out = capsys.readouterr().out
+        assert "(unfused)" in out
+        assert "0/" in out  # no GEMV fuses on the pinned round-trip path
+
+    def test_scenario_rejects_experiment_mix(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--scenario", "decode"])
+
+    def test_seq_len_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "decode", "--seq-len", "0"])
+
+    def test_metrics_export(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "scenario.json"
+        assert main(
+            ["--scenario", "lora", "--seq-len", "2", "--metrics", str(target)]
+        ) == 0
+        record = json.loads(target.read_text())
+        assert record["schema"] == "newton-telemetry/v1"
+        assert "scenario" in record["sections"]

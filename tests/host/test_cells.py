@@ -135,3 +135,73 @@ class TestSequenceRuntime:
 
         spec = gnmt_model()
         assert all(l.output_transform == "lstm_cell" for l in spec.layers)
+
+
+class TestGraphSessionCells:
+    """The session executor drives the same cell update as the runtime."""
+
+    @pytest.fixture
+    def runtime(self):
+        from repro.baselines.gpu import titan_v_like
+        from repro.core.device import NewtonDevice
+        from repro.dram.config import DRAMConfig
+        from repro.dram.timing import TimingParams
+        from repro.host.runtime import NewtonRuntime
+
+        cfg = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4096)
+        timing = TimingParams()
+        return NewtonRuntime(
+            NewtonDevice(cfg, timing, functional=True),
+            titan_v_like(cfg, timing),
+        )
+
+    @pytest.fixture
+    def tiny_lstm(self):
+        from repro.workloads.spec import LayerSpec, ModelSpec
+
+        return ModelSpec(
+            name="tiny-lstm",
+            layers=(
+                LayerSpec("l0", m=64, n=32, output_transform="lstm_cell"),
+                LayerSpec("l1", m=64, n=16, output_transform="lstm_cell"),
+            ),
+        )
+
+    def _session(self, tiny_lstm, *, fused):
+        from repro.backends import make_backend
+        from repro.dram.config import DRAMConfig
+        from repro.dram.timing import TimingParams
+
+        cfg = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4096)
+        engine = make_backend(
+            "newton", config=cfg, timing=TimingParams(), functional=True
+        )
+        return engine, engine.open_session(tiny_lstm, fused=fused, seed=1)
+
+    def test_session_matches_runtime_sequence(self, runtime, tiny_lstm):
+        """A fresh unfused session replays run_sequence bit for bit."""
+        loaded = runtime.load_model(tiny_lstm, seed=1)
+        reference = runtime.run_sequence(loaded, steps=3, seed=1)
+        engine, session = self._session(tiny_lstm, fused=False)
+        try:
+            results = session.run_steps(3)
+        finally:
+            session.close()
+            engine.close()
+        for run, ref in zip(results, reference):
+            assert np.array_equal(run.output, ref.output)
+
+    def test_fused_session_evolves_identical_cell_state(self, tiny_lstm):
+        """Fusion elides GWRITEs, not the recurrence: the fused and
+        unfused sessions' cell trajectories are bit-identical."""
+        outputs = {}
+        for fused in (True, False):
+            engine, session = self._session(tiny_lstm, fused=fused)
+            try:
+                outputs[fused] = [r.output for r in session.run_steps(4)]
+            finally:
+                session.close()
+                engine.close()
+        for f, u in zip(outputs[True], outputs[False]):
+            assert np.array_equal(f, u)
+        assert not np.array_equal(outputs[True][0], outputs[True][3])

@@ -1,0 +1,324 @@
+"""Session-based graph execution: fusion, KV-cache, bit-identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backends import make_backend
+from repro.dram.config import DRAMConfig
+from repro.dram.timing import TimingParams
+from repro.errors import ProtocolError
+from repro.workloads.scenarios import decode_model, lora_model, moe_model, scenario_model
+from repro.workloads.spec import LayerSpec, ModelSpec
+
+CFG = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4096)
+
+
+def functional_backend():
+    return make_backend("newton", config=CFG, timing=TimingParams(), functional=True)
+
+
+def session_outputs(spec, steps, *, fused, seed=0):
+    engine = functional_backend()
+    session = engine.open_session(spec, fused=fused, seed=seed)
+    try:
+        return [r.output for r in session.run_steps(steps)]
+    finally:
+        session.close()
+        engine.close()
+
+
+def fc_chain(width=32, layers=3, **kwargs):
+    return ModelSpec(
+        name="chain",
+        layers=tuple(
+            LayerSpec(f"l{i}", m=width, n=width, **kwargs) for i in range(layers)
+        ),
+    )
+
+
+class TestStatelessEquivalence:
+    """An unfused session is the stateless runtime, reorganized."""
+
+    @pytest.mark.parametrize("transform", [{}, {"activation": "relu"},
+                                           {"batchnorm": True}])
+    def test_unfused_session_matches_runtime_run(self, transform):
+        from repro.baselines.gpu import titan_v_like
+        from repro.core.device import NewtonDevice
+        from repro.host.runtime import NewtonRuntime
+
+        spec = fc_chain(**transform)
+        runtime = NewtonRuntime(
+            NewtonDevice(CFG, TimingParams(), functional=True),
+            titan_v_like(CFG, TimingParams()),
+        )
+        reference = runtime.run(runtime.load_model(spec, seed=0), seed=0)
+        outputs = session_outputs(spec, 1, fused=False)
+        assert np.array_equal(outputs[0], reference.output)
+
+    def test_fused_session_matches_runtime_run(self):
+        from repro.baselines.gpu import titan_v_like
+        from repro.core.device import NewtonDevice
+        from repro.host.runtime import NewtonRuntime
+
+        spec = fc_chain(activation="relu")
+        runtime = NewtonRuntime(
+            NewtonDevice(CFG, TimingParams(), functional=True),
+            titan_v_like(CFG, TimingParams()),
+        )
+        reference = runtime.run(runtime.load_model(spec, seed=0), seed=0)
+        outputs = session_outputs(spec, 1, fused=True)
+        assert np.array_equal(outputs[0], reference.output)
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize(
+        "spec, steps",
+        [
+            (decode_model(d=32, window=4, blocks=1), 4),
+            (moe_model(d=32, experts=3, top_k=2, blocks=2), 2),
+            (lora_model(d=32, rank=4, blocks=2), 2),
+            (fc_chain(activation="gelu"), 2),
+        ],
+        ids=["decode", "moe", "lora", "fc"],
+    )
+    def test_fused_equals_unfused(self, spec, steps):
+        fused = session_outputs(spec, steps, fused=True)
+        unfused = session_outputs(spec, steps, fused=False)
+        for f, u in zip(fused, unfused):
+            assert np.array_equal(f.view(np.uint32), u.view(np.uint32))
+
+    @given(
+        d=st.sampled_from([16, 32, 48]),
+        window=st.integers(2, 6),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fused_equals_unfused_property(self, d, window, seed):
+        """Hypothesis: any decode shape/seed, fusion never changes bits."""
+        spec = decode_model(d=d, window=window, blocks=1)
+        fused = session_outputs(spec, window, fused=True, seed=seed)
+        unfused = session_outputs(spec, window, fused=False, seed=seed)
+        for f, u in zip(fused, unfused):
+            assert np.array_equal(f.view(np.uint32), u.view(np.uint32))
+
+    def test_fused_never_more_cycles(self):
+        spec = decode_model(d=32, window=4, blocks=1)
+        totals = {}
+        for fused in (True, False):
+            engine = functional_backend()
+            session = engine.open_session(spec, fused=fused, seed=0)
+            try:
+                results = session.run_steps(4)
+            finally:
+                session.close()
+                engine.close()
+            totals[fused] = sum(r.newton_cycles for r in results)
+        assert totals[True] <= totals[False]
+
+
+class TestFusionProvenance:
+    def test_fc_chain_fuses_all_but_first(self):
+        engine = functional_backend()
+        session = engine.open_session(fc_chain(layers=4), fused=True)
+        try:
+            result = session.step()
+        finally:
+            session.close()
+            engine.close()
+        # The first layer's input comes from the host; every later layer
+        # consumes the previous layer's latch-resident activation.
+        assert result.gemvs == 4
+        assert result.fused_gemvs == 3
+
+    def test_host_layer_breaks_residency(self):
+        spec = ModelSpec(
+            name="broken-chain",
+            layers=(
+                LayerSpec("a", m=32, n=32),
+                LayerSpec("host", on_newton=False, host_flops=1000),
+                LayerSpec("b", m=32, n=32),
+            ),
+        )
+        engine = functional_backend()
+        session = engine.open_session(spec, fused=True)
+        try:
+            result = session.step()
+        finally:
+            session.close()
+            engine.close()
+        assert result.fused_gemvs == 0
+        assert result.host_cycles > 0
+
+    def test_unfused_session_reports_zero_fused(self):
+        engine = functional_backend()
+        session = engine.open_session(fc_chain(), fused=False)
+        try:
+            result = session.step()
+        finally:
+            session.close()
+            engine.close()
+        assert result.fused_gemvs == 0
+
+    def test_attention_context_gemv_never_fused(self):
+        """Softmax weights are host-produced: at most 1 of attention's 2
+        GEMVs (the score GEMV) may fuse."""
+        spec = decode_model(d=32, window=4, blocks=1)
+        engine = functional_backend()
+        session = engine.open_session(spec, fused=True)
+        try:
+            result = session.step()
+        finally:
+            session.close()
+            engine.close()
+        attn = next(r for r in result.layer_runs if r.kind == "attention")
+        assert attn.gemvs == 2
+        assert attn.fused_gemvs <= 1
+
+
+class TestKVCache:
+    def test_cache_grows_one_token_per_step(self):
+        spec = decode_model(d=32, window=4, blocks=2)
+        engine = functional_backend()
+        session = engine.open_session(spec, fused=True)
+        try:
+            for expected in (1, 2, 3):
+                session.step()
+                assert all(t == expected for t in session.kv_tokens.values())
+        finally:
+            session.close()
+            engine.close()
+
+    def test_window_exhaustion_raises(self):
+        spec = decode_model(d=32, window=2, blocks=1)
+        engine = functional_backend()
+        session = engine.open_session(spec, fused=True)
+        try:
+            session.run_steps(2)
+            with pytest.raises(ProtocolError, match="window"):
+                session.step()
+        finally:
+            session.close()
+            engine.close()
+
+    def test_kv_bytes_saved_accounting(self):
+        """Per step, everything but the appended token would have had to
+        be resent (bf16 K and V) were the cache host-side."""
+        d, window, steps = 32, 4, 3
+        spec = decode_model(d=d, window=window, blocks=1)
+        engine = functional_backend()
+        session = engine.open_session(spec, fused=True)
+        try:
+            session.run_steps(steps)
+            expected = sum(2 * 2 * d * (t - 1) for t in range(1, steps + 1))
+            assert session.kv_bytes_saved == expected
+        finally:
+            session.close()
+            engine.close()
+
+    def test_decode_steps_are_deterministic_per_seed(self):
+        spec = decode_model(d=32, window=4, blocks=1)
+        first = session_outputs(spec, 3, fused=True, seed=7)
+        second = session_outputs(spec, 3, fused=True, seed=7)
+        other = session_outputs(spec, 3, fused=True, seed=8)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], other[0])
+
+
+class TestSessionLifecycle:
+    def test_requires_functional_backend(self):
+        engine = make_backend(
+            "newton", config=CFG, timing=TimingParams(), functional=False
+        )
+        with pytest.raises(ProtocolError, match="functional"):
+            engine.open_session(fc_chain())
+        engine.close()
+
+    def test_stateless_paths_reject_session_graphs(self):
+        from repro.baselines.gpu import titan_v_like
+        from repro.core.device import NewtonDevice
+        from repro.host.runtime import NewtonRuntime
+
+        spec = decode_model(d=32, window=4, blocks=1)
+        assert spec.requires_session
+        runtime = NewtonRuntime(
+            NewtonDevice(CFG, TimingParams(), functional=True),
+            titan_v_like(CFG, TimingParams()),
+        )
+        with pytest.raises(ProtocolError, match="session"):
+            runtime.load_model(spec)
+        engine = functional_backend()
+        with pytest.raises(ProtocolError, match="session"):
+            engine.load_model(spec)
+        engine.close()
+
+    def test_step_after_close_raises(self):
+        engine = functional_backend()
+        session = engine.open_session(fc_chain())
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(ProtocolError, match="closed"):
+            session.step()
+        engine.close()
+
+    def test_run_steps_validation(self):
+        engine = functional_backend()
+        session = engine.open_session(fc_chain())
+        try:
+            with pytest.raises(ProtocolError):
+                session.run_steps(0)
+        finally:
+            session.close()
+            engine.close()
+
+    def test_explicit_input_vector(self):
+        engine = functional_backend()
+        session = engine.open_session(fc_chain(), fused=False)
+        try:
+            x = np.linspace(-1, 1, 32, dtype=np.float32)
+            first = session.step(x)
+            second = session.step(x)
+            assert np.array_equal(first.output, second.output)
+        finally:
+            session.close()
+            engine.close()
+
+
+class TestAnalyticalBackend:
+    def test_session_runs_with_fused_discount(self):
+        spec = fc_chain(layers=4)
+        cycles = {}
+        for fused in (True, False):
+            engine = make_backend(
+                "analytical", config=CFG, timing=TimingParams(), functional=True
+            )
+            session = engine.open_session(spec, fused=fused)
+            try:
+                result = session.step()
+            finally:
+                session.close()
+                engine.close()
+            cycles[fused] = result.newton_cycles
+        assert cycles[True] < cycles[False]
+
+
+class TestScenarioFactories:
+    def test_scenario_model_dispatch(self):
+        from repro.errors import ConfigurationError
+        from repro.workloads.scenarios import SCENARIOS
+
+        for name in SCENARIOS:
+            assert scenario_model(name).requires_session
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            scenario_model("prefill")
+
+    def test_factory_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            decode_model(d=0)
+        with pytest.raises(ConfigurationError):
+            moe_model(blocks=0)
+        with pytest.raises(ConfigurationError):
+            lora_model(d=-1)

@@ -40,3 +40,46 @@ class TestPipelineModel:
     def test_rate_validated(self, config, timing):
         with pytest.raises(ConfigurationError):
             PipelineModel(config, timing, normalize_cycles_per_element=0)
+
+
+class TestSessionExposureAccounting:
+    """Exposed-normalization accounting under chained/fused layers."""
+
+    def _run(self, *, fused):
+        from repro.backends import make_backend
+        from repro.workloads.spec import LayerSpec, ModelSpec
+
+        cfg = DRAMConfig(num_channels=1, banks_per_channel=16, rows_per_bank=4096)
+        spec = ModelSpec(
+            name="bn-chain",
+            layers=(
+                LayerSpec("plain", m=32, n=32),
+                LayerSpec("bn0", m=32, n=32, batchnorm=True),
+                LayerSpec("bn1", m=32, n=32, batchnorm=True),
+            ),
+        )
+        engine = make_backend(
+            "newton", config=cfg, timing=TimingParams(), functional=True
+        )
+        session = engine.open_session(spec, fused=fused)
+        try:
+            return session.step(), PipelineModel(cfg, TimingParams())
+        finally:
+            session.close()
+            engine.close()
+
+    def test_exposure_is_per_batchnorm_layer(self):
+        result, pipeline = self._run(fused=True)
+        per_layer = pipeline.batchnorm_exposed_cycles()
+        assert result.exposed_pipeline_cycles == 2 * per_layer
+        exposed = {r.name: r.exposed_cycles for r in result.layer_runs}
+        assert exposed["plain"] == 0
+        assert exposed["bn0"] == exposed["bn1"] == per_layer
+
+    def test_fusion_does_not_change_exposure(self):
+        """Fusion elides GWRITE commands; the normalization overlap
+        happens on the readout path and is charged identically."""
+        fused, _ = self._run(fused=True)
+        unfused, _ = self._run(fused=False)
+        assert fused.exposed_pipeline_cycles == unfused.exposed_pipeline_cycles
+        assert fused.total_cycles < unfused.total_cycles

@@ -8,12 +8,15 @@ from repro.errors import ServingError
 from repro.host.serving import ServingSimulator
 from repro.serving import (
     BackendReplica,
+    DecodeSessionSpec,
     FixedServiceReplica,
     GatewayConfig,
     ServingGateway,
     SLOClass,
+    Trace,
     backend_replica_factory,
     bursty_trace,
+    decode_sessions,
     default_classes,
     interarrival_for_load,
     poisson_trace,
@@ -393,3 +396,127 @@ class TestHeapInvariance:
         )
         assert result.mean == pytest.approx(float(np.mean(reference)))
         assert result.p99 == pytest.approx(float(np.percentile(reference, 99)))
+
+
+class TestDecodeSessions:
+    """Multi-step decode sessions as a traffic class."""
+
+    def _sessions_config(self, **kwargs):
+        base = dict(
+            window_cycles=0.0,
+            max_batch=2,
+            min_replicas=1,
+            classes=(SLOClass("decode", priority=2),),
+        )
+        base.update(kwargs)
+        return GatewayConfig(**base)
+
+    def _empty_trace(self):
+        return Trace(
+            kind="sessions", seed=0, mean_interarrival=0.0, requests=()
+        )
+
+    def test_sessions_complete_serially(self):
+        result = fixed_gateway(self._sessions_config()).run(
+            self._empty_trace(),
+            decode_sessions(3, steps=4, interarrival=2 * SERVICE),
+        )
+        assert result.sessions is not None
+        assert result.sessions.offered == 3
+        assert result.sessions.completed == 3
+        assert result.sessions.aborted == 0
+        assert result.sessions.steps_completed == 12
+        assert result.completed == 12
+        # Steps are strictly serial: a session's makespan covers at
+        # least steps x service.
+        assert result.sessions.mean_makespan >= 4 * SERVICE
+        assert result.sessions.step_p99 >= result.sessions.step_p50 > 0
+
+    def test_spec_and_helper_validation(self):
+        with pytest.raises(ServingError):
+            DecodeSessionSpec(arrival=-1.0, steps=4)
+        with pytest.raises(ServingError):
+            DecodeSessionSpec(arrival=0.0, steps=0)
+        with pytest.raises(ServingError):
+            decode_sessions(0, steps=4, interarrival=100.0)
+        with pytest.raises(ServingError):
+            decode_sessions(2, steps=4, interarrival=-1.0)
+
+    def test_empty_trace_allowed_with_sessions(self):
+        result = fixed_gateway(self._sessions_config()).run(
+            self._empty_trace(),
+            decode_sessions(1, steps=2, interarrival=0.0),
+        )
+        assert result.sessions.completed == 1
+        with pytest.raises(ServingError, match="empty"):
+            fixed_gateway(self._sessions_config()).run(self._empty_trace())
+
+    def test_unknown_session_class_is_an_error(self):
+        with pytest.raises(ServingError, match="mystery"):
+            fixed_gateway(self._sessions_config()).run(
+                self._empty_trace(),
+                decode_sessions(1, steps=2, interarrival=0.0, cls="mystery"),
+            )
+
+    def test_shed_continuation_aborts_whole_session(self):
+        """queue_depth=1 with simultaneous sessions: a shed step kills
+        its session, and the gateway still drains."""
+        result = fixed_gateway(
+            self._sessions_config(queue_depth=1)
+        ).run(
+            self._empty_trace(),
+            decode_sessions(4, steps=3, interarrival=0.0),
+        )
+        assert result.sessions.offered == 4
+        assert result.sessions.aborted > 0
+        assert (
+            result.sessions.completed + result.sessions.aborted
+            == result.sessions.offered
+        )
+        # Aborted sessions stop issuing steps.
+        assert result.sessions.steps_completed < 4 * 3
+
+    def test_sessions_mix_with_oneshot_traffic(self):
+        trace = poisson_trace(
+            2 * SERVICE, 20, seed=3, class_mix=(("interactive", 1.0),)
+        )
+        config = self._sessions_config(
+            classes=(
+                SLOClass("interactive", priority=1),
+                SLOClass("decode", priority=2),
+            )
+        )
+        result = fixed_gateway(config).run(
+            trace, decode_sessions(2, steps=5, interarrival=SERVICE)
+        )
+        assert result.completed == 20 + 10
+        assert result.sessions.completed == 2
+        assert result.per_class["decode"].completed == 10
+        assert result.per_class["interactive"].completed == 20
+
+    def test_determinism(self):
+        runs = [
+            fixed_gateway(self._sessions_config()).run(
+                self._empty_trace(),
+                decode_sessions(3, steps=4, interarrival=SERVICE / 2),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].sessions == runs[1].sessions
+        assert runs[0].p99 == runs[1].p99
+
+    def test_session_stats_published_to_registry(self):
+        registry = MetricsRegistry()
+        result = fixed_gateway(
+            self._sessions_config(), metrics=registry
+        ).run(
+            self._empty_trace(),
+            decode_sessions(2, steps=3, interarrival=SERVICE),
+        )
+        record = registry.to_dict()
+        assert record["counters"]["gateway.sessions.completed"] == 2
+        assert (
+            record["gauges"]["gateway.sessions.step_p99"]
+            == result.sessions.step_p99
+        )
+        assert "session" in result.render()

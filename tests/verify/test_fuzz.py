@@ -6,6 +6,8 @@ import dataclasses
 
 from repro.core.optimizations import OptimizationConfig
 from repro.verify.fuzz import (
+    GRAPH_FAMILIES,
+    GRAPH_NONE,
     REFRESH_FAST,
     REFRESH_OFF,
     SCHEMA,
@@ -31,6 +33,7 @@ class TestCaseGeneration:
             assert 1 <= case.n <= 320
             assert case.batch in (1, 2, 3)
             assert case.devices in (1, 2)
+            assert case.graph in (GRAPH_NONE, *GRAPH_FAMILIES)
             if case.interleaved_reuse:
                 # Multiple latches only exist on the row-major traversal.
                 assert case.result_latches == 1
@@ -81,6 +84,48 @@ class TestRunCase:
         assert "case #12" in result.render()
 
 
+class TestGraphFamily:
+    """The graph-execution case family (multi-step session fuzzing)."""
+
+    def test_every_family_is_drawn(self):
+        drawn = {generate_case(0, i).graph for i in range(40)}
+        assert drawn == {GRAPH_NONE, *GRAPH_FAMILIES}
+
+    def test_graph_drawn_last_keeps_base_fields_stable(self):
+        """Regression: the family draw must not perturb the base case
+        (pre-family reports pinned specific (seed, index) geometries)."""
+        case = generate_case(0, 3)
+        assert case.graph == GRAPH_NONE
+        assert (case.m, case.n, case.batch) == (4, 59, 2)
+
+    def test_forced_family_runs_clean(self):
+        # One small, refresh-off base case per family: the session
+        # differentials (fused/unfused, fast/reference) all hold.
+        base = dataclasses.replace(
+            generate_case(0, 3), m=4, n=16, batch=1, refresh=REFRESH_OFF
+        )
+        for graph in GRAPH_FAMILIES:
+            result = run_case(dataclasses.replace(base, graph=graph))
+            assert result.ok, result.render()
+
+    def test_sharded_family_runs_clean(self):
+        case = dataclasses.replace(
+            generate_case(0, 3),
+            m=4,
+            n=16,
+            batch=1,
+            devices=2,
+            graph="decode",
+            refresh=REFRESH_OFF,
+        )
+        result = run_case(case)
+        assert result.ok, result.render()
+
+    def test_describe_names_the_family(self):
+        case = dataclasses.replace(generate_case(0, 3), graph="lora")
+        assert "graph=lora" in case.describe()
+
+
 class TestCampaign:
     def test_small_campaign_is_clean(self):
         seen = []
@@ -99,6 +144,9 @@ class TestCampaign:
         assert payload["schema"] == SCHEMA
         assert payload["ok"] is True
         assert payload["cases_run"] == 2
+        assert payload["graph_cases"] == sum(
+            1 for i in range(2) if generate_case(1, i).graph != GRAPH_NONE
+        )
         assert payload["failures"] == []
 
     def test_empty_report(self):

@@ -32,6 +32,51 @@ class TestLayerSpec:
         assert layer.activation == "identity"
 
 
+class TestLayerKindValidation:
+    def test_newton_layer_rejects_host_work(self):
+        with pytest.raises(ConfigurationError, match="host"):
+            LayerSpec("fc", m=4, n=4, host_flops=100)
+        with pytest.raises(ConfigurationError, match="host"):
+            LayerSpec("fc", m=4, n=4, host_bytes=64)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            LayerSpec("x", m=4, n=4, kind="conv")
+
+    def test_host_layer_rejects_stateful_kinds(self):
+        with pytest.raises(ConfigurationError, match="Newton"):
+            LayerSpec("x", kind="lora", on_newton=False, host_flops=1, rank=2)
+
+    def test_attention_needs_window_matching_m(self):
+        LayerSpec("attn", kind="attention", m=8, n=4, window=8)
+        with pytest.raises(ConfigurationError, match="window"):
+            LayerSpec("attn", kind="attention", m=8, n=4)
+        with pytest.raises(ConfigurationError, match="window"):
+            LayerSpec("attn", kind="attention", m=8, n=4, window=16)
+        with pytest.raises(ConfigurationError, match="window"):
+            LayerSpec("fc", m=8, n=4, window=8)
+
+    def test_moe_needs_consistent_routing(self):
+        LayerSpec("moe", kind="moe", m=4, n=4, experts=4, top_k=2)
+        with pytest.raises(ConfigurationError, match="experts"):
+            LayerSpec("moe", kind="moe", m=4, n=4, experts=1, top_k=1)
+        with pytest.raises(ConfigurationError, match="top_k"):
+            LayerSpec("moe", kind="moe", m=4, n=4, experts=4, top_k=5)
+        with pytest.raises(ConfigurationError, match="top_k"):
+            LayerSpec("moe", kind="moe", m=4, n=4, experts=4, top_k=0)
+        with pytest.raises(ConfigurationError, match="moe"):
+            LayerSpec("fc", m=4, n=4, experts=4)
+
+    def test_lora_needs_low_rank(self):
+        LayerSpec("lora", kind="lora", m=8, n=8, rank=2)
+        with pytest.raises(ConfigurationError, match="rank"):
+            LayerSpec("lora", kind="lora", m=8, n=8)
+        with pytest.raises(ConfigurationError, match="low-rank"):
+            LayerSpec("lora", kind="lora", m=8, n=8, rank=8)
+        with pytest.raises(ConfigurationError, match="rank"):
+            LayerSpec("fc", m=8, n=8, rank=2)
+
+
 class TestModelSpec:
     def test_needs_layers(self):
         with pytest.raises(ConfigurationError):
@@ -48,3 +93,15 @@ class TestModelSpec:
         )
         assert [l.name for l in spec.newton_layers] == ["a", "c"]
         assert spec.total_fc_bytes == 2 * (4 * 4 + 8 * 4)
+
+    def test_requires_session_flags_stateful_graphs(self):
+        plain = ModelSpec(name="p", layers=(LayerSpec("a", m=4, n=4),))
+        stateful = ModelSpec(
+            name="s",
+            layers=(
+                LayerSpec("a", m=4, n=4),
+                LayerSpec("attn", kind="attention", m=8, n=4, window=8),
+            ),
+        )
+        assert not plain.requires_session
+        assert stateful.requires_session
