@@ -26,6 +26,12 @@ Two further sections track the vectorized functional datapath:
   simulated requests per wall second, the offline-M/D/c degeneracy
   error (must be ~0), and the continuous-batching mean batch size on a
   backlogged stream.
+* ``hetero`` — the cost-model-driven heterogeneous scheduler
+  (:mod:`repro.host.hetero`): calibration error against cycle-accurate
+  Table II runs, end-to-end cycles of auto vs all-newton vs all-gpu on
+  the mixed decode+batch pipeline, and the functional bit-identity
+  probe. ``--check-hetero`` gates auto <= best fixed, calibration
+  within budget, and bit-identity.
 
 Run standalone (``python benchmarks/bench_sim_throughput.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_sim_throughput.py -s``).
@@ -113,6 +119,22 @@ the floor only trips when fusion stops eliding GWRITEs at all."""
 DECODE_STEPS = 8
 DECODE_QUICK_STEPS = 4
 """Tokens decoded by the bench's KV-cache session (quick: CI)."""
+
+HETERO_D = 1024
+HETERO_QUICK_D = 256
+"""Hidden dimension of the mixed decode+batch pipeline the hetero
+section plans over (quick: CI — smaller layers, same structure)."""
+
+HETERO_BULK_BATCH = 128
+HETERO_QUICK_BULK_BATCH = 128
+"""Batch of the pipeline's bulk stages — past the Figure 12 crossover
+even at the quick hidden dimension, so auto placement has a real
+GPU-favored regime to find in both modes."""
+
+HETERO_QUICK_CALIBRATION = ("DLRMs1", "BERTs1", "GNMTs1")
+"""Quick mode calibrates on these Table II layers only (the full run
+measures all eight); a spread of small/medium/large keeps the geometric
+mean honest without eight cycle-accurate measurements in CI."""
 
 
 def _make_engine(
@@ -492,6 +514,76 @@ def measure_decode(quick: bool = False) -> dict:
     }
 
 
+def measure_hetero(quick: bool = False) -> dict:
+    """Heterogeneous placement: auto vs the two fixed policies.
+
+    Calibrates the cost model against cycle-accurate Table II runs (all
+    eight layers, or :data:`HETERO_QUICK_CALIBRATION` in quick mode),
+    plans the mixed decode+batch pipeline under every placement policy,
+    and runs the functional bit-identity probe (hetero/auto outputs vs
+    all-newton). ``--check-hetero`` gates on auto never losing to the
+    best fixed policy, calibration staying within its error budget, and
+    bit-identity holding.
+    """
+    from repro.experiments.common import eval_config, eval_timing
+    from repro.experiments.hetero_placement import check_bit_identity
+    from repro.host.hetero import (
+        CALIBRATION_ERROR_BUDGET_PCT,
+        PLACEMENT_POLICIES,
+        CostModel,
+        TransferModel,
+        mixed_decode_batch_stages,
+        plan_placement,
+    )
+    from repro.workloads.catalog import layer_by_name
+
+    cost = CostModel(eval_config(), eval_timing())
+    layers = (
+        [layer_by_name(name) for name in HETERO_QUICK_CALIBRATION]
+        if quick
+        else None
+    )
+    t0 = time.perf_counter()
+    calibration = cost.calibrate(layers)
+    calibrate_wall = time.perf_counter() - t0
+    transfer = TransferModel(cost.config, cost.timing)
+    d = HETERO_QUICK_D if quick else HETERO_D
+    bulk = HETERO_QUICK_BULK_BATCH if quick else HETERO_BULK_BATCH
+    stages = mixed_decode_batch_stages(d=d, bulk_batch=bulk, blocks=2)
+    t0 = time.perf_counter()
+    plans = {
+        policy: plan_placement(stages, cost, transfer, policy=policy)
+        for policy in PLACEMENT_POLICIES
+    }
+    plan_wall = time.perf_counter() - t0
+    bit_identical = check_bit_identity(steps=2 if quick else 3)
+    assert bit_identical, "hetero/auto diverged bit-wise from all-newton"
+    auto = plans["auto"].total_cycles
+    best_fixed = min(
+        plans["all-newton"].total_cycles, plans["all-gpu"].total_cycles
+    )
+    return {
+        "d": d,
+        "bulk_batch": bulk,
+        "stages": len(stages),
+        "calibration_layers": len(calibration.rows),
+        "calibration_scale": round(calibration.scale, 4),
+        "calibration_max_error_pct": round(calibration.max_error_pct, 2),
+        "calibration_budget_pct": CALIBRATION_ERROR_BUDGET_PCT,
+        "calibration_within_budget": calibration.within_budget,
+        "calibrate_wall_s": round(calibrate_wall, 6),
+        "plan_wall_s": round(plan_wall, 6),
+        "total_cycles": {
+            policy: plans[policy].total_cycles for policy in PLACEMENT_POLICIES
+        },
+        "auto_crossings": plans["auto"].crossings,
+        "auto_backends_used": list(plans["auto"].backends_used),
+        "auto_not_worse": auto <= best_fixed + 1e-9,
+        "auto_speedup_vs_best_fixed": round(best_fixed / auto, 3),
+        "bit_identical": bit_identical,
+    }
+
+
 SERVING_REQUESTS = 5000
 SERVING_QUICK_REQUESTS = 1500
 SERVING_SERVICE = 1000.0
@@ -604,6 +696,7 @@ def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> d
         "serving": measure_serving(quick),
         "fused": measure_fused(quick),
         "decode": measure_decode(quick),
+        "hetero": measure_hetero(quick),
     }
 
 
@@ -745,6 +838,37 @@ def check_fused(record: dict) -> "tuple[bool, str]":
     return True, f"fused lowering saved {saved:,.0f} cycles (refresh off)"
 
 
+def check_hetero(record: dict) -> "tuple[bool, str]":
+    """Gate the heterogeneous-placement section of a benchmark record.
+
+    Requires bit-identity (hetero/auto vs all-newton), calibration
+    within its error budget, and the auto plan never losing to the best
+    fixed policy — the placement DP's optimality guarantee. Returns
+    (ok, reason).
+    """
+    hetero = record.get("hetero")
+    if hetero is None:
+        return True, "no hetero section (non-canonical record)"
+    if not hetero["bit_identical"]:
+        return False, "hetero/auto is not bit-identical to all-newton"
+    if not hetero["calibration_within_budget"]:
+        return False, (
+            f"calibration max error {hetero['calibration_max_error_pct']}% "
+            f"exceeds the {hetero['calibration_budget_pct']}% budget"
+        )
+    if not hetero["auto_not_worse"]:
+        totals = hetero["total_cycles"]
+        return False, (
+            f"auto placement {totals['auto']:,.0f} cycles loses to the "
+            "best fixed policy "
+            f"{min(totals['all-newton'], totals['all-gpu']):,.0f}"
+        )
+    return True, (
+        f"auto {hetero['auto_speedup_vs_best_fixed']}x vs best fixed, "
+        f"calibration max error {hetero['calibration_max_error_pct']}%"
+    )
+
+
 def export_metrics(record: dict, path: Path) -> None:
     """Registry-shaped telemetry JSON: bench gauges + a probe breakdown."""
     from repro.telemetry import MetricsRegistry, validate_metrics
@@ -788,6 +912,13 @@ def export_metrics(record: dict, path: Path) -> None:
             registry.gauge("bench.decode_kv_bytes_saved").set(
                 record["decode"]["kv_bytes_saved"]
             )
+        if "hetero" in record:
+            registry.gauge("bench.hetero_auto_speedup").set(
+                record["hetero"]["auto_speedup_vs_best_fixed"]
+            )
+            registry.gauge("bench.hetero_calibration_max_error_pct").set(
+                record["hetero"]["calibration_max_error_pct"]
+            )
     else:
         registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])
     engine, layout = _make_engine(True, record["m"], record["n"])
@@ -817,6 +948,8 @@ def test_sim_throughput(once):
     assert functional_ok, reason
     fused_ok, reason = check_fused(record)
     assert fused_ok, reason
+    hetero_ok, reason = check_hetero(record)
+    assert hetero_ok, reason
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -857,6 +990,13 @@ def main(argv: "list[str] | None" = None) -> int:
         "bit-identity or its summed refresh-off saving across the "
         f"BERT-large block shapes falls below {FUSED_SAVED_FLOOR:,.0f} "
         "cycles",
+    )
+    parser.add_argument(
+        "--check-hetero",
+        action="store_true",
+        help="exit 1 when heterogeneous auto placement loses to the best "
+        "fixed policy, its cost-model calibration exceeds the error "
+        "budget, or hetero outputs lose bit-identity vs all-newton",
     )
     parser.add_argument(
         "--metrics",
@@ -927,6 +1067,13 @@ def main(argv: "list[str] | None" = None) -> int:
             failed = True
         else:
             print(f"fused check OK: {reason}")
+    if args.check_hetero:
+        hetero_ok, reason = check_hetero(record)
+        if not hetero_ok:
+            print(f"FAIL: hetero placement check: {reason}")
+            failed = True
+        else:
+            print(f"hetero check OK: {reason}")
     return 1 if failed else 0
 
 

@@ -23,6 +23,7 @@ from repro.backends.base import Backend, BackendRun
 from repro.baselines.analytical import AnalyticalModel
 from repro.baselines.gpu import GpuModel, titan_v_like
 from repro.baselines.ideal_nonpim import IdealNonPim
+from repro.core.device import validate_batch_vectors
 from repro.core.optimizations import OptimizationConfig
 from repro.dram.config import DRAMConfig, hbm2e_like_config
 from repro.dram.timing import TimingParams, hbm2e_like_timing
@@ -191,7 +192,13 @@ class IdealBackend(_ModelBackend):
 
 
 class GpuBackend(_ModelBackend):
-    """The calibrated Titan-V-like roofline as a backend."""
+    """The calibrated Titan-V-like roofline as a backend.
+
+    ``gpu_overrides`` maps roofline parameter names (any of
+    :data:`~repro.baselines.gpu.GPU_TUNABLE_FIELDS`) to replacement
+    values — the constructor-level face of the CLI's ``--gpu-*`` knobs.
+    A fully-built ``model`` takes precedence over overrides.
+    """
 
     name = "gpu"
 
@@ -201,12 +208,52 @@ class GpuBackend(_ModelBackend):
         timing=None,
         *,
         model: Optional[GpuModel] = None,
+        gpu_overrides: Optional[dict] = None,
         **kwargs,
     ):
         super().__init__(config, timing, **kwargs)
         self.model = (
-            model if model is not None else titan_v_like(self.config, self.timing)
+            model
+            if model is not None
+            else titan_v_like(self.config, self.timing, **(gpu_overrides or {}))
         )
 
     def _predict_cycles(self, m: int, n: int) -> float:
         return self.model.gemv_cycles(m, n)
+
+    def gemv_batch(
+        self,
+        handle: ModelHandle,
+        vectors: Optional[np.ndarray] = None,
+        *,
+        batch: Optional[int] = None,
+    ) -> list:
+        """One batched kernel: the matrix is read once per batch.
+
+        The roofline's batch cycles (``gemv_cycles(m, n, k)``) are
+        amortised evenly across the k run records so queueing consumers
+        that sum per-run cycles see the kernel's true total, while the
+        crossover behaviour (per-input time *falling* with batch — the
+        thing Newton lacks) is preserved.
+        """
+        if vectors is not None:
+            vectors = validate_batch_vectors(vectors, handle.n)
+            k = vectors.shape[0]
+        else:
+            if batch is None:
+                raise ProtocolError("provide vectors or a batch size")
+            if batch <= 0:
+                raise ProtocolError("batch must be positive")
+            k = batch
+        total = float(self.model.gemv_cycles(handle.m, handle.n, batch=k))
+        per_run = total / k
+        runs = []
+        for i in range(k):
+            output = None
+            if self.functional:
+                assert vectors is not None and handle.matrix is not None
+                output = (handle.matrix @ vectors[i]).astype(np.float32)
+            runs.append(BackendRun(cycles=per_run, output=output))
+        self._gemvs += k
+        self._total_cycles += total
+        return runs

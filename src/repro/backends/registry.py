@@ -52,7 +52,16 @@ def make_backend(name: str, *args, **kwargs) -> Backend:
     return factory(*args, **kwargs)
 
 
+def _hetero_factory(*args, **kwargs) -> Backend:
+    # Imported lazily: the hybrid pulls in the host-side cost model,
+    # whose package init imports this registry.
+    from repro.backends.hetero import HeteroBackend
+
+    return HeteroBackend(*args, **kwargs)
+
+
 register_backend("newton", NewtonBackend)
 register_backend("analytical", AnalyticalBackend)
 register_backend("ideal", IdealBackend)
 register_backend("gpu", GpuBackend)
+register_backend("hetero", _hetero_factory)

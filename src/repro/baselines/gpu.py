@@ -118,7 +118,35 @@ class GpuModel:
         return max(compute, memory)
 
 
-def titan_v_like(config: DRAMConfig, timing: TimingParams) -> GpuModel:
-    """The calibrated Titan-V-like baseline used across the experiments."""
+GPU_TUNABLE_FIELDS = (
+    "gemv_efficiency",
+    "batch_decay",
+    "peak_flops_per_cycle",
+    "compute_efficiency",
+    "kernel_overhead_cycles",
+    "saturation_bytes",
+    "refresh_derate",
+)
+"""The roofline parameters :func:`titan_v_like` accepts as overrides
+(and the CLI exposes as ``--gpu-<name>`` flags)."""
+
+
+def titan_v_like(
+    config: DRAMConfig, timing: TimingParams, **overrides: float
+) -> GpuModel:
+    """The calibrated Titan-V-like baseline used across the experiments.
+
+    Keyword ``overrides`` replace individual roofline parameters
+    (any of :data:`GPU_TUNABLE_FIELDS`) so calibration and the CLI can
+    tune the model without a bespoke constructor call; unknown names
+    raise :class:`~repro.errors.ConfigurationError`.
+    """
+    unknown = set(overrides) - set(GPU_TUNABLE_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown GpuModel override(s) {sorted(unknown)}; choose from "
+            f"{GPU_TUNABLE_FIELDS}"
+        )
     derate = timing.t_refi / (timing.t_refi - timing.t_rfc)
-    return GpuModel(config=config, timing=timing, refresh_derate=derate)
+    params = {"refresh_derate": derate, **overrides}
+    return GpuModel(config=config, timing=timing, **params)

@@ -15,7 +15,7 @@ paper's single-device cycle-accurate evaluation exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.baselines.gpu import GpuModel, titan_v_like
 from repro.baselines.ideal_nonpim import IdealNonPim
@@ -47,6 +47,13 @@ class ExperimentContext:
     """Multi-device execution style: ``inline`` composes device
     backends in-process; ``process`` spawns one worker process per
     device (see :mod:`repro.cluster.process_pool`)."""
+    placement: str = "auto"
+    """Hybrid placement policy for the ``hetero`` backend (``auto`` /
+    ``all-newton`` / ``all-gpu``; ignored by the other backends)."""
+    gpu_overrides: Tuple[Tuple[str, float], ...] = ()
+    """GPU roofline parameter overrides as (name, value) pairs — the
+    frozen-dataclass form of the CLI's ``--gpu-*`` knobs (see
+    :data:`repro.baselines.gpu.GPU_TUNABLE_FIELDS`)."""
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -57,6 +64,19 @@ class ExperimentContext:
             raise ConfigurationError(
                 f"workers must be 'inline' or 'process', got {self.workers!r}"
             )
+        if self.placement not in ("auto", "all-newton", "all-gpu"):
+            raise ConfigurationError(
+                "placement must be 'auto', 'all-newton', or 'all-gpu', "
+                f"got {self.placement!r}"
+            )
+        from repro.baselines.gpu import GPU_TUNABLE_FIELDS
+
+        for name, _value in self.gpu_overrides:
+            if name not in GPU_TUNABLE_FIELDS:
+                raise ConfigurationError(
+                    f"unknown GPU override {name!r}; choose from "
+                    f"{GPU_TUNABLE_FIELDS}"
+                )
 
     @property
     def is_default(self) -> bool:
@@ -98,6 +118,22 @@ def context_overrides(
     if replicas is not None:
         updates["replicas"] = replicas
     return replace(context, **updates) if updates else context
+
+
+def backend_extra_kwargs(context: ExperimentContext) -> dict:
+    """The context's backend-specific registry knobs.
+
+    Only knobs the selected backend understands are forwarded (the
+    cycle-accurate backend rejects unknown keywords by design): GPU
+    roofline overrides reach ``gpu`` and ``hetero``; the placement
+    policy reaches ``hetero``.
+    """
+    extra: dict = {}
+    if context.backend in ("gpu", "hetero") and context.gpu_overrides:
+        extra["gpu_overrides"] = dict(context.gpu_overrides)
+    if context.backend == "hetero":
+        extra["placement"] = context.placement
+    return extra
 
 
 def eval_config(
@@ -164,6 +200,7 @@ def newton_layer_cycles(
         opt=opt,
         functional=False,
         refresh_enabled=refresh_enabled,
+        **backend_extra_kwargs(context),
     )
     if context.devices == 1:
         engine = make_backend(context.backend, **kwargs)

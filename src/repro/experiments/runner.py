@@ -24,6 +24,7 @@ from repro.experiments import (
     fig12_batch_gpu,
     fig13_power,
     fused_layer_study,
+    hetero_placement,
     latch_variant,
     mixed_traffic_study,
     model_validation,
@@ -53,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "serving-gateway": serving_study.run_gateway,
     "chunk-width": chunk_width_study.run,
     "fused-layers": fused_layer_study.run,
+    "hetero-placement": hetero_placement.run,
 }
 
 
@@ -223,6 +225,8 @@ def run_serve(args, context: ExperimentContext) -> int:
     from repro.telemetry import MetricsRegistry
     from repro.workloads.catalog import layer_by_name
 
+    from repro.experiments.common import backend_extra_kwargs
+
     layer = layer_by_name(args.layer)
     factory = backend_replica_factory(
         context.backend,
@@ -231,6 +235,7 @@ def run_serve(args, context: ExperimentContext) -> int:
         m=layer.m,
         n=layer.n,
         functional=False,
+        **backend_extra_kwargs(context),
     )
     probe = factory()
     service = probe.service_cycles
@@ -300,6 +305,10 @@ def run_scenario(args, context: ExperimentContext) -> int:
     kwargs = {"window": args.seq_len} if args.scenario == "decode" else {}
     spec = scenario_model(args.scenario, **kwargs)
 
+    from repro.experiments.common import backend_extra_kwargs
+
+    extra = backend_extra_kwargs(context)
+
     def build_backend():
         if context.devices > 1:
             return make_cluster(
@@ -307,15 +316,21 @@ def run_scenario(args, context: ExperimentContext) -> int:
                 context.devices,
                 workers=context.workers,
                 functional=True,
+                **extra,
             )
-        return make_backend(context.backend, functional=True)
+        return make_backend(context.backend, functional=True, **extra)
 
     engine = build_backend()
     session = engine.open_session(spec, fused=args.fused, seed=args.seed)
+    placement_record = None
     try:
         results = session.run_steps(args.seq_len)
         kv_bytes_saved = session.kv_bytes_saved
         kv_tokens = session.kv_tokens
+        if context.backend == "hetero" and context.devices == 1:
+            # The hybrid's placement decisions and prediction errors,
+            # captured before the engine is torn down.
+            placement_record = engine.collect_metrics()
     finally:
         session.close()
         engine.close()
@@ -426,6 +441,8 @@ def run_scenario(args, context: ExperimentContext) -> int:
                 "kv_bytes_saved": kv_bytes_saved,
             },
         )
+        if placement_record is not None:
+            registry.section("hetero", placement_record)
         registry.write_json(args.metrics)
         print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     return 0
@@ -598,6 +615,37 @@ def main(argv: "list[str] | None" = None) -> int:
         "docs/backends-and-sharding.md)",
     )
     parser.add_argument(
+        "--placement",
+        choices=("auto", "all-newton", "all-gpu"),
+        default="auto",
+        help="(hetero backend only) per-dispatch placement policy: "
+        "'auto' routes each dispatch to the side the calibrated cost "
+        "model finds cheaper; the 'all-*' policies force one side "
+        "(see docs/heterogeneous-scheduling.md)",
+    )
+    for field_name, flag, text in (
+        ("gemv_efficiency", "--gpu-gemv-efficiency",
+         "achieved bandwidth fraction on batch-1 GEMV"),
+        ("batch_decay", "--gpu-batch-decay",
+         "per-batch efficiency decay exponent (non-positive)"),
+        ("peak_flops_per_cycle", "--gpu-peak-flops",
+         "peak fp16 FLOPs per DRAM-command cycle"),
+        ("compute_efficiency", "--gpu-compute-efficiency",
+         "achieved fraction of peak on dense GEMM"),
+        ("kernel_overhead_cycles", "--gpu-kernel-overhead",
+         "fixed per-kernel launch cost in cycles"),
+        ("saturation_bytes", "--gpu-saturation-bytes",
+         "working set needed to saturate the machine"),
+    ):
+        parser.add_argument(
+            flag,
+            dest=f"gpu_{field_name}",
+            type=float,
+            default=None,
+            metavar="X",
+            help=f"(gpu/hetero backends) GPU roofline override: {text}",
+        )
+    parser.add_argument(
         "--devices",
         type=int,
         default=1,
@@ -655,11 +703,20 @@ def main(argv: "list[str] | None" = None) -> int:
         parser.error("--devices must be at least 1")
     if args.replicas < 1:
         parser.error("--replicas must be at least 1")
+    from repro.baselines.gpu import GPU_TUNABLE_FIELDS
+
+    gpu_overrides = tuple(
+        (name, value)
+        for name in GPU_TUNABLE_FIELDS
+        if (value := getattr(args, f"gpu_{name}", None)) is not None
+    )
     context = ExperimentContext(
         backend=args.backend,
         devices=args.devices,
         replicas=args.replicas,
         workers=args.workers,
+        placement=args.placement,
+        gpu_overrides=gpu_overrides,
     )
     requested = args.experiments or ["all"]
     if args.scenario is not None:

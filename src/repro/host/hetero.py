@@ -1,0 +1,673 @@
+"""Cost-model-driven heterogeneous placement: PIM + GPU hybrid (ROADMAP 4).
+
+Newton's core argument is a *partitioning* argument: bandwidth-bound
+GEMVs belong in the memory (the AiM banks), compute-bound batched work
+does not (the GPU roofline wins once the matrix is read once per batch,
+Figure 12's crossover near batch 64). PIM-DRAM makes exactly this
+CPU/GPU-vs-PIM case. This module is the machinery that *chooses*, per
+pipeline stage, instead of running everything on one backend:
+
+* :class:`CostModel` — a calibrated per-stage cycle predictor for each
+  backend. The GPU side is the Titan-V-like roofline itself (its closed
+  form *is* the backend's service model, so prediction error is zero by
+  construction). The Newton side is the Section III-F analytical closed
+  form times one fitted scale factor, calibrated by least squares
+  against measured cycle-accurate runs of the Table II layers; measured
+  runs are cached per layout so calibration and measured-cost planning
+  never simulate a shape twice.
+* :class:`TransferModel` — the host↔device handoff cost a placement
+  boundary pays: a fixed DMA/launch latency plus the activation bytes
+  over the external interface bandwidth.
+* :func:`overlapped_handoff_cycles` — the software-pipelined
+  double-buffered handoff: transfer of the next stage's activations
+  overlaps the producing stage's compute chunk by chunk, so the exposed
+  boundary cost is the pipeline drain, not the full serial sum.
+* :func:`plan_placement` — a dynamic program over the stage chain that
+  places every :class:`StageSpec` on the backend the cost model predicts
+  fastest, crossing costs included. ``all-newton`` / ``all-gpu`` force a
+  fixed assignment through the *same* evaluator, so the auto plan is
+  optimal over everything the fixed plans can express: planned on
+  measured costs, ``auto`` can never be slower than either.
+
+The functional half of the hybrid lives in
+:class:`repro.backends.hetero.HeteroBackend`, which routes timing
+through these models while executing every payload on the embedded
+Newton datapath — outputs stay bit-identical to an all-Newton run, the
+merge points being exact fp32 host reductions either way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.analytical import AnalyticalModel
+from repro.baselines.gpu import GpuModel, titan_v_like
+from repro.core.optimizations import FULL, OptimizationConfig
+from repro.dram.config import DRAMConfig, hbm2e_like_config
+from repro.dram.timing import TimingParams, hbm2e_like_timing
+from repro.errors import ConfigurationError
+from repro.telemetry import SCHEMA
+
+PLACEMENT_POLICIES = ("auto", "all-newton", "all-gpu")
+"""The ``--placement`` choices: cost-model-driven, or a forced backend."""
+
+BACKEND_CHOICES = ("newton", "gpu")
+"""The two sides of the hybrid a stage can land on."""
+
+ACTIVATION_BYTES = 2
+"""Activations cross the host link in bfloat16 (the device's format)."""
+
+CALIBRATION_ERROR_BUDGET_PCT = 15.0
+"""Max per-layer |predicted - measured| / measured the calibrated
+Newton predictor may leave on the Table II layers."""
+
+
+# ----------------------------------------------------------------------
+# stages
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a heterogeneous pipeline: a GEMV, possibly batched.
+
+    ``batch > 1`` models a throughput stage (the bulk class under mixed
+    traffic): ``batch`` independent inputs served by one dispatch. On
+    Newton that is ``batch`` back-to-back GEMVs (no batch reuse — the
+    paper's point); on the GPU the matrix is read once per batch, which
+    is exactly what moves the crossover.
+    """
+
+    name: str
+    m: int
+    n: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ConfigurationError(
+                f"{self.name}: stage dimensions must be positive"
+            )
+        if self.batch < 1:
+            raise ConfigurationError(
+                f"{self.name}: stage batch must be at least 1"
+            )
+
+    @property
+    def input_elements(self) -> int:
+        """Elements crossing a boundary *into* this stage."""
+        return self.n * self.batch
+
+
+def mixed_decode_batch_stages(
+    *,
+    d: int = 1024,
+    bulk_batch: int = 128,
+    blocks: int = 2,
+) -> Tuple[StageSpec, ...]:
+    """The headline mixed workload: interactive decode + batched bulk.
+
+    Each block interleaves two latency-critical batch-1 projections
+    (bandwidth-bound — Newton's home turf) with a ``bulk_batch``-way
+    batched FFN pair (compute-bound past the Figure 12 crossover — the
+    GPU's). A single-backend placement loses one regime or the other;
+    the cost-model-driven placement keeps both.
+    """
+    if d <= 0 or blocks <= 0 or bulk_batch < 1:
+        raise ConfigurationError("mixed workload dimensions must be positive")
+    stages: List[StageSpec] = []
+    for b in range(blocks):
+        stages.append(StageSpec(f"blk{b}_decode_qkv", m=d, n=d))
+        stages.append(StageSpec(f"blk{b}_decode_proj", m=4 * d, n=d))
+        stages.append(
+            StageSpec(f"blk{b}_bulk_up", m=d, n=4 * d, batch=bulk_batch)
+        )
+        stages.append(
+            StageSpec(f"blk{b}_bulk_down", m=d, n=d, batch=bulk_batch)
+        )
+    return tuple(stages)
+
+
+# ----------------------------------------------------------------------
+# transfer + overlap
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Host↔device handoff cost across the PIM/GPU boundary.
+
+    The link is the external DRAM interface both sides already share
+    (the GPU roofline's ``bytes_per_cycle``), derated by ``efficiency``
+    for protocol overhead, plus a fixed per-handoff ``latency_cycles``
+    (DMA setup / kernel launch — the cost the paper factors *out* of
+    the GPU kernels but a placement boundary genuinely pays).
+    """
+
+    config: DRAMConfig
+    timing: TimingParams
+    latency_cycles: float = 500.0
+    efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0:
+            raise ConfigurationError("latency_cycles must be non-negative")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+
+    def bytes_per_cycle(self) -> float:
+        """Achieved link bandwidth in bytes per DRAM command cycle."""
+        return (
+            self.config.num_channels
+            * self.config.col_io_bytes
+            / self.timing.t_ccd
+            * self.efficiency
+        )
+
+    def vector_cycles(self, elements: int) -> float:
+        """One handoff: ``elements`` bf16 activations plus the latency."""
+        if elements <= 0:
+            raise ConfigurationError("transfer needs a positive element count")
+        return (
+            self.latency_cycles
+            + elements * ACTIVATION_BYTES / self.bytes_per_cycle()
+        )
+
+    def handoff_slices(self, elements: int) -> int:
+        """Double-buffer granularity: one slice per DRAM row of data.
+
+        The producing side emits results row-chunk by row-chunk (the
+        READRES drain), so that is the natural unit a double-buffered
+        handoff can forward early.
+        """
+        return max(1, -(-elements // self.config.elems_per_row))
+
+
+def overlapped_handoff_cycles(
+    compute_cycles: float, transfer_cycles: float, slices: int
+) -> float:
+    """Completion time of a double-buffered producer→consumer handoff.
+
+    The producer's output becomes available in ``slices`` equal chunks
+    across its ``compute_cycles``; each chunk's transfer
+    (``transfer_cycles / slices``) starts as soon as the chunk is ready
+    and the link is free. The recurrence
+    ``done_j = max(done_{j-1}, compute * j / slices) + transfer / slices``
+    collapses to a closed form because both rates are constant:
+    whichever side binds, the other exposes only one slice of drain.
+
+    Returns total completion (``>= max(compute, transfer)`` and
+    ``<= compute + transfer``); the *exposed* boundary cost is the
+    return value minus ``compute_cycles``.
+    """
+    if compute_cycles < 0 or transfer_cycles < 0:
+        raise ConfigurationError("handoff cycle counts must be non-negative")
+    if slices < 1:
+        raise ConfigurationError("a handoff needs at least one slice")
+    return max(
+        compute_cycles + transfer_cycles / slices,
+        transfer_cycles + compute_cycles / slices,
+    )
+
+
+# ----------------------------------------------------------------------
+# the calibrated cost model
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One calibration layer's predicted-vs-measured outcome."""
+
+    name: str
+    m: int
+    n: int
+    measured_cycles: float
+    predicted_cycles: float
+    """Prediction *after* the fitted scale is applied."""
+
+    @property
+    def error_pct(self) -> float:
+        return abs(self.predicted_cycles - self.measured_cycles) / (
+            self.measured_cycles or 1.0
+        ) * 100.0
+
+
+@dataclass
+class CalibrationReport:
+    """The fitted Newton scale and its per-layer residuals."""
+
+    scale: float
+    rows: List[CalibrationRow] = field(default_factory=list)
+
+    @property
+    def max_error_pct(self) -> float:
+        return max((row.error_pct for row in self.rows), default=0.0)
+
+    @property
+    def mean_error_pct(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.error_pct for row in self.rows) / len(self.rows)
+
+    @property
+    def within_budget(self) -> bool:
+        return self.max_error_pct <= CALIBRATION_ERROR_BUDGET_PCT
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": self.scale,
+            "max_error_pct": round(self.max_error_pct, 3),
+            "mean_error_pct": round(self.mean_error_pct, 3),
+            "budget_pct": CALIBRATION_ERROR_BUDGET_PCT,
+            "within_budget": self.within_budget,
+            "layers": [
+                {
+                    "name": row.name,
+                    "m": row.m,
+                    "n": row.n,
+                    "measured_cycles": row.measured_cycles,
+                    "predicted_cycles": round(row.predicted_cycles, 1),
+                    "error_pct": round(row.error_pct, 3),
+                }
+                for row in self.rows
+            ],
+        }
+
+
+class CostModel:
+    """Per-backend cycle prediction, calibrated and measurement-cached.
+
+    * ``predict`` is the closed form: the roofline for ``gpu``, the
+      scaled Section III-F model for ``newton``. Cheap enough to call in
+      a placement inner loop.
+    * ``measure`` runs the real thing — a fresh cycle-accurate device
+      for ``newton`` (the burst kernel makes this milliseconds per
+      layout), the roofline for ``gpu`` (which *is* that backend's
+      service model) — and caches the result per ``(backend, m, n)``
+      layout key.
+    * ``calibrate`` fits the Newton scale by least squares over measured
+      reference layers (default: all of Table II) and records the
+      per-layer residuals the acceptance gate checks.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DRAMConfig] = None,
+        timing: Optional[TimingParams] = None,
+        *,
+        opt: OptimizationConfig = FULL,
+        refresh_enabled: bool = True,
+        gpu_model: Optional[GpuModel] = None,
+    ):
+        self.config = config if config is not None else hbm2e_like_config()
+        self.timing = timing if timing is not None else hbm2e_like_timing()
+        self.opt = opt
+        self.refresh_enabled = refresh_enabled
+        self.analytical = AnalyticalModel(
+            self.config, self.timing, aggressive_tfaw=opt.aggressive_tfaw
+        )
+        self.gpu_model = (
+            gpu_model
+            if gpu_model is not None
+            else titan_v_like(self.config, self.timing)
+        )
+        self.scale = 1.0
+        self.calibration: Optional[CalibrationReport] = None
+        self._measured: Dict[Tuple[str, int, int], float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _check_backend(self, backend: str) -> None:
+        if backend not in BACKEND_CHOICES:
+            raise ConfigurationError(
+                f"unknown hybrid backend {backend!r}; choose from "
+                f"{BACKEND_CHOICES}"
+            )
+
+    def predict(self, backend: str, m: int, n: int, batch: int = 1) -> float:
+        """Closed-form predicted cycles for a (possibly batched) stage."""
+        self._check_backend(backend)
+        if batch < 1:
+            raise ConfigurationError("batch must be at least 1")
+        if backend == "gpu":
+            return self.gpu_model.gemv_cycles(m, n, batch=batch)
+        per_run = self.scale * self.analytical.predicted_layer_cycles(
+            m, n, channels=self.config.num_channels
+        )
+        return batch * per_run
+
+    def measure(self, backend: str, m: int, n: int, batch: int = 1) -> float:
+        """Actual backend cycles for a stage, cached per layout.
+
+        Newton stages run ``batch`` back-to-back GEMVs, so the cached
+        per-layout service time simply scales; GPU stages are the
+        roofline's own closed form (measuring equals predicting).
+        """
+        self._check_backend(backend)
+        if batch < 1:
+            raise ConfigurationError("batch must be at least 1")
+        if backend == "gpu":
+            return self.gpu_model.gemv_cycles(m, n, batch=batch)
+        key = (backend, m, n)
+        if key not in self._measured:
+            from repro.core.device import NewtonDevice
+
+            device = NewtonDevice(
+                self.config,
+                self.timing,
+                self.opt,
+                functional=False,
+                refresh_enabled=self.refresh_enabled,
+            )
+            handle = device.load_matrix(m=m, n=n)
+            self._measured[key] = float(device.gemv(handle).cycles)
+        return batch * self._measured[key]
+
+    def estimate(
+        self,
+        backend: str,
+        m: int,
+        n: int,
+        batch: int = 1,
+        *,
+        prefer_measured: bool = False,
+    ) -> float:
+        """The planning cost: measured when asked (and cheap), else
+        predicted."""
+        if prefer_measured:
+            return self.measure(backend, m, n, batch=batch)
+        return self.predict(backend, m, n, batch=batch)
+
+    @property
+    def measured_layouts(self) -> int:
+        """Distinct Newton layouts simulated so far (the cache size)."""
+        return len(self._measured)
+
+    # ------------------------------------------------------------------
+
+    def calibrate(
+        self, layers: Optional[Sequence] = None
+    ) -> CalibrationReport:
+        """Fit the Newton scale against measured reference runs.
+
+        ``layers`` is a sequence of objects with ``name``/``m``/``n``
+        (default: the Table II catalog). The scale is the geometric
+        mean of the per-layer measured/analytical ratios — the
+        least-squares fit of ``log measured ≈ log scale + log
+        analytical``, i.e. the scale minimizing *relative* error, which
+        is the budget the per-layer residuals are judged against. The
+        fit absorbs the steady-state effects the closed form omits
+        (READRES tails, refresh interference) while leaving the
+        residuals honest — they are what ``within_budget`` checks.
+        """
+        if layers is None:
+            from repro.workloads.catalog import TABLE_II_LAYERS
+
+            layers = TABLE_II_LAYERS
+        if not layers:
+            raise ConfigurationError("calibration needs at least one layer")
+        pairs = []
+        for layer in layers:
+            measured = self.measure("newton", layer.m, layer.n)
+            raw = self.analytical.predicted_layer_cycles(
+                layer.m, layer.n, channels=self.config.num_channels
+            )
+            pairs.append((layer, measured, raw))
+        self.scale = math.exp(
+            sum(math.log(m / p) for _, m, p in pairs) / len(pairs)
+        )
+        report = CalibrationReport(scale=self.scale)
+        for layer, measured, raw in pairs:
+            report.rows.append(
+                CalibrationRow(
+                    name=layer.name,
+                    m=layer.m,
+                    n=layer.n,
+                    measured_cycles=measured,
+                    predicted_cycles=self.scale * raw,
+                )
+            )
+        self.calibration = report
+        return report
+
+
+# ----------------------------------------------------------------------
+# placement planning
+
+@dataclass(frozen=True)
+class StagePlacement:
+    """One stage's planned assignment and its cost breakdown."""
+
+    stage: StageSpec
+    backend: str
+    compute_cycles: float
+    """Planning-cost compute time on the placed backend."""
+    exposed_transfer_cycles: float
+    """Boundary cost exposed beyond the previous stage's compute (zero
+    when the stage stays on the previous stage's backend)."""
+    predicted_cycles: float
+    """The closed-form prediction for the placed backend."""
+    measured_cycles: float
+    """The measured (or roofline-exact) cycles for the placed backend."""
+
+    @property
+    def crossed(self) -> bool:
+        return self.exposed_transfer_cycles > 0.0
+
+    @property
+    def prediction_error_pct(self) -> float:
+        return abs(self.predicted_cycles - self.measured_cycles) / (
+            self.measured_cycles or 1.0
+        ) * 100.0
+
+
+@dataclass
+class PlacementPlan:
+    """A full pipeline placement and its end-to-end accounting."""
+
+    policy: str
+    placements: List[StagePlacement] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end pipeline cycles: compute plus exposed boundaries."""
+        return sum(
+            p.compute_cycles + p.exposed_transfer_cycles
+            for p in self.placements
+        )
+
+    @property
+    def serial_transfer_cycles(self) -> float:
+        """What the boundaries would cost without transfer/compute
+        overlap (the double-buffered pipeline's counterfactual)."""
+        return sum(p.exposed_transfer_cycles for p in self.placements)
+
+    @property
+    def crossings(self) -> int:
+        return sum(1 for p in self.placements if p.crossed)
+
+    @property
+    def backends_used(self) -> Tuple[str, ...]:
+        return tuple(sorted({p.backend for p in self.placements}))
+
+    @property
+    def max_prediction_error_pct(self) -> float:
+        return max(
+            (p.prediction_error_pct for p in self.placements), default=0.0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "total_cycles": round(self.total_cycles, 1),
+            "crossings": self.crossings,
+            "backends": list(self.backends_used),
+            "max_prediction_error_pct": round(
+                self.max_prediction_error_pct, 3
+            ),
+            "stages": [
+                {
+                    "name": p.stage.name,
+                    "m": p.stage.m,
+                    "n": p.stage.n,
+                    "batch": p.stage.batch,
+                    "backend": p.backend,
+                    "compute_cycles": round(p.compute_cycles, 1),
+                    "exposed_transfer_cycles": round(
+                        p.exposed_transfer_cycles, 1
+                    ),
+                    "predicted_cycles": round(p.predicted_cycles, 1),
+                    "measured_cycles": round(p.measured_cycles, 1),
+                    "prediction_error_pct": round(
+                        p.prediction_error_pct, 3
+                    ),
+                }
+                for p in self.placements
+            ],
+        }
+
+
+def _boundary_cost(
+    transfer: TransferModel,
+    prev_backend: Optional[str],
+    backend: str,
+    prev_compute: float,
+    stage: StageSpec,
+) -> float:
+    """Exposed cycles of entering ``stage`` on ``backend``.
+
+    Staying on the previous backend is free (activations are already
+    resident — the fused-run story). A crossing pays the double-buffered
+    handoff's drain: the activation transfer overlaps the previous
+    stage's compute chunk by chunk, and only the completion beyond that
+    compute is exposed. The pipeline's first stage is fed by the host
+    either way and pays nothing extra.
+    """
+    if prev_backend is None or prev_backend == backend:
+        return 0.0
+    cycles = transfer.vector_cycles(stage.input_elements)
+    slices = transfer.handoff_slices(stage.input_elements)
+    return (
+        overlapped_handoff_cycles(prev_compute, cycles, slices) - prev_compute
+    )
+
+
+def plan_placement(
+    stages: Sequence[StageSpec],
+    cost: CostModel,
+    transfer: TransferModel,
+    *,
+    policy: str = "auto",
+    use_measured: bool = True,
+) -> PlacementPlan:
+    """Place every stage of a pipeline on its fastest backend.
+
+    ``auto`` runs a dynamic program over (stage, backend) states whose
+    transition cost is the stage's compute plus the exposed boundary
+    handoff, so alternating placements pay their crossings honestly.
+    ``all-newton`` / ``all-gpu`` force a fixed assignment through the
+    same evaluator. With ``use_measured=True`` (the default) planning
+    costs are the measured per-layout cycles, making the auto plan
+    optimal over the fixed plans *as executed*, not just as predicted;
+    predictions are still recorded per stage so the plan carries its own
+    predicted-vs-actual error report.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise ConfigurationError(
+            f"unknown placement policy {policy!r}; choose from "
+            f"{PLACEMENT_POLICIES}"
+        )
+    if not stages:
+        raise ConfigurationError("a placement plan needs at least one stage")
+
+    def stage_cost(stage: StageSpec, backend: str) -> float:
+        return cost.estimate(
+            backend,
+            stage.m,
+            stage.n,
+            batch=stage.batch,
+            prefer_measured=use_measured,
+        )
+
+    if policy != "auto":
+        forced = "newton" if policy == "all-newton" else "gpu"
+        assignment = [forced] * len(stages)
+    else:
+        # dp[b] = (best total cost ending on backend b, choice trail)
+        dp: Dict[str, Tuple[float, List[str]]] = {}
+        prev_compute: Dict[str, float] = {}
+        for i, stage in enumerate(stages):
+            next_dp: Dict[str, Tuple[float, List[str]]] = {}
+            next_compute: Dict[str, float] = {}
+            for backend in BACKEND_CHOICES:
+                compute = stage_cost(stage, backend)
+                next_compute[backend] = compute
+                if i == 0:
+                    next_dp[backend] = (compute, [backend])
+                    continue
+                best: Optional[Tuple[float, List[str]]] = None
+                for prev_backend, (total, trail) in dp.items():
+                    boundary = _boundary_cost(
+                        transfer,
+                        prev_backend,
+                        backend,
+                        prev_compute[prev_backend],
+                        stage,
+                    )
+                    candidate = total + boundary + compute
+                    if best is None or candidate < best[0]:
+                        best = (candidate, trail + [backend])
+                assert best is not None
+                next_dp[backend] = best
+            dp = next_dp
+            prev_compute = next_compute
+        assignment = min(dp.values(), key=lambda entry: entry[0])[1]
+
+    plan = PlacementPlan(policy=policy)
+    prev_backend: Optional[str] = None
+    prev_cycles = 0.0
+    for stage, backend in zip(stages, assignment):
+        compute = stage_cost(stage, backend)
+        boundary = _boundary_cost(
+            transfer, prev_backend, backend, prev_cycles, stage
+        )
+        plan.placements.append(
+            StagePlacement(
+                stage=stage,
+                backend=backend,
+                compute_cycles=compute,
+                exposed_transfer_cycles=boundary,
+                predicted_cycles=cost.predict(
+                    backend, stage.m, stage.n, batch=stage.batch
+                ),
+                measured_cycles=cost.measure(
+                    backend, stage.m, stage.n, batch=stage.batch
+                ),
+            )
+        )
+        prev_backend = backend
+        prev_cycles = compute
+    return plan
+
+
+def placement_metrics(
+    plans: Dict[str, PlacementPlan],
+    calibration: Optional[CalibrationReport] = None,
+) -> dict:
+    """A ``newton-telemetry/v1`` record for a set of placement plans."""
+    record: dict = {
+        "schema": SCHEMA,
+        "kind": "hetero-placement",
+        "plans": {name: plan.to_dict() for name, plan in plans.items()},
+    }
+    if calibration is not None:
+        record["calibration"] = calibration.to_dict()
+    auto = plans.get("auto")
+    fixed = [
+        plan.total_cycles
+        for name, plan in plans.items()
+        if name in ("all-newton", "all-gpu")
+    ]
+    if auto is not None and fixed:
+        record["auto_not_worse"] = auto.total_cycles <= min(fixed) + 1e-9
+        record["auto_speedup_vs_best_fixed"] = round(
+            min(fixed) / auto.total_cycles, 4
+        )
+    return record

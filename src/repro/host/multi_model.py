@@ -80,12 +80,22 @@ class MultiModelScheduler:
         self.partitions: List[ModelPartition] = []
         self._next_channel = 0
 
-    def place(self, spec: ModelSpec, channels: int) -> ModelPartition:
+    def place(
+        self,
+        spec: ModelSpec,
+        channels: int,
+        *,
+        backend: Optional[str] = None,
+        **backend_kwargs,
+    ) -> ModelPartition:
         """Bind a model to the next ``channels`` free channels.
 
         The partition's execution backend comes from the registry
-        (``backend=`` at construction), configured for exactly the
-        partition's channel slice.
+        (``backend=`` at construction, overridable per partition —
+        heterogeneous fleets mix cycle-accurate partitions with model
+        or hybrid ones), configured for exactly the partition's channel
+        slice. Extra keyword arguments pass to the backend factory
+        (e.g. ``placement=`` for a ``hetero`` partition).
 
         Raises:
             ConfigurationError: if the device has too few channels left.
@@ -104,21 +114,22 @@ class MultiModelScheduler:
         self._next_channel += channels
         # Channels are independent: a partition is exactly a smaller device.
         sub_config = self.config.with_overrides(num_channels=channels)
-        backend = make_backend(
-            self.backend_name,
+        engine = make_backend(
+            backend if backend is not None else self.backend_name,
             config=sub_config,
             timing=self.timing,
             opt=self.opt,
             functional=self.functional,
+            **backend_kwargs,
         )
         gpu = titan_v_like(sub_config, self.timing)
-        runtime = NewtonRuntime(backend, gpu)
+        runtime = NewtonRuntime(engine, gpu)
         partition = ModelPartition(
             spec=spec,
             channels=channel_ids,
             runtime=runtime,
             loaded=runtime.load_model(spec),
-            backend=backend,
+            backend=engine,
         )
         self.partitions.append(partition)
         return partition

@@ -31,7 +31,9 @@ def _config(channels=4, banks=8):
 
 class TestRegistry:
     def test_built_ins_registered(self):
-        assert available_backends() == ("analytical", "gpu", "ideal", "newton")
+        assert available_backends() == (
+            "analytical", "gpu", "hetero", "ideal", "newton"
+        )
 
     def test_unknown_name_lists_choices(self):
         with pytest.raises(ConfigurationError, match="analytical"):
@@ -172,7 +174,7 @@ class TestModelBackends:
 class TestBatchValidation:
     """Every adapter rejects malformed batches identically (satellite 2)."""
 
-    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu"])
+    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu", "hetero"])
     def test_width_mismatch_rejected(self, name):
         backend = make_backend(
             name, config=_config(), timing=hbm2e_like_timing(), functional=False
@@ -181,7 +183,7 @@ class TestBatchValidation:
         with pytest.raises(LayoutError):
             backend.gemv_batch(handle, np.ones((2, 31), dtype=np.float32))
 
-    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu"])
+    @pytest.mark.parametrize("name", ["newton", "analytical", "ideal", "gpu", "hetero"])
     def test_3d_batch_rejected(self, name):
         backend = make_backend(
             name, config=_config(), timing=hbm2e_like_timing(), functional=False

@@ -1,0 +1,112 @@
+"""Cross-backend cost-surface consistency (ISSUE 9 satellite).
+
+Every registered backend, whatever it models, must present a sane cost
+surface to the layers above it: ``service_cycles`` monotonic in each of
+(m, n) — more rows or longer rows never get *cheaper* — and a batched
+dispatch never cheaper than a single GEMV. The heterogeneous placement
+layer leans on both (a cost model that dips with size would make the
+placement DP prefer padding), so they are pinned for every backend the
+registry can hand out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, make_backend
+from repro.dram.config import hbm2e_like_config
+from repro.dram.timing import hbm2e_like_timing
+
+SHAPE_GRID = (32, 64, 128, 256)
+"""Each dimension sweeps this grid while the other holds."""
+
+BASE_M, BASE_N = 64, 64
+
+
+def _backend(name: str):
+    # Refresh is disabled so the cycle-accurate backends are phase-free:
+    # monotonicity must hold exactly, not just on average.
+    return make_backend(
+        name,
+        config=hbm2e_like_config(num_channels=2, banks_per_channel=8),
+        timing=hbm2e_like_timing(),
+        functional=False,
+        refresh_enabled=False,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(available_backends()))
+class TestServiceMonotonicity:
+    def test_monotonic_in_rows(self, name):
+        cycles = []
+        for m in SHAPE_GRID:
+            backend = _backend(name)
+            handle = backend.load_matrix(m=m, n=BASE_N)
+            cycles.append(backend.service_cycles(handle))
+            backend.close()
+        assert cycles == sorted(cycles), (
+            f"{name}: service_cycles not monotonic in m: {cycles}"
+        )
+
+    def test_monotonic_in_cols(self, name):
+        cycles = []
+        for n in SHAPE_GRID:
+            backend = _backend(name)
+            handle = backend.load_matrix(m=BASE_M, n=n)
+            cycles.append(backend.service_cycles(handle))
+            backend.close()
+        assert cycles == sorted(cycles), (
+            f"{name}: service_cycles not monotonic in n: {cycles}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(available_backends()))
+class TestBatchNotCheaperThanSingle:
+    @pytest.mark.parametrize("batch", [1, 2, 8])
+    def test_batch_total_at_least_single(self, name, batch):
+        """Total batch-dispatch cycles >= one GEMV's cycles.
+
+        Backends with batch reuse (the GPU roofline) may beat k
+        independent runs, but a k-way dispatch can never undercut a
+        single request — the queueing layer sums per-run cycles for
+        replica occupancy and relies on this floor.
+        """
+        backend = _backend(name)
+        handle = backend.load_matrix(m=BASE_M, n=BASE_N)
+        single = backend.gemv(handle).cycles
+        fresh = _backend(name)
+        fresh_handle = fresh.load_matrix(m=BASE_M, n=BASE_N)
+        runs = fresh.gemv_batch(fresh_handle, batch=batch)
+        total = sum(run.cycles for run in runs)
+        assert len(runs) == batch
+        assert total >= single - 1e-9, (
+            f"{name}: batch of {batch} totals {total} cycles, cheaper "
+            f"than one GEMV at {single}"
+        )
+        backend.close()
+        fresh.close()
+
+    def test_functional_batch_matches_loop(self, name):
+        """Functional outputs from a batched dispatch equal per-vector
+        runs — batching changes timing, never data."""
+        config = hbm2e_like_config(num_channels=2, banks_per_channel=8)
+        backend = make_backend(
+            name, config=config, timing=hbm2e_like_timing(), functional=True
+        )
+        rng = np.random.default_rng(11)
+        matrix = rng.standard_normal((16, 32)).astype(np.float32)
+        vectors = rng.standard_normal((3, 32)).astype(np.float32)
+        handle = backend.load_matrix(matrix)
+        batched = [run.output for run in backend.gemv_batch(handle, vectors)]
+        fresh = make_backend(
+            name, config=config, timing=hbm2e_like_timing(), functional=True
+        )
+        fresh_handle = fresh.load_matrix(matrix)
+        looped = [
+            fresh.gemv(fresh_handle, vectors[i]).output for i in range(3)
+        ]
+        for a, b in zip(batched, looped):
+            assert np.array_equal(a, b)
+        backend.close()
+        fresh.close()

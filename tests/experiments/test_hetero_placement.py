@@ -1,0 +1,95 @@
+"""The hetero-placement experiment and its CLI surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import hetero_placement
+from repro.experiments.common import ExperimentContext, set_context
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    # One real run shared across assertions (calibration measures all of
+    # Table II; the placement DP itself is closed-form fast).
+    return hetero_placement.run()
+
+
+class TestHeadline:
+    def test_auto_at_most_best_fixed(self, result):
+        """The acceptance criterion: auto <= min(all-newton, all-gpu)."""
+        assert result.auto_not_worse
+        assert result.speedup_vs_best_fixed >= 1.0
+
+    def test_auto_actually_uses_both_sides(self, result):
+        assert result.plans["auto"].backends_used == ("gpu", "newton")
+        assert result.plans["auto"].crossings >= 1
+
+    def test_calibration_within_budget(self, result):
+        assert result.calibration.within_budget
+        assert len(result.calibration.rows) == 8
+
+    def test_bit_identity_vs_all_newton(self, result):
+        assert result.bit_identical
+
+    def test_render_carries_the_numbers(self, result):
+        out = result.render()
+        assert "Auto placement on the mixed decode+batch pipeline" in out
+        assert "End-to-end cycles per placement policy" in out
+        assert "Cost-model calibration" in out
+        assert "bit-identical to all-newton: True" in out
+
+    def test_metrics_export(self, result):
+        record = result.to_metrics()
+        assert record["kind"] == "hetero-placement"
+        assert record["auto_not_worse"] is True
+        assert record["bit_identical_vs_all_newton"] is True
+        assert record["calibration"]["within_budget"] is True
+        json.dumps(record)  # must be JSON-serializable as exported
+
+
+class TestContextKnobs:
+    def teardown_method(self):
+        set_context(None)
+
+    def test_gpu_overrides_change_the_plan(self):
+        """A pathological launch overhead pushes everything to Newton."""
+        set_context(
+            ExperimentContext(
+                gpu_overrides=(("kernel_overhead_cycles", 1e12),)
+            )
+        )
+        result = hetero_placement.run()
+        assert result.plans["auto"].backends_used == ("newton",)
+
+    def test_context_validates_placement_and_overrides(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentContext(placement="fastest")
+        with pytest.raises(ConfigurationError):
+            ExperimentContext(gpu_overrides=(("warp_size", 32.0),))
+
+
+class TestCli:
+    def test_placement_and_gpu_flags_parse(self, capsys):
+        from repro.experiments.runner import main
+
+        assert (
+            main(
+                [
+                    "hetero-placement",
+                    "--backend",
+                    "hetero",
+                    "--placement",
+                    "auto",
+                    "--gpu-kernel-overhead",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hetero-placement" in out
+        assert "auto beats best fixed placement" in out

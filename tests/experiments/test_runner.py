@@ -28,6 +28,7 @@ class TestRunner:
             "serving-gateway",
             "chunk-width",
             "fused-layers",
+            "hetero-placement",
         }
         assert set(EXPERIMENTS) == expected
 

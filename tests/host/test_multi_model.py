@@ -117,3 +117,50 @@ class TestBackendFactoryPath:
         sched = MultiModelScheduler(CFG, backend="nope")
         with pytest.raises(ConfigurationError):
             sched.place(small_model(), channels=2)
+
+
+class TestHeterogeneousPartitions:
+    """run_all accounting when partitions land on different backends.
+
+    The hetero path makes mixed-backend placements load-bearing: a
+    cycle-accurate partition (thousands of cycles) can share a device
+    with a model-backend partition whose closed form sits on a very
+    different cycle scale. The wall/serial identities must hold exactly
+    across that scale gap.
+    """
+
+    def test_per_partition_backend_override(self):
+        sched = MultiModelScheduler(CFG)
+        p1 = sched.place(small_model("sim"), channels=2)
+        p2 = sched.place(small_model("roofline"), channels=2, backend="gpu")
+        p3 = sched.place(small_model("hybrid"), channels=2, backend="hetero",
+                         placement="all-gpu")
+        assert p1.backend.name == "newton"
+        assert p2.backend.name == "gpu"
+        assert p3.backend.name == "hetero"
+        assert p3.backend.placement == "all-gpu"
+
+    def test_wall_and_serial_across_cycle_scales(self):
+        sched = MultiModelScheduler(CFG)
+        sched.place(small_model("sim", m=64, n=512), channels=2)
+        sched.place(
+            small_model("roofline", m=64, n=512), channels=2, backend="gpu"
+        )
+        sched.place(
+            small_model("bound", m=64, n=512), channels=2, backend="ideal"
+        )
+        result = sched.run_all()
+        totals = [run.total_cycles for run in result.runs.values()]
+        assert len(totals) == 3
+        # The backends genuinely sit on different cycle scales; the
+        # identities must hold exactly, not approximately.
+        assert max(totals) / min(totals) > 2
+        assert result.wall_cycles == max(totals)
+        assert result.serial_cycles == sum(totals)
+
+    def test_hetero_partition_runs_and_reports(self):
+        sched = MultiModelScheduler(CFG)
+        sched.place(small_model("hybrid"), channels=4, backend="hetero")
+        result = sched.run_all()
+        assert result.runs["hybrid"].total_cycles > 0
+        assert result.wall_cycles == result.serial_cycles
