@@ -656,6 +656,41 @@ def measure_serving(quick: bool = False) -> dict:
     }
 
 
+def measure_dse(quick: bool = False) -> dict:
+    """The design-space explorer: sweep throughput plus its invariants.
+
+    Runs the 12-point smoke space in-process and records points/s, the
+    per-workload front sizes, and the schedule-cache sharing counters
+    (``--check-dse`` gates on the schema, non-empty fronts, both rival
+    families being present, and cross-point cache hits actually
+    occurring). Quick and full modes measure the same space — the sweep
+    is already CI-sized; the full canonical sweep lives in the committed
+    ``reports/design-space-canonical.json``.
+    """
+    del quick  # one size: the smoke sweep is CI-cheap by construction
+    from repro.explore import DSE_SCHEMA, explore, smoke_space
+
+    space = smoke_space()
+    t0 = time.perf_counter()
+    outcome = explore(space, jobs=1, seed=0)
+    wall = time.perf_counter() - t0
+    report = outcome.report
+    return {
+        "space": space.name,
+        "schema": report["schema"],
+        "schema_ok": report["schema"] == DSE_SCHEMA,
+        "valid_points": report["valid_points"],
+        "enumerated_points": report["enumerated_points"],
+        "families": report["families_evaluated"],
+        "front_sizes": {
+            name: len(ids) for name, ids in report["pareto"].items()
+        },
+        "wall_s": round(wall, 6),
+        "points_per_s": round(report["valid_points"] / wall, 1),
+        "cache": dict(outcome.cache_stats),
+    }
+
+
 def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> dict:
     """The full benchmark record (both modes plus derived speedups).
 
@@ -697,6 +732,7 @@ def measure(quick: bool = False, backend: str = "newton", devices: int = 1) -> d
         "fused": measure_fused(quick),
         "decode": measure_decode(quick),
         "hetero": measure_hetero(quick),
+        "dse": measure_dse(quick),
     }
 
 
@@ -869,6 +905,30 @@ def check_hetero(record: dict) -> "tuple[bool, str]":
     )
 
 
+def check_dse(record: dict) -> "tuple[bool, str]":
+    """Gate the design-space sweep: schema, fronts, rivals, cache reuse."""
+    dse = record.get("dse")
+    if not dse:
+        return True, "no dse section (backend record)"
+    if not dse["schema_ok"]:
+        return False, f"unexpected DSE report schema {dse['schema']!r}"
+    if dse["valid_points"] < 1:
+        return False, "the smoke sweep produced no valid points"
+    empty = [name for name, size in dse["front_sizes"].items() if size < 1]
+    if empty:
+        return False, f"empty Pareto front(s): {', '.join(empty)}"
+    missing = {"output_stationary", "bankgroup_ext"} - set(dse["families"])
+    if missing:
+        return False, f"rival families missing from the sweep: {missing}"
+    if dse["cache"].get("hits", 0) < 1:
+        return False, "no cross-point schedule-cache hits in the sweep"
+    return True, (
+        f"{dse['valid_points']} points at {dse['points_per_s']}/s, "
+        f"{dse['cache']['hits']} cache hits across "
+        f"{dse['cache']['arches']} architectures"
+    )
+
+
 def export_metrics(record: dict, path: Path) -> None:
     """Registry-shaped telemetry JSON: bench gauges + a probe breakdown."""
     from repro.telemetry import MetricsRegistry, validate_metrics
@@ -919,6 +979,16 @@ def export_metrics(record: dict, path: Path) -> None:
             registry.gauge("bench.hetero_calibration_max_error_pct").set(
                 record["hetero"]["calibration_max_error_pct"]
             )
+        if "dse" in record:
+            registry.gauge("bench.dse_points_per_s").set(
+                record["dse"]["points_per_s"]
+            )
+            registry.gauge("bench.dse_cache_hits").set(
+                record["dse"]["cache"]["hits"]
+            )
+            registry.gauge("bench.dse_cache_replayed_commands").set(
+                record["dse"]["cache"]["replayed_commands"]
+            )
     else:
         registry.gauge("bench.steady_wall_s").set(record["steady_wall_s"])
     engine, layout = _make_engine(True, record["m"], record["n"])
@@ -950,6 +1020,8 @@ def test_sim_throughput(once):
     assert fused_ok, reason
     hetero_ok, reason = check_hetero(record)
     assert hetero_ok, reason
+    dse_ok, reason = check_dse(record)
+    assert dse_ok, reason
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -997,6 +1069,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="exit 1 when heterogeneous auto placement loses to the best "
         "fixed policy, its cost-model calibration exceeds the error "
         "budget, or hetero outputs lose bit-identity vs all-newton",
+    )
+    parser.add_argument(
+        "--check-dse",
+        action="store_true",
+        help="exit 1 when the design-space smoke sweep breaks schema, "
+        "produces an empty Pareto front, drops a rival command family, "
+        "or stops sharing the schedule cache across points",
     )
     parser.add_argument(
         "--metrics",
@@ -1074,6 +1153,13 @@ def main(argv: "list[str] | None" = None) -> int:
             failed = True
         else:
             print(f"hetero check OK: {reason}")
+    if args.check_dse:
+        dse_ok, reason = check_dse(record)
+        if not dse_ok:
+            print(f"FAIL: design-space sweep check: {reason}")
+            failed = True
+        else:
+            print(f"dse check OK: {reason}")
     return 1 if failed else 0
 
 

@@ -154,6 +154,14 @@ class CommandStreamGenerator:
             raise ConfigurationError("interleaved_reuse requires an InterleavedLayout")
         if not opt.interleaved_reuse and not isinstance(layout, NoReuseLayout):
             raise ConfigurationError("the no-reuse traversal requires a NoReuseLayout")
+        if (
+            config.command_family == "output_stationary"
+            and not opt.interleaved_reuse
+        ):
+            raise ConfigurationError(
+                "the output_stationary family is a tile-major traversal of "
+                "the interleaved layout; it requires interleaved_reuse"
+            )
         self.config = config
         self.timing = timing
         self.opt = opt
@@ -334,7 +342,9 @@ class CommandStreamGenerator:
         encoded, numpy-backed); everything else as plain :class:`Step`.
         ``gemv_steps()`` is always exactly this stream with every run
         expanded in place."""
-        if self.opt.interleaved_reuse:
+        if self.config.command_family == "output_stationary":
+            yield from self._output_stationary_items()
+        elif self.opt.interleaved_reuse:
             yield from self._interleaved_items()
         else:
             yield from self._no_reuse_items()
@@ -356,6 +366,34 @@ class CommandStreamGenerator:
                     latch=0, chunk=chunk, matrix_rows=layout.tile_matrix_rows(tile)
                 )
                 yield from self._readres_steps(emit)
+
+    def _output_stationary_items(self) -> "Iterator[StreamItem]":
+        """MAC-DO-style output-stationary traversal (tile-major).
+
+        Partials for one tile accumulate in result latch 0 across every
+        input chunk — exactly the in-latch accumulation the no-reuse
+        traversal performs per matrix row — and drain with a *single*
+        READRES per tile (``chunk=None``: the latch holds the whole row
+        sum, so the in-DRAM LUT applies at readout). The price is the
+        dual of Newton's: the input chunk is re-streamed through the
+        global buffer once per tile instead of once per layer.
+        """
+        layout = self.layout
+        assert isinstance(layout, InterleavedLayout)
+        tile_est = self.tile_duration_estimate()
+        for tile in range(layout.tiles):
+            for chunk in range(layout.num_chunks):
+                yield from self._gwrite_items(chunk)
+                dram_row = layout.dram_row(chunk, tile)
+                yield Step(barrier_cycles=tile_est)
+                yield from self._activation_steps(dram_row)
+                yield from self._compute_items(
+                    chunk, dram_row, latch=0, cols=layout.cols_in_chunk(chunk)
+                )
+            emit = EmitOp(
+                latch=0, chunk=None, matrix_rows=layout.tile_matrix_rows(tile)
+            )
+            yield from self._readres_steps(emit)
 
     def _no_reuse_items(self) -> "Iterator[StreamItem]":
         layout = self.layout

@@ -110,6 +110,7 @@ class NewtonChannelEngine:
         fast: bool = True,
         telemetry: bool = True,
         datapath: Optional[str] = None,
+        schedule_cache: Optional[ScheduleCache] = None,
     ):
         self.config = config
         self.timing = timing
@@ -142,7 +143,15 @@ class NewtonChannelEngine:
         """The functional-datapath tier interpreting this engine's
         payload steps (see :mod:`repro.core.datapath`); selected by the
         ``datapath`` argument or ``NEWTON_DATAPATH``."""
-        self.schedule_cache = ScheduleCache()
+        self.schedule_cache = (
+            schedule_cache if schedule_cache is not None else ScheduleCache()
+        )
+        """Replayable per-segment timing deltas. Injectable so sweeps can
+        share one cache across engines with identical architecture
+        (config + timing + opt): segment keys are command-content
+        interned and signatures are relative, so tiles recorded by one
+        engine replay in another — the design-space explorer's
+        cross-point reuse."""
         self._stream_cache = StreamCache()
         self.burst_runs = 0
         """Homogeneous runs issued through the cold-path burst kernel."""
@@ -272,7 +281,16 @@ class NewtonChannelEngine:
                 bypasses.
         """
         controller = self.channel.controller
-        fused = fused_input and self.verifier is None
+        # Fused lowering elides GWRITEs from the timed stream — sound for
+        # Newton's chunk-major traversal where GWRITE is a pure host
+        # round trip, but the output_stationary family *re-streams* the
+        # input per tile (its GWRITEs are the dataflow's cost), so only
+        # the newton family may fuse.
+        fused = (
+            fused_input
+            and self.verifier is None
+            and self.config.command_family == "newton"
+        )
         stream = self._segments_for(layout, fused=fused)
         if fused:
             self.fused_runs += 1

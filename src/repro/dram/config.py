@@ -11,6 +11,30 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
+COMMAND_FAMILY_NEWTON = "newton"
+"""The paper's GWRITE/G_ACT/COMP/READRES protocol (the default)."""
+
+COMMAND_FAMILY_OUTPUT_STATIONARY = "output_stationary"
+"""MAC-DO-style output-stationary dataflow: partials accumulate in place
+at the sense-amp result latch across every input chunk and drain with a
+single READRES per tile — no per-(chunk, tile) result reads, at the cost
+of re-streaming the input chunk once per tile."""
+
+COMMAND_FAMILY_BANKGROUP_EXT = "bankgroup_ext"
+"""GradPIM-style bank-group command extension: activation commands are
+issued per bank group, so the four-activation tFAW window is tracked per
+group instead of per channel (tRRD stays channel-global)."""
+
+COMMAND_FAMILIES = (
+    COMMAND_FAMILY_NEWTON,
+    COMMAND_FAMILY_OUTPUT_STATIONARY,
+    COMMAND_FAMILY_BANKGROUP_EXT,
+)
+"""Every in-DRAM command family the simulator models. The family rides
+on :class:`DRAMConfig` so it reaches every consumer that already takes
+the config — controller, command generation, invariant checker, cycle
+oracle — without new plumbing."""
+
 
 @dataclass(frozen=True)
 class DRAMConfig:
@@ -41,6 +65,11 @@ class DRAMConfig:
     bank_group_size: int = 4
     """Banks activated by one G_ACT command (the four-bank cluster)."""
 
+    command_family: str = COMMAND_FAMILY_NEWTON
+    """The in-DRAM command protocol this device speaks (one of
+    :data:`COMMAND_FAMILIES`). Geometry is orthogonal: any family runs
+    on any valid geometry."""
+
     def __post_init__(self) -> None:
         for name in (
             "num_channels",
@@ -63,6 +92,11 @@ class DRAMConfig:
                 "Newton rate-matches the multipliers to the column access: "
                 f"mults_per_bank ({self.mults_per_bank}) must equal elements "
                 f"per column access ({self.elems_per_col})"
+            )
+        if self.command_family not in COMMAND_FAMILIES:
+            raise ConfigurationError(
+                f"unknown command family {self.command_family!r}; "
+                f"available: {list(COMMAND_FAMILIES)}"
             )
 
     @property
@@ -100,7 +134,7 @@ class DRAMConfig:
         """Capacity of one channel in bytes."""
         return self.bank_bytes * self.banks_per_channel
 
-    def with_overrides(self, **kwargs: int) -> "DRAMConfig":
+    def with_overrides(self, **kwargs) -> "DRAMConfig":
         """Return a copy with the given fields replaced (for sweeps)."""
         return replace(self, **kwargs)
 

@@ -144,8 +144,14 @@ class ChannelController:
         ]
         self.cmd_bus = BusTimer(timing.t_cmd, name="command bus")
         self.data_bus = BusTimer(timing.t_ccd, name="data bus")
+        self._window_grouped = config.command_family == "bankgroup_ext"
+        """bankgroup_ext scopes the tFAW window per bank group (GradPIM's
+        per-group command issue); every other family keeps the JEDEC
+        channel-wide window."""
         self.window = ActivationWindow(
-            timing.t_rrd, timing.faw_window(aggressive_tfaw)
+            timing.t_rrd,
+            timing.faw_window(aggressive_tfaw),
+            groups=config.bank_groups if self._window_grouped else 1,
         )
         self.refresh = RefreshScheduler(
             t_refi=timing.t_refi, t_rfc=timing.t_rfc, enabled=refresh_enabled
@@ -280,15 +286,20 @@ class ChannelController:
         handler = self._HANDLERS[command.kind]
         return handler(self, command)
 
+    def _window_scope(self, group: int) -> int:
+        """The activation-window scope a command's activations land in."""
+        return group if self._window_grouped else 0
+
     def _issue_act(self, command: Command) -> IssueRecord:
         bank = self._bank(command.bank)
         if command.row is None:
             raise TimingViolationError("ACT requires a row operand")
+        scope = self._window_scope(bank.index // self.config.bank_group_size)
         at = self._issue_after(
             (ATTR_BANK, bank.ready_for_act),
-            (ATTR_ACT_WINDOW, self.window.earliest(1)),
+            (ATTR_ACT_WINDOW, self.window.earliest(1, scope)),
         )
-        self.window.record(at, 1)
+        self.window.record(at, 1, scope)
         self._activate_banks([bank], command.row, at)
         return self._record(command, at, at + self.timing.t_rcd)
 
@@ -296,11 +307,12 @@ class ChannelController:
         banks = self._group_banks(command.group)
         if command.row is None:
             raise TimingViolationError("G_ACT requires a row operand")
+        scope = self._window_scope(command.group)
         at = self._issue_after(
             (ATTR_BANK, max(b.ready_for_act for b in banks)),
-            (ATTR_ACT_WINDOW, self.window.earliest(len(banks))),
+            (ATTR_ACT_WINDOW, self.window.earliest(len(banks), scope)),
         )
-        self.window.record(at, len(banks))
+        self.window.record(at, len(banks), scope)
         self._activate_banks(banks, command.row, at)
         return self._record(command, at, at + self.timing.t_rcd)
 

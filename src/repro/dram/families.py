@@ -103,13 +103,64 @@ def lpddr4_family(num_channels: int = 8) -> FamilyPreset:
     )
 
 
+def output_stationary_family(num_channels: int = 24) -> FamilyPreset:
+    """MAC-DO-style output-stationary rival on HBM2E-like geometry.
+
+    Same banks/rows/columns as the HBM2E preset but a different command
+    protocol (``command_family="output_stationary"``): partial sums stay
+    in the sense-amp result latch across every input chunk of a tile and
+    drain with one READRES per tile. The trade is one GWRITE re-stream
+    of the input chunk per tile against Newton's per-(chunk, tile)
+    result read — a win when outputs are wide relative to inputs.
+    """
+    return FamilyPreset(
+        name="OUTPUT-STATIONARY",
+        config=DRAMConfig(
+            num_channels=num_channels, command_family="output_stationary"
+        ),
+        timing=TimingParams(),
+        notes="MAC-DO-style: in-latch accumulation, one READRES per tile",
+    )
+
+
+def bankgroup_ext_family(num_channels: int = 24) -> FamilyPreset:
+    """GradPIM-style bank-group command extension on HBM2E-like geometry.
+
+    Identical command stream to Newton, but activation commands are
+    scoped to a bank group (``command_family="bankgroup_ext"``): the
+    four-activation tFAW window is tracked per group, so G_ACTs landing
+    in different groups are spaced only by tRRD. tRRD itself stays
+    channel-global (the shared command path).
+    """
+    return FamilyPreset(
+        name="BANKGROUP-EXT",
+        config=DRAMConfig(
+            num_channels=num_channels, command_family="bankgroup_ext"
+        ),
+        timing=TimingParams(),
+        notes="GradPIM-style: per-bank-group tFAW, tRRD channel-global",
+    )
+
+
 FamilyBuilder = Callable[..., FamilyPreset]
 
 FAMILIES: Dict[str, FamilyBuilder] = {
     builder().name: builder
-    for builder in (hbm2e_family, gddr6_family, ddr4_family, lpddr4_family)
+    for builder in (
+        hbm2e_family,
+        gddr6_family,
+        ddr4_family,
+        lpddr4_family,
+        output_stationary_family,
+        bankgroup_ext_family,
+    )
 }
-"""Every family preset, keyed by name."""
+"""Every family preset, keyed by name — the four DRAM-technology
+presets plus the two rival command-family architectures the design-space
+explorer compares against Newton's protocol."""
+
+RIVAL_FAMILY_NAMES = ("OUTPUT-STATIONARY", "BANKGROUP-EXT")
+"""The rival command-family presets (non-Newton protocols)."""
 
 
 def family_by_name(name: str, **kwargs: int) -> FamilyPreset:

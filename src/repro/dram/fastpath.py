@@ -80,7 +80,9 @@ class ControllerDelta:
     last_column_issue) offsets; every bank ends precharged."""
     cmd_next_free: int
     data_next_free: int
-    window_recent: Tuple[int, ...]
+    window_recent: Tuple[Tuple[int, ...], ...]
+    """Per-scope recent-activation offsets (one scope channel-wide, one
+    per bank group under the ``bankgroup_ext`` family)."""
     window_last_act: Optional[int]
     last_tree_feed: Optional[int]
     command_counts: Tuple[Tuple[CommandKind, int], ...]
@@ -125,12 +127,12 @@ def relative_signature(controller: ChannelController) -> Optional[Signature]:
                 _rel(bank.last_column_issue, now),
             )
         )
-    recent, last_act = controller.window.history()
+    scopes, last_act = controller.window.snapshot()
     return (
         tuple(banks),
         controller.cmd_bus.next_free - now,
         controller.data_bus.next_free - now,
-        tuple(t - now for t in recent),
+        tuple(tuple(t - now for t in recent) for recent in scopes),
         _rel(last_act, now),
         _rel(controller._last_tree_feed, now),
     )
@@ -179,7 +181,7 @@ def capture_delta(
         if charged - attr_before.get(category, 0)
     )
     after_fields = tuple(getattr(controller.stats, name) for name in _STAT_FIELDS)
-    recent, last_act = controller.window.history()
+    scopes, last_act = controller.window.snapshot()
     return ControllerDelta(
         dt_now=controller.now - base,
         max_complete=None if max_complete is None else max_complete - base,
@@ -194,7 +196,9 @@ def capture_delta(
         ),
         cmd_next_free=controller.cmd_bus.next_free - base,
         data_next_free=controller.data_bus.next_free - base,
-        window_recent=tuple(t - base for t in recent),
+        window_recent=tuple(
+            tuple(t - base for t in recent) for recent in scopes
+        ),
         window_last_act=_rel(last_act, base),
         last_tree_feed=_rel(controller._last_tree_feed, base),
         command_counts=count_deltas,
@@ -241,8 +245,10 @@ def apply_delta(
     controller.data_bus.fastforward(
         base + delta.data_next_free, *delta.data_bus_counters
     )
-    controller.window.fastforward(
-        tuple(base + t for t in delta.window_recent),
+    controller.window.fastforward_scopes(
+        tuple(
+            tuple(base + t for t in recent) for recent in delta.window_recent
+        ),
         _abs(delta.window_last_act, base),
         delta.window_activations,
     )

@@ -5,12 +5,18 @@ most four activations per ``t_faw`` cycles per channel. Newton's G_ACT
 issues four activations *in one command*, so one G_ACT consumes an entire
 window and consecutive G_ACTs are separated by max(tRRD, tFAW) — exactly
 the Section III-F model's ``max(tRRD, tFAW) * (n/4 - 1)`` term.
+
+The ``bankgroup_ext`` command family (GradPIM-style) scopes the
+four-activation window to a bank group instead of the whole channel, so
+the tracker optionally keeps one rolling window per group. tRRD remains
+channel-global in every family — the activation *command* still occupies
+the shared command path regardless of which group it targets.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, List, Tuple
 
 from repro.errors import TimingViolationError
 
@@ -20,17 +26,24 @@ class ActivationWindow:
 
     The window size (four) is the JEDEC four-activation window; the
     tracker is agnostic to whether activations arrive singly (ACT) or
-    four-at-a-time (G_ACT).
+    four-at-a-time (G_ACT). With ``groups > 1`` each tFAW window is
+    scoped to one bank group while tRRD stays global; the default single
+    scope reproduces the channel-wide JEDEC behaviour exactly.
     """
 
     WINDOW = 4
 
-    def __init__(self, t_rrd: int, t_faw: int):
+    def __init__(self, t_rrd: int, t_faw: int, groups: int = 1):
         if t_rrd <= 0 or t_faw <= 0:
             raise TimingViolationError("tRRD and tFAW must be positive")
+        if groups < 1:
+            raise TimingViolationError("the window needs at least one scope")
         self.t_rrd = t_rrd
         self.t_faw = t_faw
-        self._recent: Deque[int] = deque(maxlen=self.WINDOW)
+        self.groups = groups
+        self._scopes: List[Deque[int]] = [
+            deque(maxlen=self.WINDOW) for _ in range(groups)
+        ]
         self._last_act = -(10**18)
         self.total_activations = 0
 
@@ -40,7 +53,7 @@ class ActivationWindow:
             raise TimingViolationError("tFAW must be positive")
         self.t_faw = t_faw
 
-    def earliest(self, count: int) -> int:
+    def earliest(self, count: int, group: int = 0) -> int:
         """Earliest cycle at which ``count`` simultaneous activations are legal.
 
         Args:
@@ -48,6 +61,8 @@ class ActivationWindow:
                 group size for G_ACT). Must not exceed the window size —
                 more than four truly simultaneous activations can never
                 satisfy tFAW.
+            group: scope the activations land in (always 0 for the
+                channel-wide default).
         """
         if count < 1:
             raise TimingViolationError("an activation command must activate at least one bank")
@@ -61,32 +76,52 @@ class ActivationWindow:
         # WINDOW-previous activation exists must start >= tFAW after it.
         # The binding historical entry for the batch is the one WINDOW-count
         # from the end of history.
-        history = list(self._recent)
+        history = list(self._scopes[group])
         if len(history) >= self.WINDOW - count + 1:
             anchor = history[-(self.WINDOW - count + 1)]
             bound = max(bound, anchor + self.t_faw)
         return bound
 
     def history(self) -> "tuple[tuple[int, ...], int]":
-        """The recent-activation times and the last activation cycle."""
-        return tuple(self._recent), self._last_act
+        """Scope 0's recent-activation times and the last activation cycle."""
+        return tuple(self._scopes[0]), self._last_act
+
+    def snapshot(self) -> "tuple[tuple[tuple[int, ...], ...], int]":
+        """All scopes' recent-activation times and the last activation cycle."""
+        return tuple(tuple(scope) for scope in self._scopes), self._last_act
 
     def fastforward(
         self, recent: "tuple[int, ...]", last_act: int, activations: int
     ) -> None:
-        """Jump to a known future history (steady-state schedule replay)."""
-        self._recent = deque(recent, maxlen=self.WINDOW)
+        """Jump scope 0 to a known future history (single-scope replay)."""
+        self.fastforward_scopes((recent,) + tuple(
+            tuple(scope) for scope in self._scopes[1:]
+        ), last_act, activations)
+
+    def fastforward_scopes(
+        self,
+        scopes: "Tuple[Tuple[int, ...], ...]",
+        last_act: int,
+        activations: int,
+    ) -> None:
+        """Jump every scope to a known future history (schedule replay)."""
+        if len(scopes) != self.groups:
+            raise TimingViolationError(
+                f"fast-forward carries {len(scopes)} scopes for a window "
+                f"tracking {self.groups}"
+            )
+        self._scopes = [deque(recent, maxlen=self.WINDOW) for recent in scopes]
         self._last_act = last_act
         self.total_activations += activations
 
-    def record(self, at: int, count: int) -> None:
+    def record(self, at: int, count: int, group: int = 0) -> None:
         """Record ``count`` activations issued at cycle ``at``."""
-        if at < self.earliest(count):
+        if at < self.earliest(count, group):
             raise TimingViolationError(
                 f"activation batch at {at} violates tRRD/tFAW; earliest legal "
-                f"cycle is {self.earliest(count)}"
+                f"cycle is {self.earliest(count, group)}"
             )
         for _ in range(count):
-            self._recent.append(at)
+            self._scopes[group].append(at)
         self._last_act = at
         self.total_activations += count

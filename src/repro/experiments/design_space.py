@@ -1,0 +1,23 @@
+"""The design-space exploration study (``newton-repro design-space``).
+
+Runs the :func:`~repro.explore.space.smoke_space` sweep in-process —
+every command family, both bank counts, both shard counts — and renders
+the per-workload (cycles x area x power) Pareto fronts. The full
+committed sweep lives at ``reports/design-space-canonical.json``
+(regenerate with ``newton-repro explore --space canonical --report
+reports/design-space-canonical.json``); this experiment is the quick
+table-of-record view of the same machinery. See
+``docs/design-space-explorer.md``.
+"""
+
+from __future__ import annotations
+
+from repro.explore import ExploreOutcome, explore, smoke_space
+
+CANONICAL_REPORT_PATH = "reports/design-space-canonical.json"
+"""Repo-relative location of the committed canonical sweep report."""
+
+
+def run() -> ExploreOutcome:
+    """Run the smoke sweep (seconds) and return its outcome."""
+    return explore(smoke_space(), jobs=1, seed=0)

@@ -15,6 +15,7 @@ from repro.experiments.common import ExperimentContext, set_context
 from repro.experiments import (
     area_budget,
     chunk_width_study,
+    design_space,
     energy_efficiency,
     family_study,
     fig8_speedup,
@@ -55,6 +56,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "chunk-width": chunk_width_study.run,
     "fused-layers": fused_layer_study.run,
     "hetero-placement": hetero_placement.run,
+    "design-space": design_space.run,
 }
 
 
@@ -202,6 +204,39 @@ def run_verify(count: int, seed: int, report_path: Optional[str]) -> int:
             json.dump(report.to_dict(), f, indent=2)
         print(f"wrote fuzz report to {report_path}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def run_explore(args) -> int:
+    """The ``newton-repro explore`` subcommand: design-space exploration.
+
+    Enumerates the requested sweep space (a named preset or a JSON spec
+    file), prunes invalid points through the config layer's own rules,
+    evaluates every valid point on the fast/burst tier across ``--jobs``
+    worker processes, and prints the per-workload (cycles x area x
+    power) Pareto fronts. ``--report`` writes the ``newton-dse/v1``
+    JSON document, which is byte-identical for a fixed space and seed
+    regardless of the job count. See ``docs/design-space-explorer.md``.
+    """
+    from repro.errors import ConfigurationError
+    from repro.explore import (
+        explore,
+        render_cache_stats,
+        resolve_space,
+        write_report,
+    )
+
+    try:
+        space = resolve_space(args.space)
+    except ConfigurationError as error:
+        print(f"explore: {error}", file=sys.stderr)
+        return 2
+    outcome = explore(space, jobs=args.jobs, seed=args.seed)
+    print(outcome.render())
+    print(render_cache_stats(outcome.cache_stats), file=sys.stderr)
+    if args.report:
+        write_report(outcome, args.report)
+        print(f"wrote DSE report to {args.report}", file=sys.stderr)
+    return 0 if outcome.ok else 1
 
 
 def run_serve(args, context: ExperimentContext) -> int:
@@ -471,9 +506,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help=f"which experiments to run (default: all); one of: "
         f"{', '.join([*EXPERIMENTS, 'all'])} — or a standalone "
         "subcommand: 'verify' (protocol-invariant differential fuzzing; "
-        "see --fuzz/--seed/--report and docs/verification.md) or "
+        "see --fuzz/--seed/--report and docs/verification.md), "
         "'serve' (the live serving gateway; see --trace/--slo and "
-        "docs/serving-gateway.md)",
+        "docs/serving-gateway.md), or 'explore' (design-space "
+        "exploration; see --space/--jobs/--report and "
+        "docs/design-space-explorer.md)",
     )
     parser.add_argument(
         "--out",
@@ -494,15 +531,25 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=0,
         metavar="S",
-        help="(verify only) base seed; every case is reproducible from "
-        "(seed, index) alone (default 0)",
+        help="(verify/explore) base seed: verify derives every fuzz case "
+        "from (seed, index) alone; explore stamps the seed into the DSE "
+        "report (default 0)",
     )
     parser.add_argument(
         "--report",
         metavar="PATH",
         default=None,
-        help="(verify only) write the fuzz report as JSON "
-        "(schema newton-verify/v1; the nightly CI artifact)",
+        help="(verify/explore) write the run's JSON report: "
+        "newton-verify/v1 for verify (the nightly CI artifact), "
+        "newton-dse/v1 for explore (byte-identical across --jobs)",
+    )
+    parser.add_argument(
+        "--space",
+        metavar="SPEC",
+        default="canonical",
+        help="(explore only) the sweep space: a named preset "
+        "('canonical', 'smoke') or a JSON spec file "
+        "(default: canonical; see docs/design-space-explorer.md)",
     )
     parser.add_argument(
         "--trace",
@@ -595,8 +642,9 @@ def main(argv: "list[str] | None" = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run up to N experiments in parallel worker processes "
-        "(results are always printed in selection order)",
+        help="run up to N experiments — or N 'explore' sweep chunks — in "
+        "parallel worker processes (results are always printed in "
+        "selection/enumeration order)",
     )
     parser.add_argument(
         "--metrics",
@@ -739,6 +787,13 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.fuzz < 1:
             parser.error("--fuzz must be at least 1")
         return run_verify(args.fuzz, args.seed, args.report)
+    if "explore" in requested:
+        if requested != ["explore"]:
+            parser.error(
+                "'explore' is a standalone subcommand; do not mix it with "
+                "experiment names"
+            )
+        return run_explore(args)
     if "serve" in requested:
         if requested != ["serve"]:
             parser.error(

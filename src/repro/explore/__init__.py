@@ -1,0 +1,55 @@
+"""Design-space exploration over the simulator's architecture knobs.
+
+The explorer enumerates a declarative sweep space (:mod:`.space`),
+prunes invalid points through the config layer's own rate-matching and
+timing rules, evaluates every surviving point on the fast/burst tier —
+sharing the per-layout schedule cache across points with identical
+architecture — and reports the (cycles x area x power) Pareto front per
+workload as a versioned ``newton-dse/v1`` JSON document
+(:mod:`.explorer`). See ``docs/design-space-explorer.md``.
+"""
+
+from repro.explore.explorer import (
+    DSE_SCHEMA,
+    ExploreOutcome,
+    PointResult,
+    PruneRecord,
+    classify_points,
+    explore,
+    point_arch,
+    render_cache_stats,
+    report_bytes,
+    write_report,
+)
+from repro.explore.pareto import dominates, pareto_front
+from repro.explore.space import (
+    AXIS_DEFAULTS,
+    NAMED_SPACES,
+    SweepSpace,
+    Workload,
+    canonical_space,
+    resolve_space,
+    smoke_space,
+)
+
+__all__ = [
+    "AXIS_DEFAULTS",
+    "DSE_SCHEMA",
+    "ExploreOutcome",
+    "NAMED_SPACES",
+    "PointResult",
+    "PruneRecord",
+    "SweepSpace",
+    "Workload",
+    "canonical_space",
+    "classify_points",
+    "dominates",
+    "explore",
+    "pareto_front",
+    "point_arch",
+    "render_cache_stats",
+    "report_bytes",
+    "resolve_space",
+    "smoke_space",
+    "write_report",
+]

@@ -1,0 +1,43 @@
+"""Pareto-front extraction for minimization objectives.
+
+Every metric is *minimized* (cycles, area overhead, average power). The
+front is the set of non-dominated points; points whose metric vectors
+tie exactly are mutual non-dominators, so duplicates all stay on the
+front rather than being dropped arbitrarily — which is what makes the
+extraction invariant under permutation and duplication of the input
+(the property tests in ``tests/explore/test_pareto.py`` pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and
+    strictly better somewhere (all metrics minimized)."""
+    if len(a) != len(b):
+        raise ValueError("metric vectors must have equal length")
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    points: Sequence,
+    key: Optional[Callable[[object], Tuple[float, ...]]] = None,
+) -> List[int]:
+    """Indices (in input order) of the non-dominated points.
+
+    ``key`` maps a point to its metric tuple; by default the point *is*
+    its metric tuple. O(n^2) and deterministic — sweep fronts are tens
+    of points, not millions.
+    """
+    metrics = [tuple(p if key is None else key(p)) for p in points]
+    front: List[int] = []
+    for i, mine in enumerate(metrics):
+        if not any(
+            dominates(other, mine) for j, other in enumerate(metrics) if j != i
+        ):
+            front.append(i)
+    return front

@@ -1,0 +1,208 @@
+"""Declarative sweep spaces: axes, workloads, and the named presets.
+
+A :class:`SweepSpace` is a cross product of axis values. Each point is a
+``{axis: value}`` dict over :data:`AXIS_DEFAULTS` — a space only has to
+declare the axes it sweeps; the rest stay at the Newton/HBM2E defaults.
+Validity is *not* decided here: the explorer builds each point's
+``(DRAMConfig, TimingParams, OptimizationConfig)`` and lets the config
+layer's own rules (rate matching, tFAW ordering, latch/traversal
+coupling, family preconditions) reject it with a
+:class:`~repro.errors.ConfigurationError`, which the report records as
+the prune reason. See ``docs/design-space-explorer.md`` for the
+file-spec grammar.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dram.config import COMMAND_FAMILIES
+from repro.errors import ConfigurationError
+
+AXIS_DEFAULTS: Dict[str, object] = {
+    "family": "newton",
+    "banks": 16,
+    "cols_per_row": 32,
+    "col_io_bits": 256,
+    "t_faw": 32,
+    "t_faw_aim": 16,
+    "latches": 1,
+    "shards": 1,
+}
+"""Every sweepable axis and its default (the shipped Newton design on
+one device). An axis absent from a space's declaration is pinned here."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One GEMV shape every valid point is evaluated on."""
+
+    name: str
+    m: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ConfigurationError(
+                f"workload {self.name!r} needs positive dimensions"
+            )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "m": self.m, "n": self.n}
+
+
+@dataclass(frozen=True)
+class SweepSpace:
+    """A named cross product of axis values plus evaluation workloads."""
+
+    name: str
+    axes: Tuple[Tuple[str, Tuple], ...]
+    """``((axis, (value, ...)), ...)`` in declaration order; enumeration
+    varies the *last* declared axis fastest (plain lexicographic
+    product), which is what keeps points that differ only in trailing
+    axes — typically ``shards`` — adjacent for schedule-cache sharing."""
+    workloads: Tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for axis, values in self.axes:
+            if axis not in AXIS_DEFAULTS:
+                raise ConfigurationError(
+                    f"unknown sweep axis {axis!r}; available: "
+                    f"{sorted(AXIS_DEFAULTS)}"
+                )
+            if axis in seen:
+                raise ConfigurationError(f"axis {axis!r} declared twice")
+            seen.add(axis)
+            if not values:
+                raise ConfigurationError(f"axis {axis!r} has no values")
+        if not self.workloads:
+            raise ConfigurationError("a sweep space needs >= 1 workload")
+        names = [w.name for w in self.workloads]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("workload names must be unique")
+
+    @property
+    def size(self) -> int:
+        """Enumerated (pre-pruning) point count."""
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def point(self, index: int) -> Dict[str, object]:
+        """Point ``index`` of the enumeration (defaults filled in)."""
+        if not 0 <= index < self.size:
+            raise ConfigurationError(
+                f"point index {index} outside [0, {self.size})"
+            )
+        params = dict(AXIS_DEFAULTS)
+        remaining = index
+        for axis, values in reversed(self.axes):
+            remaining, offset = divmod(remaining, len(values))
+            params[axis] = values[offset]
+        return params
+
+    def points(self) -> List[Dict[str, object]]:
+        """Every point, in enumeration order."""
+        base = dict(AXIS_DEFAULTS)
+        out = []
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            params = dict(base)
+            for (axis, _), value in zip(self.axes, combo):
+                params[axis] = value
+            out.append(params)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-able round-trippable form (also the worker wire format)."""
+        return {
+            "name": self.name,
+            "axes": {axis: list(values) for axis, values in self.axes},
+            "workloads": [w.to_dict() for w in self.workloads],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepSpace":
+        try:
+            axes = tuple(
+                (str(axis), tuple(values))
+                for axis, values in payload.get("axes", {}).items()
+            )
+            workloads = tuple(
+                Workload(name=str(w["name"]), m=int(w["m"]), n=int(w["n"]))
+                for w in payload.get("workloads", [])
+            )
+            name = str(payload.get("name", "custom"))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(f"malformed space spec: {error}")
+        return cls(name=name, axes=axes, workloads=workloads)
+
+
+_SMOKE_WORKLOADS = (Workload("gemv-small", m=16, n=256),)
+_CANONICAL_WORKLOADS = (
+    Workload("gemv-small", m=16, n=256),
+    Workload("gemv-tall", m=48, n=512),
+)
+
+
+def smoke_space() -> SweepSpace:
+    """The 12-point PR-gate space: every command family, both bank
+    counts, both shard counts — all valid, seconds to evaluate."""
+    return SweepSpace(
+        name="smoke",
+        axes=(
+            ("family", COMMAND_FAMILIES),
+            ("banks", (8, 16)),
+            ("shards", (1, 2)),
+        ),
+        workloads=_SMOKE_WORKLOADS,
+    )
+
+
+def canonical_space() -> SweepSpace:
+    """The committed full sweep: 768 enumerated points, of which the
+    config layer's rules keep the valid fraction (>= 50 points across
+    all three command families; see the committed report)."""
+    return SweepSpace(
+        name="canonical",
+        axes=(
+            ("family", COMMAND_FAMILIES),
+            ("banks", (8, 16)),
+            ("cols_per_row", (32, 64)),
+            ("col_io_bits", (256, 128)),
+            ("t_faw", (32, 20)),
+            ("t_faw_aim", (16, 24)),
+            ("latches", (1, 4)),
+            ("shards", (1, 2)),
+        ),
+        workloads=_CANONICAL_WORKLOADS,
+    )
+
+
+NAMED_SPACES = {
+    "smoke": smoke_space,
+    "canonical": canonical_space,
+}
+"""The built-in spaces ``newton-repro explore --space`` accepts by name."""
+
+
+def resolve_space(spec: str) -> SweepSpace:
+    """Resolve a ``--space`` argument: a preset name or a JSON file path."""
+    builder = NAMED_SPACES.get(spec)
+    if builder is not None:
+        return builder()
+    if spec.endswith(".json"):
+        try:
+            with open(spec, "r", encoding="utf-8") as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(f"cannot read space spec {spec!r}: {error}")
+        return SweepSpace.from_dict(payload)
+    raise ConfigurationError(
+        f"unknown space {spec!r}: expected one of "
+        f"{sorted(NAMED_SPACES)} or a .json spec file"
+    )

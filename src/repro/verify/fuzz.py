@@ -92,6 +92,13 @@ GRAPH_NONE = "none"
 GRAPH_FAMILIES = ("decode", "moe", "lora")
 """Scenario graphs a case may draw as its graph-execution family."""
 
+RIVAL_COMMAND_FAMILIES = ("output_stationary", "bankgroup_ext")
+"""Non-Newton command families a plain-GEMV case may draw. Rival
+families only run on ``graph == "none"`` cases: the graph sessions'
+fused-lowering differential is specific to Newton's chunk-major
+protocol, and ``output_stationary`` additionally requires the
+interleaved traversal."""
+
 ControllerMutator = Callable[[object], None]
 
 
@@ -116,10 +123,13 @@ class FuzzCase:
     t_ccd: int
     devices: int
     graph: str = GRAPH_NONE
+    family: str = "newton"
+    """The command family the case's devices speak (rival families make
+    the verifier sweep genuinely different protocols, not just knobs)."""
 
     def config(self) -> DRAMConfig:
         return hbm2e_like_config(banks_per_channel=self.banks).with_overrides(
-            rows_per_bank=128
+            rows_per_bank=128, command_family=self.family
         )
 
     def timing(self) -> TimingParams:
@@ -151,7 +161,7 @@ class FuzzCase:
             f"case #{self.index} (seed {self.seed}): {self.m}x{self.n} "
             f"batch={self.batch} banks={self.banks} opt={self.opt().label} "
             f"refresh={self.refresh} t_cmd={self.t_cmd} t_ccd={self.t_ccd} "
-            f"devices={self.devices} graph={self.graph}"
+            f"devices={self.devices} graph={self.graph} family={self.family}"
         )
 
     def to_dict(self) -> dict:
@@ -167,31 +177,54 @@ def generate_case(seed: int, index: int) -> FuzzCase:
 
     interleaved = bool(rng.integers(2))
     m = int(rng.integers(1, 41))
+    banks = pick([8, 16], [1, 2])
+    n = int(rng.integers(1, 321))
+    # Mostly >= 2 so the fast tier's later runs exercise schedule
+    # replay, not just the cold burst path.
+    batch = pick([1, 2, 3], [2, 5, 3])
+    ganged_compute = bool(rng.integers(2))
+    complex_commands = bool(rng.integers(2))
+    four_bank_activation = bool(rng.integers(2))
+    aggressive_tfaw = bool(rng.integers(2))
+    # Multiple latches only exist on the row-major traversal.
+    result_latches = 1 if interleaved else pick([1, 4], [3, 1])
+    refresh = pick([REFRESH_FAST, REFRESH_OFF, REFRESH_STANDARD], [6, 2, 2])
+    t_cmd = pick([4, 2, 7], [3, 1, 1])
+    t_ccd = pick([4, 2, 6], [3, 1, 1])
+    devices = 2 if (m >= 2 and rng.random() < 0.3) else 1
+    # Drawn after every base field so adding the graph family kept every
+    # earlier field of a given (seed, index) identical to previous
+    # harness versions.
+    graph = pick([GRAPH_NONE, *GRAPH_FAMILIES], [7, 1, 1, 1])
+    # The command-family roll is drawn last, after the graph, for the
+    # same reproducibility reason — and always drawn (even when it
+    # cannot apply) so future fields keep their stream positions.
+    family_roll = pick(["newton", *RIVAL_COMMAND_FAMILIES], [3, 1, 1])
+    family = "newton"
+    if graph == GRAPH_NONE:
+        if family_roll == "bankgroup_ext":
+            family = family_roll
+        elif family_roll == "output_stationary" and interleaved:
+            family = family_roll
     return FuzzCase(
         index=index,
         seed=seed,
-        banks=pick([8, 16], [1, 2]),
+        banks=banks,
         m=m,
-        n=int(rng.integers(1, 321)),
-        # Mostly >= 2 so the fast tier's later runs exercise schedule
-        # replay, not just the cold burst path.
-        batch=pick([1, 2, 3], [2, 5, 3]),
-        ganged_compute=bool(rng.integers(2)),
-        complex_commands=bool(rng.integers(2)),
+        n=n,
+        batch=batch,
+        ganged_compute=ganged_compute,
+        complex_commands=complex_commands,
         interleaved_reuse=interleaved,
-        four_bank_activation=bool(rng.integers(2)),
-        aggressive_tfaw=bool(rng.integers(2)),
-        # Multiple latches only exist on the row-major traversal.
-        result_latches=1 if interleaved else pick([1, 4], [3, 1]),
-        refresh=pick(
-            [REFRESH_FAST, REFRESH_OFF, REFRESH_STANDARD], [6, 2, 2]
-        ),
-        t_cmd=pick([4, 2, 7], [3, 1, 1]),
-        t_ccd=pick([4, 2, 6], [3, 1, 1]),
-        devices=2 if (m >= 2 and rng.random() < 0.3) else 1,
-        # Drawn last so adding the family kept every earlier field of a
-        # given (seed, index) identical to previous harness versions.
-        graph=pick([GRAPH_NONE, *GRAPH_FAMILIES], [7, 1, 1, 1]),
+        four_bank_activation=four_bank_activation,
+        aggressive_tfaw=aggressive_tfaw,
+        result_latches=result_latches,
+        refresh=refresh,
+        t_cmd=t_cmd,
+        t_ccd=t_ccd,
+        devices=devices,
+        graph=graph,
+        family=family,
     )
 
 
@@ -409,7 +442,12 @@ def run_case(
         case.config(),
         case.timing(),
         aggressive_tfaw=case.aggressive_tfaw,
-        check_latch=case.interleaved_reuse,
+        # output_stationary accumulates a whole tile in latch 0 across
+        # chunks by design, so the one-emit-per-fill latch discipline the
+        # interleaved Newton traversal obeys does not apply to it.
+        check_latch=(
+            case.interleaved_reuse and case.family != "output_stationary"
+        ),
         check_refresh_interval=case.refresh_enabled,
     )
     out.violations = inv.check_trace(
@@ -457,6 +495,7 @@ def _shrink_candidates(case: FuzzCase) -> List[FuzzCase]:
         evolve(batch=1),
         evolve(devices=1),
         evolve(graph=GRAPH_NONE),
+        evolve(family="newton"),
         evolve(refresh=REFRESH_OFF),
         evolve(m=max(1, case.m // 2)),
         evolve(n=max(1, case.n // 2)),
@@ -540,6 +579,8 @@ class FuzzReport:
     cases_run: int = 0
     graph_cases: int = 0
     """Cases that additionally ran a graph-session family."""
+    rival_family_cases: int = 0
+    """Cases that spoke a non-Newton command family."""
     commands_verified: int = 0
     checks: int = 0
     violations_found: int = 0
@@ -555,7 +596,8 @@ class FuzzReport:
         lines = [
             f"fuzz: {self.cases_run}/{self.requested} cases "
             f"(seed {self.seed}, {self.graph_cases} with graph "
-            f"sessions) — "
+            f"sessions, {self.rival_family_cases} on rival command "
+            f"families) — "
             f"{self.commands_verified} commands verified, "
             f"{self.checks} invariant checks, "
             f"{self.violations_found} violation(s), "
@@ -576,6 +618,7 @@ class FuzzReport:
             "requested": self.requested,
             "cases_run": self.cases_run,
             "graph_cases": self.graph_cases,
+            "rival_family_cases": self.rival_family_cases,
             "commands_verified": self.commands_verified,
             "checks": self.checks,
             "violations_found": self.violations_found,
@@ -615,6 +658,8 @@ def fuzz(
         report.cases_run += 1
         if case.graph != GRAPH_NONE:
             report.graph_cases += 1
+        if case.family != "newton":
+            report.rival_family_cases += 1
         report.commands_verified += result.commands
         report.checks += result.checks
         report.violations_found += len(result.violations)

@@ -214,7 +214,17 @@ class InvariantChecker:
 
         self._banks = [_BankView() for _ in range(config.banks_per_channel)]
         self._last_issue: Optional[int] = None
-        self._acts: Deque[int] = deque(maxlen=self.FAW_WINDOW)
+        # The bankgroup_ext family scopes the four-activation window per
+        # bank group (tRRD stays channel-global); every other family
+        # keeps the single channel-wide window.
+        self._faw_scopes = (
+            config.bank_groups
+            if config.command_family == "bankgroup_ext"
+            else 1
+        )
+        self._acts: List[Deque[int]] = [
+            deque(maxlen=self.FAW_WINDOW) for _ in range(self._faw_scopes)
+        ]
         self._last_act = NEG_INF
         self._data_free = 0
         self._last_tree_feed = NEG_INF
@@ -447,19 +457,29 @@ class InvariantChecker:
             f"activation, tRRD is {t.t_rrd}",
             command=described,
         )
+        if self._faw_scopes == 1:
+            scope = 0
+        elif command.kind is CommandKind.G_ACT:
+            scope = command.group
+        else:
+            scope = command.bank // self.config.bank_group_size
+        acts = self._acts[scope]
+        where = (
+            f" (bank group {scope})" if self._faw_scopes > 1 else ""
+        )
         for _ in targets:
-            if len(self._acts) == self.FAW_WINDOW:
-                anchor = self._acts[0]
+            if len(acts) == self.FAW_WINDOW:
+                anchor = acts[0]
                 self._check(
                     at - anchor >= self.faw,
                     R_TFAW,
                     at,
                     f"fifth activation only {at - anchor} cycles after its "
                     f"fourth-previous one at {anchor}, tFAW window is "
-                    f"{self.faw}",
+                    f"{self.faw}{where}",
                     command=described,
                 )
-            self._acts.append(at)
+            acts.append(at)
         self._last_act = at
         for index in targets:
             bank = self._banks[index]

@@ -107,7 +107,17 @@ class CycleOracle:
         self.timing = timing
         self.faw = timing.faw_window(aggressive_tfaw)
         self._banks = [_OracleBank() for _ in range(config.banks_per_channel)]
-        self._acts: Deque[int] = deque(maxlen=self.FAW_WINDOW)
+        # bankgroup_ext scopes the four-activation window per bank group
+        # (tRRD stays channel-global); every other family keeps one
+        # channel-wide window.
+        self._faw_scopes = (
+            config.bank_groups
+            if config.command_family == "bankgroup_ext"
+            else 1
+        )
+        self._acts: List[Deque[int]] = [
+            deque(maxlen=self.FAW_WINDOW) for _ in range(self._faw_scopes)
+        ]
         self._last_act = NEG_INF
         self._cmd_free = 0
         self._data_free = 0
@@ -127,12 +137,20 @@ class CycleOracle:
             return [command.bank]
         return []
 
-    def _window_earliest(self, count: int) -> int:
+    def _act_scope(self, command: Command) -> int:
+        """The tFAW scope an activation command's targets land in."""
+        if self._faw_scopes == 1:
+            return 0
+        if command.kind is CommandKind.G_ACT:
+            return command.group
+        return command.bank // self.config.bank_group_size
+
+    def _window_earliest(self, count: int, scope: int = 0) -> int:
         """Earliest cycle ``count`` simultaneous activations satisfy
         tRRD and the four-activation window (JEDEC: any activation and
         its fourth-previous one are >= tFAW apart)."""
         bound = self._last_act + self.timing.t_rrd
-        history = list(self._acts)
+        history = list(self._acts[scope])
         back = self.FAW_WINDOW - count + 1
         if len(history) >= back:
             bound = max(bound, history[-back] + self.faw)
@@ -148,7 +166,9 @@ class CycleOracle:
             bound = max(
                 bound,
                 max(self._banks[b].ready_for_act for b in targets),
-                self._window_earliest(len(list(targets))),
+                self._window_earliest(
+                    len(list(targets)), self._act_scope(command)
+                ),
             )
         elif kind in _COLUMN_KINDS:
             for b in self._targets(command):
@@ -202,8 +222,9 @@ class CycleOracle:
                 bank.open_row = command.row
                 bank.act_time = at
                 bank.precharge_ready = at + t.t_ras
+            acts = self._acts[self._act_scope(command)]
             for _ in targets:
-                self._acts.append(at)
+                acts.append(at)
             self._last_act = at
         elif kind in _COLUMN_KINDS:
             for b in self._targets(command):

@@ -6,18 +6,38 @@ from repro.core.device import NewtonDevice
 from repro.core.optimizations import FULL
 from repro.dram.families import (
     FAMILIES,
+    RIVAL_FAMILY_NAMES,
+    bankgroup_ext_family,
     ddr4_family,
     family_by_name,
     gddr6_family,
     hbm2e_family,
     lpddr4_family,
+    output_stationary_family,
 )
 from repro.errors import ConfigurationError
 
 
 class TestPresets:
-    def test_four_families(self):
-        assert set(FAMILIES) == {"HBM2E", "GDDR6", "DDR4", "LPDDR4"}
+    def test_six_families(self):
+        assert set(FAMILIES) == {
+            "HBM2E",
+            "GDDR6",
+            "DDR4",
+            "LPDDR4",
+            "OUTPUT-STATIONARY",
+            "BANKGROUP-EXT",
+        }
+        assert set(RIVAL_FAMILY_NAMES) <= set(FAMILIES)
+
+    def test_rival_presets_carry_their_command_family(self):
+        assert (
+            output_stationary_family().config.command_family
+            == "output_stationary"
+        )
+        assert bankgroup_ext_family().config.command_family == "bankgroup_ext"
+        for name in ("HBM2E", "GDDR6", "DDR4", "LPDDR4"):
+            assert family_by_name(name).config.command_family == "newton"
 
     def test_all_rate_matched(self):
         """Every preset must keep MACs rate-matched to its column I/O —

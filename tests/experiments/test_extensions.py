@@ -84,8 +84,15 @@ class TestFamilyStudy:
     def test_every_family_benefits(self, result):
         assert result.every_family_benefits()
 
-    def test_four_families(self, result):
-        assert {r.family for r in result.rows} == {"HBM2E", "GDDR6", "DDR4", "LPDDR4"}
+    def test_six_families(self, result):
+        assert {r.family for r in result.rows} == {
+            "HBM2E",
+            "GDDR6",
+            "DDR4",
+            "LPDDR4",
+            "OUTPUT-STATIONARY",
+            "BANKGROUP-EXT",
+        }
 
     def test_gddr6_product_family_present(self, result):
         gddr6 = next(r for r in result.rows if r.family == "GDDR6")

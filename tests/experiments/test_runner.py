@@ -29,6 +29,7 @@ class TestRunner:
             "chunk-width",
             "fused-layers",
             "hetero-placement",
+            "design-space",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,148 @@
+"""The explorer end-to-end: evaluation, determinism, cache sharing, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.explore import (
+    DSE_SCHEMA,
+    SweepSpace,
+    Workload,
+    canonical_space,
+    explore,
+    report_bytes,
+    smoke_space,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_outcome():
+    return explore(smoke_space(), jobs=1, seed=0)
+
+
+class TestSmokeSweep:
+    def test_schema_and_coverage(self, smoke_outcome):
+        report = smoke_outcome.report
+        assert report["schema"] == DSE_SCHEMA
+        assert report["valid_points"] == 12
+        assert report["enumerated_points"] == 12
+        assert report["pruned"] == []
+        assert report["families_evaluated"] == [
+            "bankgroup_ext",
+            "newton",
+            "output_stationary",
+        ]
+
+    def test_every_point_carries_all_metrics(self, smoke_outcome):
+        for point in smoke_outcome.report["points"]:
+            for workload in smoke_outcome.space.workloads:
+                metrics = point["metrics"][workload.name]
+                assert metrics["cycles"] > 0
+                assert metrics["area"] > 0
+                assert metrics["power"] > 0
+
+    def test_front_is_nonempty_and_valid(self, smoke_outcome):
+        report = smoke_outcome.report
+        ids = {p["id"] for p in report["points"]}
+        for workload in smoke_outcome.space.workloads:
+            front = report["pareto"][workload.name]
+            assert front
+            assert set(front) <= ids
+            assert front == sorted(front)
+
+    def test_sharding_helps_cycles_but_costs_area(self, smoke_outcome):
+        points = {
+            (p["params"]["family"], p["params"]["banks"], p["params"]["shards"]): p
+            for p in smoke_outcome.report["points"]
+        }
+        one = points[("newton", 16, 1)]["metrics"]["gemv-small"]
+        two = points[("newton", 16, 2)]["metrics"]["gemv-small"]
+        assert two["cycles"] <= one["cycles"]
+        assert two["area"] > one["area"]
+
+    def test_render_names_the_fronts(self, smoke_outcome):
+        text = smoke_outcome.render()
+        assert "Pareto front" in text
+        assert "bankgroup_ext" in text
+
+
+class TestDeterminism:
+    def test_report_byte_identical_across_jobs(self):
+        """The acceptance bar: same space + seed => byte-identical
+        newton-dse/v1 report at --jobs 1 and --jobs 4."""
+        serial = explore(smoke_space(), jobs=1, seed=0)
+        parallel = explore(smoke_space(), jobs=4, seed=0)
+        assert report_bytes(serial.report) == report_bytes(parallel.report)
+
+    def test_seed_is_stamped(self):
+        outcome = explore(smoke_space(), jobs=1, seed=7)
+        assert outcome.report["seed"] == 7
+
+    def test_committed_canonical_report_is_current(self):
+        """reports/design-space-canonical.json must match a live
+        regeneration bit-for-bit — change the models, regenerate the
+        report (see docs/design-space-explorer.md)."""
+        outcome = explore(canonical_space(), jobs=1, seed=0)
+        with open("reports/design-space-canonical.json", "rb") as f:
+            committed = f.read()
+        assert report_bytes(outcome.report) == committed
+
+    def test_canonical_json_is_sorted_and_stampless(self):
+        with open("reports/design-space-canonical.json", "r") as f:
+            payload = json.load(f)
+        assert payload["schema"] == DSE_SCHEMA
+        assert "timestamp" not in payload and "hits" not in payload
+        assert payload["valid_points"] >= 50
+        assert len(payload["families_evaluated"]) >= 3
+
+
+class TestCacheSharing:
+    def test_points_sharing_an_architecture_share_the_cache(self):
+        """Satellite audit: sweep points that agree on the architecture
+        signature replay each other's recorded tile schedules; the
+        counters surface on the outcome (not in the report — hit counts
+        depend on the jobs split)."""
+        space = SweepSpace(
+            name="audit",
+            axes=(("shards", (1, 2)),),
+            workloads=(Workload("w", 16, 256),),
+        )
+        outcome = explore(space, jobs=1, seed=0)
+        stats = outcome.cache_stats
+        assert stats["arches"] == 1
+        assert stats["engines"] == 2
+        assert stats["hits"] > 0
+        assert stats["replayed_commands"] > 0
+
+    def test_cache_counters_stay_out_of_the_report(self, smoke_outcome):
+        assert smoke_outcome.cache_stats["hits"] > 0
+        assert "cache" not in json.dumps(smoke_outcome.report)
+
+
+class TestCli:
+    def test_explore_subcommand(self, capsys, tmp_path):
+        report_path = tmp_path / "dse.json"
+        code = runner.main(
+            ["explore", "--space", "smoke", "--report", str(report_path)]
+        )
+        assert code == 0
+        assert "Pareto front" in capsys.readouterr().out
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == DSE_SCHEMA
+
+    def test_explore_is_standalone(self):
+        with pytest.raises(SystemExit):
+            runner.main(["explore", "fig8"])
+
+    def test_unknown_space_fails_cleanly(self, capsys):
+        assert runner.main(["explore", "--space", "galactic"]) == 2
+        assert "unknown space" in capsys.readouterr().err
+
+    def test_design_space_experiment_registered(self):
+        assert "design-space" in runner.EXPERIMENTS
+        outcome = runner.run_experiment("design-space")
+        assert not outcome.failed
+        assert "Pareto front" in outcome.body

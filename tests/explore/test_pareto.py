@@ -1,0 +1,107 @@
+"""Property tests for the Pareto extraction (hypothesis-driven).
+
+Three properties define a correct front under minimization:
+
+1. no front member is dominated by *any* input point;
+2. every dropped point is dominated by *some front member* (domination
+   by an arbitrary point is not enough — the witness must itself have
+   survived);
+3. the front, viewed as a multiset of metric vectors, is invariant
+   under permutation and duplication of the input.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore.pareto import dominates, pareto_front
+
+metric = st.tuples(
+    st.integers(0, 20), st.integers(0, 20), st.integers(0, 20)
+)
+point_lists = st.lists(metric, min_size=1, max_size=30)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+        assert dominates((1, 2, 3), (1, 2, 4))
+
+    def test_ties_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 9), (9, 1))
+        assert not dominates((9, 1), (1, 9))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+class TestFrontProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_no_front_member_is_dominated(self, points):
+        front = pareto_front(points)
+        assert front, "a non-empty input always has a non-empty front"
+        for i in front:
+            assert not any(
+                dominates(points[j], points[i])
+                for j in range(len(points))
+                if j != i
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_every_dropped_point_is_dominated_by_a_front_member(
+        self, points
+    ):
+        front = set(pareto_front(points))
+        for i, point in enumerate(points):
+            if i not in front:
+                assert any(
+                    dominates(points[j], point) for j in front
+                ), f"dropped point {point} has no dominating front witness"
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists, st.randoms(use_true_random=False))
+    def test_front_invariant_under_permutation(self, points, rand):
+        shuffled = list(points)
+        rand.shuffle(shuffled)
+        original = sorted(points[i] for i in pareto_front(points))
+        permuted = sorted(shuffled[i] for i in pareto_front(shuffled))
+        assert original == permuted
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_front_set_invariant_under_duplication(self, points):
+        doubled = points + points
+        original = {points[i] for i in pareto_front(points)}
+        duplicated = {doubled[i] for i in pareto_front(doubled)}
+        assert original == duplicated
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_duplicates_of_a_front_vector_all_survive(self, points):
+        doubled = points + points
+        front = set(pareto_front(doubled))
+        for i in front:
+            twin = (i + len(points)) % len(doubled)
+            assert twin in front
+
+
+class TestFrontEdgeCases:
+    def test_single_point(self):
+        assert pareto_front([(5, 5, 5)]) == [0]
+
+    def test_totally_ordered_chain(self):
+        points = [(3, 3), (2, 2), (1, 1)]
+        assert pareto_front(points) == [2]
+
+    def test_key_function(self):
+        rows = [{"c": 4, "a": 1}, {"c": 1, "a": 4}, {"c": 5, "a": 5}]
+        front = pareto_front(rows, key=lambda r: (r["c"], r["a"]))
+        assert front == [0, 1]

@@ -1,0 +1,145 @@
+"""The sweep-space grammar, named presets, and pruning rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.explore import (
+    AXIS_DEFAULTS,
+    NAMED_SPACES,
+    SweepSpace,
+    Workload,
+    canonical_space,
+    classify_points,
+    point_arch,
+    resolve_space,
+    smoke_space,
+)
+
+
+class TestSpaceGrammar:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpace(
+                name="x",
+                axes=(("warp_speed", (1, 2)),),
+                workloads=(Workload("w", 4, 64),),
+            )
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpace(
+                name="x",
+                axes=(("banks", (8,)), ("banks", (16,))),
+                workloads=(Workload("w", 4, 64),),
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpace(
+                name="x", axes=(("banks", ()),), workloads=(Workload("w", 4, 64),)
+            )
+
+    def test_workloads_required(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpace(name="x", axes=(("banks", (8,)),), workloads=())
+
+    def test_point_indexing_matches_enumeration(self):
+        space = smoke_space()
+        enumerated = space.points()
+        assert len(enumerated) == space.size
+        for index, params in enumerate(enumerated):
+            assert space.point(index) == params
+        with pytest.raises(ConfigurationError):
+            space.point(space.size)
+
+    def test_undeclared_axes_pinned_to_defaults(self):
+        space = smoke_space()
+        for params in space.points():
+            assert params["cols_per_row"] == AXIS_DEFAULTS["cols_per_row"]
+            assert params["latches"] == AXIS_DEFAULTS["latches"]
+
+    def test_dict_roundtrip(self):
+        space = canonical_space()
+        assert SweepSpace.from_dict(space.to_dict()) == space
+
+
+class TestResolveSpace:
+    def test_named_presets(self):
+        assert resolve_space("smoke").name == "smoke"
+        assert resolve_space("canonical").name == "canonical"
+        assert set(NAMED_SPACES) == {"smoke", "canonical"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_space("galactic")
+
+    def test_json_file_spec(self, tmp_path):
+        spec = {
+            "name": "mini",
+            "axes": {"family": ["newton", "bankgroup_ext"], "shards": [1, 2]},
+            "workloads": [{"name": "w", "m": 8, "n": 128}],
+        }
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(spec))
+        space = resolve_space(str(path))
+        assert space.name == "mini"
+        assert space.size == 4
+        assert space.workloads == (Workload("w", 8, 128),)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            resolve_space(str(path))
+
+
+class TestPruningRules:
+    def test_rival_families_need_the_single_latch_tree(self):
+        params = dict(AXIS_DEFAULTS, family="bankgroup_ext", latches=4)
+        with pytest.raises(ConfigurationError):
+            point_arch(params)
+
+    def test_rate_matching_prunes_narrow_column_io(self):
+        params = dict(AXIS_DEFAULTS, col_io_bits=128)
+        with pytest.raises(ConfigurationError):
+            point_arch(params)
+
+    def test_timing_order_prunes_inverted_tfaw(self):
+        params = dict(AXIS_DEFAULTS, t_faw=20, t_faw_aim=24)
+        with pytest.raises(ConfigurationError):
+            point_arch(params)
+
+    def test_default_point_is_valid(self):
+        config, timing, opt = point_arch(dict(AXIS_DEFAULTS))
+        assert config.command_family == "newton"
+        assert opt.interleaved_reuse and opt.result_latches == 1
+
+    def test_multi_latch_newton_uses_row_major(self):
+        config, _, opt = point_arch(dict(AXIS_DEFAULTS, latches=4))
+        assert not opt.interleaved_reuse
+        assert opt.result_latches == 4
+
+
+class TestCanonicalSpace:
+    def test_meets_the_coverage_floor(self):
+        """The committed sweep's acceptance bar: >= 50 valid points
+        spanning >= 3 command families."""
+        space = canonical_space()
+        valid, pruned = classify_points(space)
+        assert len(valid) >= 50
+        assert len(valid) + len(pruned) == space.size
+        families = {space.point(i)["family"] for i in valid}
+        assert len(families) >= 3
+
+    def test_every_prune_has_a_reason(self):
+        _, pruned = classify_points(canonical_space())
+        assert pruned, "the canonical space must exercise the pruning rules"
+        assert all(record.reason for record in pruned)
+
+    def test_smoke_space_is_fully_valid(self):
+        valid, pruned = classify_points(smoke_space())
+        assert len(valid) == 12 and not pruned

@@ -10,6 +10,7 @@ from repro.verify.fuzz import (
     GRAPH_NONE,
     REFRESH_FAST,
     REFRESH_OFF,
+    RIVAL_COMMAND_FAMILIES,
     SCHEMA,
     FuzzCase,
     FuzzReport,
@@ -124,6 +125,56 @@ class TestGraphFamily:
     def test_describe_names_the_family(self):
         case = dataclasses.replace(generate_case(0, 3), graph="lora")
         assert "graph=lora" in case.describe()
+
+
+class TestCommandFamily:
+    """The rival command-family case dimension."""
+
+    def test_every_family_is_drawn(self):
+        drawn = {generate_case(0, i).family for i in range(80)}
+        assert drawn == {"newton", *RIVAL_COMMAND_FAMILIES}
+
+    def test_rival_families_respect_their_preconditions(self):
+        for index in range(80):
+            case = generate_case(0, index)
+            if case.family != "newton":
+                assert case.graph == GRAPH_NONE
+            if case.family == "output_stationary":
+                assert case.interleaved_reuse
+
+    def test_family_drawn_last_keeps_base_fields_stable(self):
+        """Regression: the family roll must not perturb earlier draws
+        (pre-family reports pinned specific (seed, index) geometries)."""
+        case = generate_case(0, 3)
+        assert (case.m, case.n, case.batch) == (4, 59, 2)
+        assert case.graph == GRAPH_NONE
+
+    def test_config_carries_the_family(self):
+        case = dataclasses.replace(
+            generate_case(0, 3), family="bankgroup_ext"
+        )
+        assert case.config().command_family == "bankgroup_ext"
+
+    def test_forced_rival_families_run_clean(self):
+        base = dataclasses.replace(
+            generate_case(0, 3),
+            m=4,
+            n=40,
+            batch=2,
+            refresh=REFRESH_OFF,
+            interleaved_reuse=True,
+            result_latches=1,
+        )
+        for family in RIVAL_COMMAND_FAMILIES:
+            result = run_case(dataclasses.replace(base, family=family))
+            assert result.ok, result.render()
+            assert result.violations == [] and result.divergences == []
+
+    def test_describe_names_the_family(self):
+        case = dataclasses.replace(
+            generate_case(0, 3), family="output_stationary"
+        )
+        assert "family=output_stationary" in case.describe()
 
 
 class TestCampaign:
